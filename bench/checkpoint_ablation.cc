@@ -1,0 +1,82 @@
+// Ablation: checkpoint frequency vs crash-recovery work (Section 2.1.3:
+// "Checkpoints serve to reduce the amount of log data that must be available
+// for crash recovery and shorten the time to recover after a crash").
+//
+// The same 400-transaction workload runs with reclamation triggered at
+// different log-space budgets (reclamation = flush + checkpoint + truncate);
+// the node then crashes and the table reports how much log survived, how many
+// records recovery scanned, and how long (virtual time) recovery took.
+
+#include <cstdio>
+
+#include "src/servers/array_server.h"
+#include "src/tabs/world.h"
+
+namespace tabs {
+namespace {
+
+struct Row {
+  std::uint64_t log_bytes = 0;
+  int reclaims = 0;
+  int records_scanned = 0;
+  SimTime recovery_us = 0;
+};
+
+Row RunWith(std::uint64_t budget) {
+  WorldOptions options;
+  options.log_space_budget = budget;
+  World world(2, options);
+  auto* arr = world.AddServerOf<servers::ArrayServer>(1, "arr", 64u);
+  Row row;
+  world.RunApp(1, [&](Application& app) {
+    for (int i = 0; i < 400; ++i) {
+      app.Transaction([&](const server::Tx& tx) {
+        arr->SetCell(tx, i % 32, i);
+        return Status::kOk;
+      });
+    }
+    row.log_bytes = world.rm(1).StableLogBytesInUse();
+    row.reclaims = world.rm(1).auto_reclaim_count();
+    world.CrashNode(1);
+  });
+  world.RunApp(2, [&](Application&) {
+    SimTime t0 = world.scheduler().Now();
+    auto stats = world.RecoverNode(1);
+    row.recovery_us = world.scheduler().Now() - t0;
+    row.records_scanned = stats.records_scanned;
+  });
+  return row;
+}
+
+void Run() {
+  std::printf("Checkpoint/reclamation ablation: 400 write transactions, then a crash\n");
+  std::printf("%-16s | %12s %9s %12s %12s\n", "log budget", "log bytes", "reclaims",
+              "rec scanned", "recovery ms");
+  std::printf("%.68s\n",
+              "--------------------------------------------------------------------");
+  struct Config {
+    const char* label;
+    std::uint64_t budget;
+  };
+  for (const Config& c : {Config{"none (infinite)", 0}, Config{"256 KiB", 256 * 1024},
+                          Config{"64 KiB", 64 * 1024}, Config{"16 KiB", 16 * 1024},
+                          Config{"4 KiB", 4 * 1024}}) {
+    Row row = RunWith(c.budget);
+    std::printf("%-16s | %12llu %9d %12d %12.1f\n", c.label,
+                static_cast<unsigned long long>(row.log_bytes), row.reclaims,
+                row.records_scanned, row.recovery_us / 1000.0);
+  }
+  std::printf(
+      "\nTighter budgets reclaim more often, keeping the retained log — and therefore\n"
+      "recovery's scan work and elapsed time — small and flat, at the cost of extra\n"
+      "page-force activity during normal operation. With no checkpoints the whole\n"
+      "history must be scanned after a crash.\n");
+}
+
+}  // namespace
+}  // namespace tabs
+
+int main() {
+  tabs::Run();
+  return 0;
+}

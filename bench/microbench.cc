@@ -1,0 +1,134 @@
+// Real-CPU micro-benchmarks (google-benchmark) of the substrate's hot
+// paths: log append/force, lock acquire/release, scheduler task turnaround,
+// recoverable-segment access, and B-tree operations. These measure the
+// implementation itself (host nanoseconds), not the simulated Perq — the
+// Table 5-x binaries handle the paper's virtual-time results.
+
+#include <benchmark/benchmark.h>
+
+#include "src/lock/lock_manager.h"
+#include "src/log/log_manager.h"
+#include "src/servers/array_server.h"
+#include "src/servers/btree_server.h"
+#include "src/tabs/world.h"
+
+namespace tabs {
+namespace {
+
+void BM_LogAppend(benchmark::State& state) {
+  sim::Scheduler sched;
+  sim::Substrate substrate(sched, sim::CostModel::Baseline(),
+                           sim::ArchitectureModel::Prototype());
+  log::StableLogDevice device;
+  log::LogManager log(substrate, device);
+  log::LogRecord rec;
+  rec.type = log::RecordType::kValueUpdate;
+  rec.owner = {1, 1};
+  rec.top = {1, 1};
+  rec.server = "bench";
+  rec.oid = {1, 0, 8};
+  rec.old_value = Bytes(8, 0);
+  rec.new_value = Bytes(8, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(log.Append(rec));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LogAppend);
+
+void BM_LogRecordSerializeRoundTrip(benchmark::State& state) {
+  log::LogRecord rec;
+  rec.type = log::RecordType::kValueUpdate;
+  rec.owner = {1, 1};
+  rec.top = {1, 1};
+  rec.server = "bench";
+  rec.oid = {1, 0, 64};
+  rec.old_value = Bytes(64, 0);
+  rec.new_value = Bytes(64, 1);
+  for (auto _ : state) {
+    Bytes b = rec.Serialize();
+    auto back = log::LogRecord::Deserialize(b);
+    benchmark::DoNotOptimize(back);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LogRecordSerializeRoundTrip);
+
+void BM_LockAcquireRelease(benchmark::State& state) {
+  sim::Scheduler sched;
+  lock::LockManager lm(sched, lock::CompatibilityMatrix::SharedExclusive(), 1000);
+  TransactionId tid{1, 1};
+  ObjectId oid{1, 0, 4};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lm.ConditionalLock(tid, oid, lock::kExclusive));
+    lm.ReleaseAll(tid);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LockAcquireRelease);
+
+void BM_SchedulerTaskTurnaround(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Scheduler sched;
+    int x = 0;
+    sched.Spawn("t", 1, 0, [&] { x = 1; });
+    sched.Run();
+    benchmark::DoNotOptimize(x);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SchedulerTaskTurnaround);
+
+void BM_SegmentReadResident(benchmark::State& state) {
+  sim::Scheduler sched;
+  sim::Substrate substrate(sched, sim::CostModel::Baseline(),
+                           sim::ArchitectureModel::Prototype());
+  sim::SimDisk disk(substrate);
+  kernel::RecoverableSegment seg(substrate, disk, 1, 8, 8);
+  seg.Read({1, 0, 8});  // fault in once
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(seg.Read({1, 0, 8}));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SegmentReadResident);
+
+void BM_LocalTransactionEndToEnd(benchmark::State& state) {
+  World world(1);
+  auto* arr = world.AddServerOf<servers::ArrayServer>(1, "a", 64u);
+  for (auto _ : state) {
+    world.RunApp(1, [&](Application& app) {
+      app.Transaction([&](const server::Tx& tx) {
+        arr->SetCell(tx, 0, 1);
+        return Status::kOk;
+      });
+    });
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LocalTransactionEndToEnd);
+
+void BM_BTreeInsertLookup(benchmark::State& state) {
+  World world(1);
+  auto* bt = world.AddServerOf<servers::BTreeServer>(1, "b", 390u);
+  int i = 0;
+  for (auto _ : state) {
+    world.RunApp(1, [&](Application& app) {
+      app.Transaction([&](const server::Tx& tx) {
+        char key[16];
+        std::snprintf(key, sizeof key, "k%07d", i % 500);
+        bt->Upsert(tx, key, "value");
+        benchmark::DoNotOptimize(bt->Lookup(tx, key));
+        return Status::kOk;
+      });
+    });
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BTreeInsertLookup);
+
+}  // namespace
+}  // namespace tabs
+
+BENCHMARK_MAIN();

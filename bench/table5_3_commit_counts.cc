@@ -1,0 +1,95 @@
+// Table 5-3: commit-protocol primitive counts.
+//
+// Runs a representative benchmark for each commit protocol (1/2/3-node x
+// read-only/write) and prints the primitives executed during commit
+// processing. The paper reports the *longest estimated execution path*
+// through the distributed system (hence the half-datagram entries for
+// parallel sends); we report measured totals alongside, and the commit
+// latency which embodies the critical path directly.
+
+#include <cstdio>
+#include <map>
+
+#include "bench/workloads.h"
+
+namespace tabs::bench {
+namespace {
+
+struct PaperRow {
+  double datagrams, small, large, pointer, stable;
+};
+
+// Transcribed from Table 5-3. Datagram entries are critical-path counts
+// (2.5 = two full + one half for the parallel second prepare).
+const std::map<std::string, PaperRow> kPaperRows = {
+    {"1 Node, Read Only", {0, 5, 0, 0, 0}},
+    {"1 Node, Write", {0, 8, 1, 0, 1}},
+    {"2 Node, Read Only", {2, 11, 1, 1, 0}},
+    {"2 Node, Write", {4, 17, 5, 1, 1}},
+    {"3 Node, Read Only", {2.5, 11, 1, 1, 0}},
+    {"3 Node, Write", {5, 17, 5, 1, 1}},
+};
+
+struct ProtocolCase {
+  std::string name;
+  BenchmarkDef def;
+};
+
+void Run() {
+  std::printf("Table 5-3: Commit Primitive Counts (per transaction)\n");
+  std::printf("%-20s | %-12s | %-12s | %-12s | %-12s | %-12s | %10s\n", "Commit protocol",
+              "datagrams", "small msg", "large msg", "pointer msg", "stable wr",
+              "commit ms");
+  std::printf("%-20s | %-12s | %-12s | %-12s | %-12s | %-12s | %10s\n", "", "paper/ours",
+              "paper/ours", "paper/ours", "paper/ours", "paper/ours", "(ours)");
+  std::printf("%.126s\n",
+              "--------------------------------------------------------------------------------"
+              "----------------------------------------------");
+
+  std::vector<ProtocolCase> cases = {
+      {"1 Node, Read Only", {"", 1, false, Paging::kNone, 1, 0, 0}},
+      {"1 Node, Write", {"", 1, true, Paging::kNone, 1, 0, 0}},
+      {"2 Node, Read Only", {"", 2, false, Paging::kNone, 1, 1, 0}},
+      {"2 Node, Write", {"", 2, true, Paging::kNone, 1, 1, 0}},
+      {"3 Node, Read Only", {"", 3, false, Paging::kNone, 1, 1, 1}},
+      {"3 Node, Write", {"", 3, true, Paging::kNone, 1, 1, 1}},
+  };
+
+  auto costs = sim::CostModel::Baseline();
+  auto arch = sim::ArchitectureModel::Prototype();
+  for (const ProtocolCase& c : cases) {
+    BenchmarkDef def = c.def;
+    def.name = c.name;
+    BenchResult r = RunBenchmark(def, costs, arch);
+    const PaperRow& p = kPaperRows.at(c.name);
+    auto cell = [&](double paper, sim::Primitive prim) {
+      char buf[32];
+      std::snprintf(buf, sizeof buf, "%.4g/%.4g", paper, r.commit.Of(prim));
+      return std::string(buf);
+    };
+    SimTime commit_us = r.commit.PredictedTime(costs);
+    std::printf("%-20s | %-12s | %-12s | %-12s | %-12s | %-12s | %10s\n", c.name.c_str(),
+                cell(p.datagrams, sim::Primitive::kDatagram).c_str(),
+                cell(p.small, sim::Primitive::kSmallMessage).c_str(),
+                cell(p.large, sim::Primitive::kLargeMessage).c_str(),
+                cell(p.pointer, sim::Primitive::kPointerMessage).c_str(),
+                cell(p.stable, sim::Primitive::kStableWrite).c_str(),
+                FormatMs(commit_us).c_str());
+  }
+  std::printf(
+      "\nPaper datagram counts are longest-path estimates (parallel sends count as\n"
+      "half); ours are measured totals — a 3-node write sends prepare/commit pairs\n"
+      "to both children, so totals exceed the critical path while latency (which the\n"
+      "scheduler computes from actual overlap) tracks the paper's path analysis.\n"
+      "The paper charges participants' prepare forces to the remote node; our\n"
+      "stable-write column likewise counts only coordinator-side forces; remote\n"
+      "forces overlap the coordinator's wait and appear in commit latency instead.\n");
+}
+
+}  // namespace
+}  // namespace tabs::bench
+
+int main() {
+  tabs::bench::Run();
+  return 0;
+}

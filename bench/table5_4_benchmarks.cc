@@ -1,0 +1,201 @@
+// Table 5-4: benchmark times.
+//
+// For each of the fourteen benchmarks, prints:
+//   * the paper's System Time Predicted by Primitives and Measured Elapsed
+//     Time (Perq T2),
+//   * our predicted-by-primitives (the weighted sum of Section 5.1 over our
+//     measured counts) and measured elapsed virtual time,
+//   * the Improved-TABS-Architecture projection (TM/RM merged into the
+//     kernel, optimized commit) under baseline primitive times,
+//   * the New-Primitive-Times projection (improved architecture + Table 5-5
+//     achievable primitives).
+// Ends with the Section 5.2 reconciliation numbers and the Section 7
+// narrative scenarios.
+
+#include <cstdio>
+#include <map>
+
+#include "bench/workloads.h"
+#include "src/servers/array_server.h"
+#include "src/tabs/world.h"
+
+namespace tabs::bench {
+namespace {
+
+struct PaperRow {
+  double predicted_ms, measured_ms, improved_ms, new_primitives_ms;
+};
+
+const std::map<std::string, PaperRow> kPaperRows = {
+    {"1 Local Read, No Paging", {53, 110, 107, 67}},
+    {"5 Local Read, No Paging", {157, 217, 213, 80}},
+    {"1 Local Read, Seq. Paging", {71, 126, 123, 75}},
+    {"1 Local Read, Random Paging", {81, 140, 137, 98}},
+    {"1 Local Write, No Paging", {156, 247, 228, 136}},
+    {"5 Local Write, No Paging", {302, 467, 424, 225}},
+    {"1 Local Write, Seq. Paging", {232, 371, 345, 249}},
+    {"1 Lcl Rd, 1 Rem Rd, No Paging", {306, 469, 459, 228}},
+    {"1 Lcl Rd, 5 Rem Rd, No Paging", {662, 829, 819, 268}},
+    {"1 Lcl Rd, 1 Rem Rd, Seq. Paging", {341, 514, 504, 257}},
+    {"1 Lcl Wr, 1 Rem Wr, No Paging", {697, 989, 775, 442}},
+    {"1 Lcl Wr, 1 Rem Wr, Seq. Paging", {864, 1125, 873, 539}},
+    {"1 Lcl Rd, 1 Rem Rd, 1 Rem Rd, NP", {416, 621, 611, 282}},
+    {"1 Lcl Wr, 1 Rem Wr, 1 Rem Wr, NP", {831, 1200, 968, 534}},
+};
+
+void RunMainTable() {
+  std::printf("Table 5-4: Benchmark Times (milliseconds)\n");
+  std::printf("%-34s | %-13s | %-13s | %-13s | %-13s\n", "Benchmark", "predicted",
+              "measured", "improved arch", "new primitives");
+  std::printf("%-34s | %-13s | %-13s | %-13s | %-13s\n", "", "paper/ours", "paper/ours",
+              "paper/ours", "paper/ours");
+  std::printf("%.110s\n",
+              "--------------------------------------------------------------------------------"
+              "------------------------------");
+
+  for (const BenchmarkDef& def : PaperBenchmarks()) {
+    BenchResult base = RunBenchmark(def, sim::CostModel::Baseline(),
+                                    sim::ArchitectureModel::Prototype());
+    BenchResult improved = RunBenchmark(def, sim::CostModel::Baseline(),
+                                        sim::ArchitectureModel::Improved());
+    BenchResult achievable = RunBenchmark(def, sim::CostModel::Achievable(),
+                                          sim::ArchitectureModel::Improved());
+    const PaperRow& p = kPaperRows.at(def.name);
+    auto cell = [](double paper_ms, SimTime ours_us) {
+      char buf[32];
+      std::snprintf(buf, sizeof buf, "%.0f/%.0f", paper_ms,
+                    static_cast<double>(ours_us) / 1000.0);
+      return std::string(buf);
+    };
+    std::printf("%-34s | %-13s | %-13s | %-13s | %-13s\n", def.name.c_str(),
+                cell(p.predicted_ms, base.predicted_us).c_str(),
+                cell(p.measured_ms, base.elapsed_us).c_str(),
+                cell(p.improved_ms, improved.elapsed_us).c_str(),
+                cell(p.new_primitives_ms, achievable.elapsed_us).c_str());
+  }
+  std::printf(
+      "\nOur substrate charges exactly the primitive-operation times, so our measured\n"
+      "column tracks the paper's *predicted* column (the paper's measured column adds\n"
+      "TABS process CPU time that its prediction did not model). Shape checks: writes\n"
+      "cost more than reads (stable-storage force), remote ops add ~100ms+ each,\n"
+      "2-node writes roughly double 2-node reads, the improved architecture mainly\n"
+      "helps distributed writes (phase two leaves the critical path), and achievable\n"
+      "primitives give the paper's ~4-10x headroom claim.\n");
+}
+
+void RunReconciliation() {
+  std::printf("\nSection 5.2 reconciliation (paper -> ours)\n");
+  BenchmarkDef read_def{"read", 1, false, Paging::kNone, 1, 0, 0};
+  BenchmarkDef write_def{"write", 1, true, Paging::kNone, 1, 0, 0};
+  BenchResult r = RunBenchmark(read_def, sim::CostModel::Baseline(),
+                               sim::ArchitectureModel::Prototype());
+  BenchResult w = RunBenchmark(write_def, sim::CostModel::Baseline(),
+                               sim::ArchitectureModel::Prototype());
+  std::printf("  local read elapsed:        paper 110 ms -> ours %s ms\n",
+              FormatMs(r.elapsed_us).c_str());
+  std::printf("  read -> write delta:       paper 137 ms -> ours %s ms\n",
+              FormatMs(w.elapsed_us - r.elapsed_us).c_str());
+  std::printf("  ...of which stable write:  paper  78 ms -> ours %s ms\n",
+              FormatMs(static_cast<SimTime>(
+                  (w.commit.Of(sim::Primitive::kStableWrite) -
+                   r.commit.Of(sim::Primitive::kStableWrite)) *
+                  static_cast<double>(
+                      sim::CostModel::Baseline().Of(sim::Primitive::kStableWrite))))
+                  .c_str());
+  std::printf("  TABS process time (elapsed - predicted, read): paper 41+16 ms -> ours %s ms\n",
+              FormatMs(r.elapsed_us - r.predicted_us).c_str());
+  std::printf("  (the paper attributes 41 ms to TM+RM, ~7 ms to app/server startup and\n");
+  std::printf("  commit, and 9 ms its analysis 'does not account for'; our process-CPU\n");
+  std::printf("  model charges exactly that sum). The paper's 4%%/10%% two-node\n");
+  std::printf("  reconciliation gap came from double-counted Communication Manager CPU,\n");
+  std::printf("  which the virtual-time substrate does not double count.\n");
+}
+
+// Where the milliseconds go: the distributed performance monitor's timeline
+// for one two-node write — the instrument behind the paper's Section 5.2
+// decomposition ("36 msec in the Transaction Manager, 5 msec in the
+// Recovery Manager...").
+void RunTimelineDemo() {
+  std::printf("\nPrimitive timeline of one 2-node write transaction (monitor output)\n");
+  World world(2);
+  auto* local = world.AddServerOf<servers::ArrayServer>(1, "l", 16u);
+  auto* remote = world.AddServerOf<servers::ArrayServer>(2, "r", 16u);
+  world.RunApp(1, [&](Application& app) {
+    app.Transaction([&](const server::Tx& tx) {  // warm-up
+      local->SetCell(tx, 0, 1);
+      remote->SetCell(tx, 0, 1);
+      return Status::kOk;
+    });
+    world.substrate().tracer().Enable(true);
+    app.Transaction([&](const server::Tx& tx) {
+      local->SetCell(tx, 0, 2);
+      remote->SetCell(tx, 0, 2);
+      return Status::kOk;
+    });
+  });
+  std::printf("%s", world.substrate().tracer().Timeline().c_str());
+}
+
+void RunSection7Scenarios() {
+  std::printf("\nSection 7 narrative scenarios\n");
+  // "about two seconds ... for a local transaction that invokes five
+  // operations, each of which updates two pages that are not in memory."
+  {
+    WorldOptions options;
+    World world(1, options);
+    auto* arr = world.AddServerOf<servers::ArrayServer>(1, "arr", 5000u * 128u, 64u);
+    SimTime elapsed = 0;
+    world.RunApp(1, [&](Application& app) {
+      std::uint32_t page = 0;
+      app.Transaction([&](const server::Tx& tx) {  // warmup
+        arr->SetCell(tx, (page++) * 128, 1);
+        return Status::kOk;
+      });
+      SimTime t0 = world.scheduler().Now();
+      app.Transaction([&](const server::Tx& tx) {
+        for (int op = 0; op < 5; ++op) {
+          // Each operation touches two non-resident pages (random faults).
+          arr->SetCell(tx, (1000 + page * 7 + op * 2) * 128, op);
+          arr->SetCell(tx, (3000 + page * 11 + op * 2 + 1) * 128, op);
+        }
+        return Status::kOk;
+      });
+      elapsed = world.scheduler().Now() - t0;
+    });
+    std::printf("  5 ops x 2 non-resident pages: paper ~2000 ms -> ours %s ms\n",
+                FormatMs(elapsed).c_str());
+  }
+  {
+    WorldOptions options;
+    World world(1, options);
+    auto* arr = world.AddServerOf<servers::ArrayServer>(1, "arr", 2048u);
+    SimTime elapsed = 0;
+    world.RunApp(1, [&](Application& app) {
+      app.Transaction([&](const server::Tx& tx) {
+        arr->SetCell(tx, 0, 1);
+        return Status::kOk;
+      });
+      SimTime t0 = world.scheduler().Now();
+      app.Transaction([&](const server::Tx& tx) {
+        for (int op = 0; op < 10; ++op) {
+          arr->SetCell(tx, static_cast<std::uint32_t>(op), op);
+        }
+        return Status::kOk;
+      });
+      elapsed = world.scheduler().Now() - t0;
+    });
+    std::printf("  same transaction, data resident: paper ~500 ms -> ours %s ms\n",
+                FormatMs(elapsed).c_str());
+  }
+}
+
+}  // namespace
+}  // namespace tabs::bench
+
+int main() {
+  tabs::bench::RunMainTable();
+  tabs::bench::RunReconciliation();
+  tabs::bench::RunTimelineDemo();
+  tabs::bench::RunSection7Scenarios();
+  return 0;
+}

@@ -1,0 +1,100 @@
+// Throughput methodology (paper Section 7: "we would like to develop a
+// performance methodology for measuring and predicting throughput").
+//
+// N concurrent application tasks run transactions against one node for a
+// fixed virtual-time window; the table reports committed transactions per
+// virtual second and the abort (lock-timeout) count, for three workloads:
+//   * spread writes  — each client owns a cell: no lock conflicts; total
+//     throughput is bounded by resource costs, not synchronization;
+//   * hot-spot writes — every client updates the same cell with exclusive
+//     locks: strict serialization, throughput flat, timeouts appear as the
+//     queue outgrows the lock timeout;
+//   * remote writes  — each transaction updates a remote cell too, so
+//     clients overlap their waiting on each other and aggregate throughput
+//     exceeds a single client's.
+
+#include <cstdio>
+
+#include "src/servers/array_server.h"
+#include "src/tabs/world.h"
+
+namespace tabs {
+namespace {
+
+constexpr SimTime kWindow = 20'000'000;  // 20 virtual seconds
+
+struct Outcome {
+  int committed = 0;
+  int aborted = 0;
+  double per_second() const { return committed / (kWindow / 1'000'000.0); }
+};
+
+enum class Workload { kSpread, kHotSpot, kRemote };
+
+Outcome Run(Workload workload, int clients) {
+  int nodes = workload == Workload::kRemote ? 2 : 1;
+  World world(nodes);
+  auto* local = world.AddServerOf<servers::ArrayServer>(1, "local", 64u);
+  servers::ArrayServer* remote = nullptr;
+  if (nodes == 2) {
+    remote = world.AddServerOf<servers::ArrayServer>(2, "remote", 64u);
+  }
+  Outcome out;
+  for (int c = 0; c < clients; ++c) {
+    world.SpawnApp(1, "client", [&, c](Application& app) {
+      while (world.scheduler().Now() < kWindow) {
+        Status s = app.Transaction([&](const server::Tx& tx) {
+          std::uint32_t cell =
+              workload == Workload::kHotSpot ? 0 : static_cast<std::uint32_t>(c);
+          Status w = local->SetCell(tx, cell, 1);
+          if (w != Status::kOk) {
+            return w;
+          }
+          if (remote != nullptr) {
+            return remote->SetCell(tx, cell, 1);
+          }
+          return Status::kOk;
+        });
+        if (s == Status::kOk) {
+          ++out.committed;
+        } else {
+          ++out.aborted;
+        }
+      }
+    }, c * 1'000);
+  }
+  world.Drain();
+  return out;
+}
+
+void Run() {
+  std::printf("Throughput: committed transactions per virtual second (%d s window)\n",
+              static_cast<int>(kWindow / 1'000'000));
+  std::printf("%-9s | %-18s | %-18s | %-18s\n", "", "spread writes", "hot-spot writes",
+              "2-node writes");
+  std::printf("%-9s | %10s %7s | %10s %7s | %10s %7s\n", "clients", "txn/s", "aborts",
+              "txn/s", "aborts", "txn/s", "aborts");
+  std::printf("%.72s\n",
+              "------------------------------------------------------------------------");
+  for (int clients : {1, 2, 4, 8, 16}) {
+    Outcome spread = Run(Workload::kSpread, clients);
+    Outcome hot = Run(Workload::kHotSpot, clients);
+    Outcome remote = Run(Workload::kRemote, clients);
+    std::printf("%-9d | %10.1f %7d | %10.1f %7d | %10.1f %7d\n", clients,
+                spread.per_second(), spread.aborted, hot.per_second(), hot.aborted,
+                remote.per_second(), remote.aborted);
+  }
+  std::printf(
+      "\nSpread and hot-spot throughput coincide at one client and diverge with\n"
+      "contention: exclusive hot-spot locks serialize (and eventually time out)\n"
+      "while spread writes scale with available overlap. Distributed transactions\n"
+      "let clients overlap each other's remote waits.\n");
+}
+
+}  // namespace
+}  // namespace tabs
+
+int main() {
+  tabs::Run();
+  return 0;
+}

@@ -1,0 +1,128 @@
+// Ablation: type-specific locking vs standard shared/exclusive locking
+// (Sections 2.1.2 and 4.6).
+//
+// The same hot-spot workload — N concurrent transactions updating one
+// account, each holding its lock across some think time — run twice:
+//   * on the AccountServer, whose increment/decrement modes commute;
+//   * on the integer array server, whose exclusive locks serialize.
+// The makespan (virtual time until every transaction finishes) and the
+// abort/timeout count show why "many interesting data servers are difficult,
+// if not impossible, to build using traditional read/write locking" and what
+// typed modes buy.
+
+#include <cstdio>
+
+#include "src/servers/account_server.h"
+#include "src/servers/array_server.h"
+#include "src/tabs/world.h"
+
+namespace tabs {
+namespace {
+
+constexpr SimTime kThinkTime = 200'000;  // 200 ms inside the transaction
+
+struct Outcome {
+  SimTime makespan_us = 0;
+  int committed = 0;
+  int failed = 0;
+};
+
+Outcome RunTyped(int clients) {
+  World world(1);
+  auto* acct = world.AddServerOf<servers::AccountServer>(1, "acct", 4u);
+  Outcome out;
+  world.RunApp(1, [&](Application& app) {
+    app.Transaction([&](const server::Tx& tx) { return acct->Deposit(tx, 0, 1'000'000); });
+  });
+  SimTime end_max = 0;
+  for (int i = 0; i < clients; ++i) {
+    world.SpawnApp(1, "client", [&, i](Application& app) {
+      Status s = app.Transaction([&](const server::Tx& tx) {
+        Status d = acct->Deposit(tx, 0, 1);
+        if (d != Status::kOk) {
+          return d;
+        }
+        world.scheduler().Charge(kThinkTime);
+        world.scheduler().Yield();  // let concurrent clients run
+        return acct->Withdraw(tx, 0, 1);
+      });
+      if (s == Status::kOk) {
+        ++out.committed;
+      } else {
+        ++out.failed;
+      }
+      end_max = std::max(end_max, world.scheduler().Now());
+    }, i * 1'000);
+  }
+  world.Drain();
+  out.makespan_us = end_max;
+  return out;
+}
+
+Outcome RunReadWrite(int clients) {
+  World world(1);
+  auto* arr = world.AddServerOf<servers::ArrayServer>(1, "arr", 4u);
+  Outcome out;
+  world.RunApp(1, [&](Application& app) {
+    app.Transaction([&](const server::Tx& tx) { return arr->SetCell(tx, 0, 1'000'000); });
+  });
+  SimTime end_max = 0;
+  for (int i = 0; i < clients; ++i) {
+    world.SpawnApp(1, "client", [&, i](Application& app) {
+      Status s = app.Transaction([&](const server::Tx& tx) {
+        auto v = arr->GetCell(tx, 0);
+        if (!v.ok()) {
+          return v.status();
+        }
+        Status w = arr->SetCell(tx, 0, v.value() + 1);
+        if (w != Status::kOk) {
+          return w;
+        }
+        world.scheduler().Charge(kThinkTime);
+        world.scheduler().Yield();  // let concurrent clients run
+        return arr->SetCell(tx, 0, v.value());
+      });
+      if (s == Status::kOk) {
+        ++out.committed;
+      } else {
+        ++out.failed;
+      }
+      end_max = std::max(end_max, world.scheduler().Now());
+    }, i * 1'000);
+  }
+  world.Drain();
+  out.makespan_us = end_max;
+  return out;
+}
+
+void Run() {
+  std::printf("Typed-locking ablation: hot-spot account, %d ms think time per txn\n",
+              static_cast<int>(kThinkTime / 1000));
+  std::printf("%-9s | %-28s | %-28s\n", "", "typed (increment/decrement)",
+              "standard (shared/exclusive)");
+  std::printf("%-9s | %12s %7s %7s | %12s %7s %7s\n", "clients", "makespan ms",
+              "commit", "fail", "makespan ms", "commit", "fail");
+  std::printf("%.75s\n",
+              "---------------------------------------------------------------------------");
+  for (int clients : {2, 4, 8, 16}) {
+    Outcome typed = RunTyped(clients);
+    Outcome rw = RunReadWrite(clients);
+    std::printf("%-9d | %12.0f %7d %7d | %12.0f %7d %7d\n", clients,
+                typed.makespan_us / 1000.0, typed.committed, typed.failed,
+                rw.makespan_us / 1000.0, rw.committed, rw.failed);
+  }
+  std::printf(
+      "\nCommuting increment/decrement modes let every client hold its lock through\n"
+      "the think time concurrently: the makespan stays nearly flat. Exclusive locks\n"
+      "serialize the think times (or time out under contention), so the makespan\n"
+      "grows with the client count — the concurrency argument for type-specific\n"
+      "locking in Sections 2.1.2/4.6.\n");
+}
+
+}  // namespace
+}  // namespace tabs
+
+int main() {
+  tabs::Run();
+  return 0;
+}

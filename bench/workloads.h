@@ -1,0 +1,55 @@
+// The paper's benchmark suite (Section 5.1): fourteen single-transaction
+// workloads over the integer array server, designed to expose the four
+// dimensions of system behaviour — read vs write, no/sequential/random
+// paging, single vs multiple operations, and one/two/three nodes.
+//
+// RunBenchmark executes a workload repeatedly on a fresh World under a given
+// cost/architecture model, discards warm-up transients (the paper discarded
+// start/end transients too), and reports steady-state per-transaction
+// primitive counts (pre-commit and commit buckets, Tables 5-2/5-3) plus
+// average elapsed virtual time (Table 5-4).
+
+#ifndef TABS_BENCH_WORKLOADS_H_
+#define TABS_BENCH_WORKLOADS_H_
+
+#include <string>
+#include <vector>
+
+#include "src/sim/cost_model.h"
+#include "src/sim/metrics.h"
+
+namespace tabs::bench {
+
+enum class Paging { kNone, kSequential, kRandom };
+
+struct BenchmarkDef {
+  std::string name;
+  int nodes = 1;          // 1, 2 or 3 (node 1 hosts the application)
+  bool write = false;
+  Paging paging = Paging::kNone;
+  int local_ops = 1;      // operations on the node-1 array
+  int remote_ops = 0;     // operations on the node-2 array
+  int third_node_ops = 0; // operations on the node-3 array
+};
+
+// The fourteen benchmarks, in the paper's Table 5-2/5-4 order.
+std::vector<BenchmarkDef> PaperBenchmarks();
+
+struct BenchResult {
+  sim::PrimitiveCounts precommit;       // per transaction, steady state
+  sim::PrimitiveCounts commit;
+  SimTime elapsed_us = 0;               // average per transaction
+  SimTime predicted_us = 0;             // weighted primitive sum (Section 5.1)
+};
+
+BenchResult RunBenchmark(const BenchmarkDef& def, const sim::CostModel& costs,
+                         const sim::ArchitectureModel& arch, int iterations = 24,
+                         int warmup = 12);
+
+// Formatting helpers shared by the table binaries.
+std::string FormatMs(SimTime us);
+std::string FormatCount(double c);
+
+}  // namespace tabs::bench
+
+#endif  // TABS_BENCH_WORKLOADS_H_

@@ -1,0 +1,96 @@
+// The Figure 4-1 bank: accounts in an integer array server, a recoverable
+// display through the IO server. Reproduces the paper's screenshot scenario:
+//
+//   area 1: a deposit that committed          -> rendered [black]
+//   area 2: a withdrawal interrupted by a node crash -> rendered [struck]
+//   area 3: a withdrawal still in progress    -> rendered [gray]
+//
+// "Users know that an operation has not really happened until its output is
+// displayed in black."
+
+#include <cstdio>
+
+#include "src/servers/array_server.h"
+#include "src/servers/io_server.h"
+#include "src/tabs/world.h"
+
+using namespace tabs;  // NOLINT: example brevity
+using servers::ArrayServer;
+using servers::IoServer;
+
+namespace {
+
+constexpr std::uint32_t kChecking = 0;
+
+Status Deposit(Application& app, ArrayServer* accounts, IoServer* io, int amount) {
+  return app.Transaction([&](const server::Tx& tx) {
+    auto area = io->ObtainIOArea(tx);
+    if (!area.ok()) {
+      return area.status();
+    }
+    auto balance = accounts->GetCell(tx, kChecking);
+    if (!balance.ok()) {
+      return balance.status();
+    }
+    accounts->SetCell(tx, kChecking, balance.value() + amount);
+    char line[80];
+    std::snprintf(line, sizeof line, "deposited %d dollars to checking", amount);
+    return io->WriteLnToArea(tx, area.value(), line);
+  });
+}
+
+}  // namespace
+
+int main() {
+  World world(2);
+  ArrayServer* accounts = world.AddServerOf<ArrayServer>(1, "accounts", 16u);
+  IoServer* io = world.AddServerOf<IoServer>(1, "display", 4u);
+
+  // Area one: a successful deposit (displayed black).
+  world.RunApp(1, [&](Application& app) {
+    Deposit(app, accounts, io, 35);
+  });
+
+  // Area two: "the user attempted to withdraw 80 dollars... but the node
+  // failed during the transaction, causing it to abort."
+  world.RunApp(1, [&](Application& app) {
+    TransactionId t = app.Begin();
+    server::Tx tx = app.MakeTx(t);
+    auto area = io->ObtainIOArea(tx);
+    io->WriteLnToArea(tx, area.value(), "withdraw 80 dollars from checking");
+    auto balance = accounts->GetCell(tx, kChecking);
+    accounts->SetCell(tx, kChecking, balance.value() - 80);
+    world.rm(1).log().ForceAll();
+    world.CrashNode(1);  // the node fails mid-transaction
+  });
+  world.RunApp(2, [&](Application& app) {
+    // "The IO server restored the screen when the system became available."
+    world.RecoverNode(1);
+  });
+  accounts = world.Server<ArrayServer>(1, "accounts");
+  io = world.Server<IoServer>(1, "display");
+
+  // Area three: the user "is currently trying again" — leave a withdrawal in
+  // progress (displayed gray) while we snapshot the screen.
+  world.RunApp(1, [&](Application& app) {
+    io->TypeInput(2, "80");
+    TransactionId t = app.Begin();
+    server::Tx tx = app.MakeTx(t);
+    auto area = io->ObtainIOArea(tx);
+    io->WriteLnToArea(tx, area.value(), "withdraw how much from checking?");
+    auto amount = io->ReadLineFromArea(tx, area.value());
+    (void)amount;
+
+    std::printf("================ display ================\n%s",
+                io->RenderScreen().c_str());
+    std::printf("=========================================\n");
+
+    app.Transaction([&](const server::Tx& tx2) {
+      std::printf("checking balance: %d (the crashed withdrawal never happened)\n",
+                  accounts->GetCell(tx2, kChecking).value());
+      return Status::kOk;
+    });
+    app.Abort(t);  // tidy up the in-progress demo transaction
+  });
+  return 0;
+}

@@ -1,0 +1,35 @@
+#include "src/comm/comm_manager.h"
+
+namespace tabs::comm {
+
+void CommManager::NoteChild(const TransactionId& tid, NodeId child) {
+  if (child == self_) {
+    return;
+  }
+  TreeInfo& info = trees_[tid];
+  if (info.children.insert(child).second) {
+    // First contact with this node for this transaction: the CM informs the
+    // Transaction Manager (one small local message) and records the child.
+    network_.substrate().Charge(sim::Primitive::kSmallMessage, 1);
+    if (listener_ != nullptr) {
+      listener_->OnRemoteChildJoined(tid, child);
+    }
+  }
+}
+
+void CommManager::NoteParent(const TransactionId& tid, NodeId parent) {
+  if (parent == self_) {
+    return;
+  }
+  TreeInfo& info = trees_[tid];
+  if (info.parent == kInvalidNode && !info.initiated_remotely) {
+    info.parent = parent;
+    info.initiated_remotely = true;
+    network_.substrate().Charge(sim::Primitive::kSmallMessage, 1);
+    if (listener_ != nullptr) {
+      listener_->OnRemoteParentObserved(tid, parent);
+    }
+  }
+}
+
+}  // namespace tabs::comm

@@ -1,0 +1,107 @@
+// The per-node Communication Manager.
+//
+// Beyond moving messages, the Communication Manager "scans any transaction
+// identifiers included in messages and is responsible for constructing the
+// local portion of the spanning tree that the Transaction Manager uses
+// during two-phase commit. In particular [it] records the node's parent,
+// whether the transaction was initiated by a remote node, and the list of
+// all the node's children." (Section 3.2.4.)
+//
+// A node A becomes the parent of node B for transaction T iff A was the
+// first node to invoke an operation on behalf of T on B (Section 3.2.3).
+// RemoteCall maintains exactly that relation on both ends and notifies the
+// local Transaction Manager the first time remote sites become involved.
+
+#ifndef TABS_COMM_COMM_MANAGER_H_
+#define TABS_COMM_COMM_MANAGER_H_
+
+#include <map>
+#include <set>
+#include <string>
+
+#include "src/comm/network.h"
+#include "src/common/types.h"
+
+namespace tabs::comm {
+
+// How the Communication Manager informs the Transaction Manager that remote
+// sites joined a transaction (the second progress message of Section 3.2.3)
+// and that a remote parent initiated a transaction here.
+class TransactionTreeListener {
+ public:
+  virtual ~TransactionTreeListener() = default;
+  // First inter-node message sent on behalf of `tid` from this node.
+  virtual void OnRemoteChildJoined(const TransactionId& tid, NodeId child) = 0;
+  // First inter-node message received on behalf of `tid` at this node.
+  virtual void OnRemoteParentObserved(const TransactionId& tid, NodeId parent) = 0;
+};
+
+class CommManager {
+ public:
+  CommManager(NodeId self, Network& network) : self_(self), network_(network) {}
+
+  NodeId self() const { return self_; }
+  Network& network() { return network_; }
+  void SetListener(TransactionTreeListener* listener) { listener_ = listener; }
+
+  struct TreeInfo {
+    NodeId parent = kInvalidNode;  // kInvalidNode: transaction is rooted here
+    std::set<NodeId> children;
+    bool initiated_remotely = false;
+  };
+
+  // Session RPC to a remote node on behalf of a transaction. Updates the
+  // spanning tree on both ends. `handler` runs on the destination node; its
+  // Communication Manager must be passed so the receive side is recorded.
+  template <typename R>
+  Result<R> RemoteCall(const TransactionId& tid, CommManager& remote, std::string what,
+                       std::function<R()> handler) {
+    if (!network_.Reachable(self_, remote.self_)) {
+      // The session layer detects the dead/partitioned destination before
+      // any message flows: the remote node never becomes a participant.
+      network_.substrate().Charge(sim::Primitive::kInterNodeDataServerCall);
+      return Status::kNodeDown;
+    }
+    // From here on the destination may receive state, so it joins the
+    // transaction's spanning tree even if the call later fails.
+    NoteChild(tid, remote.self_);
+    NodeId from = self_;
+    TransactionId tid_copy = tid;
+    CommManager* remote_ptr = &remote;
+    return network_.SessionCall<R>(
+        self_, remote.self_, std::move(what),
+        [remote_ptr, tid_copy, from, handler = std::move(handler)]() -> R {
+          remote_ptr->NoteParent(tid_copy, from);
+          return handler();
+        });
+  }
+
+  // Datagram on behalf of transaction management (commit protocol).
+  void SendDatagram(NodeId to, std::string what, std::function<void()> handler) {
+    network_.SendDatagram(self_, to, std::move(what), std::move(handler));
+  }
+
+  // The complete local tree info for `tid` ("The complete site list is
+  // obtained from the Communication Manager during commit processing").
+  TreeInfo InfoFor(const TransactionId& tid) const {
+    auto it = trees_.find(tid);
+    return it == trees_.end() ? TreeInfo{} : it->second;
+  }
+
+  void Forget(const TransactionId& tid) { trees_.erase(tid); }
+
+  // Direct tree updates (used by the commit protocol's own messages, which
+  // also carry transaction identifiers the CM scans).
+  void NoteChild(const TransactionId& tid, NodeId child);
+  void NoteParent(const TransactionId& tid, NodeId parent);
+
+ private:
+  NodeId self_;
+  Network& network_;
+  TransactionTreeListener* listener_ = nullptr;
+  std::map<TransactionId, TreeInfo> trees_;
+};
+
+}  // namespace tabs::comm
+
+#endif  // TABS_COMM_COMM_MANAGER_H_

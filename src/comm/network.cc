@@ -1,0 +1,48 @@
+#include "src/comm/network.h"
+
+#include <algorithm>
+
+namespace tabs::comm {
+
+void Network::SetPartitioned(NodeId a, NodeId b, bool partitioned) {
+  auto key = std::minmax(a, b);
+  if (partitioned) {
+    partitions_.insert(key);
+  } else {
+    partitions_.erase(key);
+  }
+}
+
+bool Network::Reachable(NodeId from, NodeId to) const {
+  if (!IsAlive(to) || !IsAlive(from)) {
+    return false;
+  }
+  return !partitions_.contains(std::minmax(from, to));
+}
+
+void Network::SendDatagram(NodeId from, NodeId to, std::string what,
+                           std::function<void()> handler) {
+  sim::Scheduler& sched = substrate_.scheduler();
+  substrate_.metrics().Count(sim::Primitive::kDatagram);
+  if (!Reachable(from, to) || (drop_ && drop_(from, to))) {
+    return;  // silently lost, as datagrams are
+  }
+  SimTime arrival = sched.Now() + substrate_.CostOf(sim::Primitive::kDatagram);
+  sched.Spawn(std::move(what), to, arrival, [this, to, handler = std::move(handler)] {
+    if (!IsAlive(to)) {
+      return;
+    }
+    handler();
+  });
+}
+
+void Network::Broadcast(NodeId from, std::string what, std::function<void(NodeId)> handler) {
+  for (NodeId node : alive_) {
+    if (node == from) {
+      continue;
+    }
+    SendDatagram(from, node, what, [handler, node] { handler(node); });
+  }
+}
+
+}  // namespace tabs::comm

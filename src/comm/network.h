@@ -1,0 +1,121 @@
+// The simulated network connecting TABS nodes.
+//
+// TABS uses three forms of network communication (Section 3.2.4): reliable
+// session communication for remote procedure calls, datagrams for the
+// distributed two-phase commit, and broadcasting for name lookup. This class
+// provides all three with virtual-time semantics:
+//
+//  * A session call blocks the caller, runs its handler in a task on the
+//    destination node, and resumes the caller at the handler's finish time
+//    plus transit — so remote latency composes exactly as the paper's
+//    primitive analysis assumes. Sessions deliver at-most-once and detect
+//    remote crashes (a dead or crashing destination surfaces as kNodeDown).
+//  * A datagram is fire-and-forget: the handler task starts one datagram
+//    time after the send, and the sender's clock does not advance. Loss can
+//    be injected per (from, to) pair for protocol tests.
+//  * Broadcast sends a datagram to every other live node.
+//
+// Handlers are C++ closures rather than serialized byte messages: this plays
+// the role Matchmaker-generated stubs played in TABS (packing/unpacking was
+// never protocol-visible). Handler tasks are tagged with the destination
+// node, so a node crash kills in-flight handlers exactly like process death.
+
+#ifndef TABS_COMM_NETWORK_H_
+#define TABS_COMM_NETWORK_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+
+#include "src/common/result.h"
+#include "src/common/types.h"
+#include "src/sim/substrate.h"
+
+namespace tabs::comm {
+
+class Network {
+ public:
+  static constexpr SimTime kDefaultSessionTimeout = 30'000'000;  // 30 s virtual
+
+  explicit Network(sim::Substrate& substrate) : substrate_(substrate) {}
+
+  void AddNode(NodeId id) { alive_.insert(id); }
+  bool IsAlive(NodeId id) const { return alive_.contains(id); }
+  void SetAlive(NodeId id, bool alive) {
+    if (alive) {
+      alive_.insert(id);
+    } else {
+      alive_.erase(id);
+    }
+  }
+  std::set<NodeId> LiveNodes() const { return alive_; }
+
+  void SetPartitioned(NodeId a, NodeId b, bool partitioned);
+  bool Reachable(NodeId from, NodeId to) const;
+
+  // Drop filter for datagrams: return true to drop. Cleared by passing {}.
+  void SetDatagramLoss(std::function<bool(NodeId from, NodeId to)> drop) {
+    drop_ = std::move(drop);
+  }
+
+  // --- session RPC ----------------------------------------------------------
+  // Runs `handler` on node `to` and returns its value. Charges one inter-node
+  // data-server-call primitive split across the two transits. R must be
+  // movable. On unreachable/crashed destination returns kNodeDown.
+  template <typename R>
+  Result<R> SessionCall(NodeId from, NodeId to, std::string what, std::function<R()> handler,
+                        SimTime timeout = kDefaultSessionTimeout) {
+    sim::Scheduler& sched = substrate_.scheduler();
+    if (!Reachable(from, to)) {
+      // Permanent communication failure detected by the session layer.
+      substrate_.Charge(sim::Primitive::kInterNodeDataServerCall);
+      return Status::kNodeDown;
+    }
+    substrate_.metrics().Count(sim::Primitive::kInterNodeDataServerCall);
+    if (substrate_.tracer().enabled() && sched.in_task()) {
+      substrate_.tracer().Record(sched.Now(), from,
+                                 sim::PrimitiveName(sim::Primitive::kInterNodeDataServerCall),
+                                 what);
+    }
+    SimTime half = substrate_.CostOf(sim::Primitive::kInterNodeDataServerCall) / 2;
+    sched.Charge(half);  // outbound transit
+    auto channel = std::make_shared<sim::Channel<Result<R>>>(sched);
+    sched.Spawn(std::move(what), to, sched.Now(), [this, to, half, channel,
+                                                   handler = std::move(handler)] {
+      if (!IsAlive(to)) {
+        return;  // destination died in transit; the session will time out
+      }
+      Result<R> r = handler();
+      substrate_.scheduler().Charge(half);  // return transit
+      channel->Push(std::move(r));
+    });
+    Result<R> out(Status::kNodeDown);
+    if (!channel->PopWithTimeout(timeout, &out)) {
+      return Status::kNodeDown;  // session broken: remote crash detected
+    }
+    return out;
+  }
+
+  // --- datagrams -------------------------------------------------------------
+  // Fire-and-forget. The handler runs on `to` one datagram-time later; the
+  // sender does not block and its clock does not advance.
+  void SendDatagram(NodeId from, NodeId to, std::string what, std::function<void()> handler);
+
+  // Datagram to every live node except the sender. `handler(node)` runs on
+  // each destination.
+  void Broadcast(NodeId from, std::string what, std::function<void(NodeId)> handler);
+
+  sim::Substrate& substrate() { return substrate_; }
+
+ private:
+  sim::Substrate& substrate_;
+  std::set<NodeId> alive_;
+  std::set<std::pair<NodeId, NodeId>> partitions_;  // normalized (min,max)
+  std::function<bool(NodeId, NodeId)> drop_;
+};
+
+}  // namespace tabs::comm
+
+#endif  // TABS_COMM_NETWORK_H_

@@ -1,0 +1,7 @@
+#include "src/common/bytes.h"
+
+// All of ByteWriter/ByteReader is inline; this translation unit exists so the
+// library has a home for future out-of-line helpers and so the build graph
+// stays uniform (every subsystem library has at least one .cc).
+
+namespace tabs {}

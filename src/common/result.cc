@@ -1,0 +1,33 @@
+#include "src/common/result.h"
+
+namespace tabs {
+
+const char* StatusName(Status s) {
+  switch (s) {
+    case Status::kOk:
+      return "OK";
+    case Status::kAborted:
+      return "ABORTED";
+    case Status::kTimeout:
+      return "TIMEOUT";
+    case Status::kNotFound:
+      return "NOT_FOUND";
+    case Status::kOutOfRange:
+      return "OUT_OF_RANGE";
+    case Status::kNodeDown:
+      return "NODE_DOWN";
+    case Status::kMessageLost:
+      return "MESSAGE_LOST";
+    case Status::kVoteNo:
+      return "VOTE_NO";
+    case Status::kConflict:
+      return "CONFLICT";
+    case Status::kNoQuorum:
+      return "NO_QUORUM";
+    case Status::kInternal:
+      return "INTERNAL";
+  }
+  return "UNKNOWN";
+}
+
+}  // namespace tabs

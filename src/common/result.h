@@ -1,0 +1,72 @@
+// Status codes and a lightweight Result<T> for operations that can fail.
+//
+// TABS surfaces failures as statuses rather than exceptions: a transaction
+// that times out waiting for a lock, a vote of "no" during two-phase commit,
+// and a crashed remote node all come back through these codes.
+
+#ifndef TABS_COMMON_RESULT_H_
+#define TABS_COMMON_RESULT_H_
+
+#include <cassert>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace tabs {
+
+enum class Status {
+  kOk = 0,
+  // The transaction was aborted (by the user, by a peer, or by recovery).
+  kAborted,
+  // A lock wait exceeded its timeout; TABS uses timeouts to break deadlock
+  // (Section 2.1.2). The waiting transaction should abort.
+  kTimeout,
+  // The named object / name-server entry does not exist.
+  kNotFound,
+  // An argument is out of range (e.g. the array server's IndexOutOfRange).
+  kOutOfRange,
+  // The target node is crashed or unreachable.
+  kNodeDown,
+  // A datagram was lost (only when the network is configured lossy).
+  kMessageLost,
+  // A participant voted no during two-phase commit.
+  kVoteNo,
+  // The operation conflicts with system state (duplicate name, queue full...).
+  kConflict,
+  // Not enough replicas reachable to form a quorum (replicated directory).
+  kNoQuorum,
+  // Internal invariant violation; indicates a bug, not an expected outcome.
+  kInternal,
+};
+
+const char* StatusName(Status s);
+
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}            // NOLINT: implicit by design
+  Result(Status status) : value_(status) {                 // NOLINT: implicit by design
+    assert(status != Status::kOk && "use Result(T) for success");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(value_); }
+  Status status() const {
+    return ok() ? Status::kOk : std::get<Status>(value_);
+  }
+  const T& value() const {
+    assert(ok());
+    return std::get<T>(value_);
+  }
+  T& value() {
+    assert(ok());
+    return std::get<T>(value_);
+  }
+  T value_or(T fallback) const { return ok() ? std::get<T>(value_) : std::move(fallback); }
+
+ private:
+  std::variant<T, Status> value_;
+};
+
+}  // namespace tabs
+
+#endif  // TABS_COMMON_RESULT_H_

@@ -1,0 +1,29 @@
+#include "src/common/types.h"
+
+#include <sstream>
+
+namespace tabs {
+
+std::string ToString(const TransactionId& tid) {
+  std::ostringstream os;
+  if (tid.IsNull()) {
+    os << "T(null)";
+  } else {
+    os << "T(" << tid.node << "." << tid.sequence << ")";
+  }
+  return os.str();
+}
+
+std::string ToString(const ObjectId& oid) {
+  std::ostringstream os;
+  os << "obj(" << oid.segment << ":" << oid.offset << "+" << oid.length << ")";
+  return os.str();
+}
+
+std::string ToString(const PageId& pid) {
+  std::ostringstream os;
+  os << "page(" << pid.segment << ":" << pid.page << ")";
+  return os.str();
+}
+
+}  // namespace tabs

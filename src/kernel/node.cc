@@ -1,0 +1,11 @@
+#include "src/kernel/node.h"
+
+namespace tabs::kernel {
+
+Node::Node(NodeId id, sim::Substrate& substrate)
+    : id_(id),
+      substrate_(substrate),
+      disk_(std::make_unique<sim::SimDisk>(substrate)),
+      stable_log_(std::make_unique<log::StableLogDevice>()) {}
+
+}  // namespace tabs::kernel

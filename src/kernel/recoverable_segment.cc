@@ -1,0 +1,173 @@
+#include "src/kernel/recoverable_segment.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace tabs::kernel {
+
+RecoverableSegment::RecoverableSegment(sim::Substrate& substrate, sim::SimDisk& disk,
+                                       SegmentId id, PageNumber pages, size_t buffer_frames)
+    : substrate_(substrate), disk_(disk), id_(id), page_count_(pages),
+      buffer_frames_(buffer_frames) {
+  assert(buffer_frames_ >= 2 && "need at least two frames for objects spanning a page edge");
+  disk_.EnsureSegment(id, pages);
+}
+
+void RecoverableSegment::CheckBounds(const ObjectId& oid) const {
+  assert(oid.segment == id_);
+  assert(oid.offset + oid.length <= size_bytes() && "object outside segment");
+}
+
+RecoverableSegment::Frame& RecoverableSegment::FaultIn(PageNumber page) {
+  auto it = frames_.find(page);
+  if (it != frames_.end()) {
+    it->second.lru_tick = ++lru_clock_;
+    return it->second;
+  }
+  while (frames_.size() >= buffer_frames_) {
+    EvictOne();
+  }
+  Frame frame;
+  frame.data.resize(kPageSize);
+  // A fault on the page after the previous fault is a sequential read; any
+  // other pattern pays a seek (Section 5.1's two paged-I/O primitives).
+  bool sequential = page == last_faulted_ + 1;
+  disk_.ReadPage({id_, page}, frame.data.data(), sequential);
+  last_faulted_ = page;
+  ++faults_;
+  frame.lru_tick = ++lru_clock_;
+  auto [pos, inserted] = frames_.emplace(page, std::move(frame));
+  assert(inserted);
+  return pos->second;
+}
+
+void RecoverableSegment::EvictOne() {
+  PageNumber victim = 0;
+  std::uint64_t best = UINT64_MAX;
+  bool found = false;
+  for (auto& [page, frame] : frames_) {
+    if (frame.pin_count > 0) {
+      continue;  // pinned pages are never stolen
+    }
+    if (frame.lru_tick < best) {
+      best = frame.lru_tick;
+      victim = page;
+      found = true;
+    }
+  }
+  assert(found && "buffer pool exhausted by pinned pages");
+  Frame& frame = frames_[victim];
+  if (frame.dirty) {
+    WriteBack(victim, frame);
+  }
+  frames_.erase(victim);
+}
+
+void RecoverableSegment::WriteBack(PageNumber page, Frame& frame) {
+  std::uint64_t seqno = frame.last_lsn;
+  if (hooks_ != nullptr) {
+    // "The kernel does not write the page until it receives a message from
+    // the Recovery Manager indicating that all log records that apply to
+    // this page have been written to non-volatile storage." (§3.2.1)
+    seqno = hooks_->BeforePageWrite({id_, page}, frame.last_lsn);
+  }
+  disk_.WritePage({id_, page}, frame.data.data(), seqno);
+  frame.dirty = false;
+  frame.recovery_lsn = kNullLsn;
+  if (hooks_ != nullptr) {
+    hooks_->AfterPageWrite({id_, page}, true);
+  }
+}
+
+void RecoverableSegment::Read(const ObjectId& oid, std::uint8_t* out) {
+  CheckBounds(oid);
+  std::uint32_t copied = 0;
+  for (PageNumber p = oid.FirstPage(); p <= oid.LastPage(); ++p) {
+    Frame& frame = FaultIn(p);
+    std::uint32_t page_start = p * kPageSize;
+    std::uint32_t from = std::max(oid.offset, page_start) - page_start;
+    std::uint32_t to = std::min(oid.offset + oid.length, page_start + kPageSize) - page_start;
+    std::memcpy(out + copied, frame.data.data() + from, to - from);
+    copied += to - from;
+  }
+  assert(copied == oid.length);
+}
+
+Bytes RecoverableSegment::Read(const ObjectId& oid) {
+  Bytes out(oid.length);
+  Read(oid, out.data());
+  return out;
+}
+
+void RecoverableSegment::Write(const ObjectId& oid, const std::uint8_t* data, Lsn lsn) {
+  CheckBounds(oid);
+  std::uint32_t copied = 0;
+  for (PageNumber p = oid.FirstPage(); p <= oid.LastPage(); ++p) {
+    Frame& frame = FaultIn(p);
+    std::uint32_t page_start = p * kPageSize;
+    std::uint32_t from = std::max(oid.offset, page_start) - page_start;
+    std::uint32_t to = std::min(oid.offset + oid.length, page_start + kPageSize) - page_start;
+    std::memcpy(frame.data.data() + from, data + copied, to - from);
+    copied += to - from;
+    if (!frame.dirty) {
+      frame.dirty = true;
+      frame.recovery_lsn = lsn;
+      if (hooks_ != nullptr) {
+        hooks_->OnFirstDirty({id_, p}, lsn);
+      }
+    }
+    frame.last_lsn = std::max(frame.last_lsn, lsn);
+  }
+  assert(copied == oid.length);
+}
+
+void RecoverableSegment::Pin(const ObjectId& oid) {
+  CheckBounds(oid);
+  for (PageNumber p = oid.FirstPage(); p <= oid.LastPage(); ++p) {
+    FaultIn(p).pin_count++;
+  }
+}
+
+void RecoverableSegment::Unpin(const ObjectId& oid) {
+  CheckBounds(oid);
+  for (PageNumber p = oid.FirstPage(); p <= oid.LastPage(); ++p) {
+    auto it = frames_.find(p);
+    assert(it != frames_.end() && it->second.pin_count > 0 && "unpin of unpinned page");
+    it->second.pin_count--;
+  }
+}
+
+void RecoverableSegment::UnpinAll() {
+  for (auto& [page, frame] : frames_) {
+    frame.pin_count = 0;
+  }
+}
+
+bool RecoverableSegment::IsPinned(PageNumber page) const {
+  auto it = frames_.find(page);
+  return it != frames_.end() && it->second.pin_count > 0;
+}
+
+void RecoverableSegment::FlushAll() {
+  for (auto& [page, frame] : frames_) {
+    if (frame.dirty) {
+      WriteBack(page, frame);
+    }
+  }
+}
+
+std::map<PageNumber, Lsn> RecoverableSegment::DirtyPages() const {
+  std::map<PageNumber, Lsn> out;
+  for (const auto& [page, frame] : frames_) {
+    if (frame.dirty) {
+      out[page] = frame.recovery_lsn;
+    }
+  }
+  return out;
+}
+
+std::uint64_t RecoverableSegment::DiskSequenceNumber(PageNumber page) {
+  return disk_.ReadSequenceNumber({id_, page});
+}
+
+}  // namespace tabs::kernel

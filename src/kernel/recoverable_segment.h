@@ -1,0 +1,133 @@
+// Recoverable segments: disk files mapped into a data server's memory.
+//
+// "The failure atomic and/or permanent data stored by data servers are
+// stored in disk files that are mapped into virtual memory... the kernel's
+// paging system updates a recoverable segment directly instead of updating
+// paging storage." (Section 3.2.1.)
+//
+// This class reproduces the modified Accent kernel's behaviour:
+//  * demand paging with a bounded buffer pool ("volatile storage"); faults
+//    charge the random or sequential paged-I/O primitive (auto-detected from
+//    the access pattern, as a disk arm would);
+//  * pin/unpin paging control (PinObject et al., Table 3-1) — a pinned page
+//    is never stolen, guaranteeing an object's permanent representation is
+//    not changed before its modifications are logged;
+//  * the three kernel→Recovery Manager messages: first-dirty notification,
+//    write-permission request (the RM forces the log through the page's last
+//    LSN before the write proceeds), and write-completion notification;
+//  * the per-sector sequence number atomically written with each page-out —
+//    the hook returns the number to stamp (operation logging compares it
+//    against log-record LSNs during recovery, Section 3.2.1).
+
+#ifndef TABS_KERNEL_RECOVERABLE_SEGMENT_H_
+#define TABS_KERNEL_RECOVERABLE_SEGMENT_H_
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <vector>
+
+#include "src/common/bytes.h"
+#include "src/common/types.h"
+#include "src/sim/sim_disk.h"
+#include "src/sim/substrate.h"
+
+namespace tabs::kernel {
+
+// The kernel→Recovery Manager half of the write-ahead-log protocol.
+class WriteAheadHooks {
+ public:
+  virtual ~WriteAheadHooks() = default;
+
+  // A page backed by a recoverable segment was modified for the first time
+  // since it was loaded or cleaned.
+  virtual void OnFirstDirty(PageId page, Lsn recovery_lsn) = 0;
+
+  // The kernel wants to copy a modified page back to its segment. The
+  // Recovery Manager must make all log records applying to this page stable
+  // before returning; the return value is the sequence number to stamp into
+  // the sector header.
+  virtual std::uint64_t BeforePageWrite(PageId page, Lsn last_lsn) = 0;
+
+  // The page copy finished.
+  virtual void AfterPageWrite(PageId page, bool ok) = 0;
+};
+
+class RecoverableSegment {
+ public:
+  // `buffer_frames` bounds volatile storage: the paging benchmarks use an
+  // array more than three times larger than physical memory (Section 5.1).
+  RecoverableSegment(sim::Substrate& substrate, sim::SimDisk& disk, SegmentId id,
+                     PageNumber pages, size_t buffer_frames);
+
+  SegmentId id() const { return id_; }
+  PageNumber page_count() const { return page_count_; }
+  std::uint32_t size_bytes() const { return page_count_ * kPageSize; }
+
+  void SetHooks(WriteAheadHooks* hooks) { hooks_ = hooks; }
+
+  // Copies an object's current volatile value out (faulting pages as
+  // needed). Never dirties.
+  void Read(const ObjectId& oid, std::uint8_t* out);
+  Bytes Read(const ObjectId& oid);
+
+  // Overwrites an object's volatile value. Every covered page must be
+  // pinned (the server library guarantees this via PinAndBuffer). `lsn` is
+  // the latest log record covering this modification; it drives the WAL gate
+  // and the sector sequence number. Recovery passes the record being
+  // replayed; forward processing passes the freshly appended record.
+  void Write(const ObjectId& oid, const std::uint8_t* data, Lsn lsn);
+  void Write(const ObjectId& oid, const Bytes& data, Lsn lsn) {
+    Write(oid, data.data(), lsn);
+  }
+
+  // Paging control (PinObject / UnPinObject / UnPinAllObjects, Table 3-1).
+  void Pin(const ObjectId& oid);
+  void Unpin(const ObjectId& oid);
+  void UnpinAll();
+  bool IsPinned(PageNumber page) const;
+
+  // Flushes every dirty page through the WAL protocol (recovery completion,
+  // checkpoints that force pages, orderly shutdown).
+  void FlushAll();
+
+  // Dirty-page table for checkpoints: page -> recovery LSN (first LSN that
+  // dirtied it since clean).
+  std::map<PageNumber, Lsn> DirtyPages() const;
+
+  // Disk sequence number of a page (recovery reads sector headers).
+  std::uint64_t DiskSequenceNumber(PageNumber page);
+
+  size_t resident_pages() const { return frames_.size(); }
+  std::uint64_t fault_count() const { return faults_; }
+
+ private:
+  struct Frame {
+    std::vector<std::uint8_t> data;
+    bool dirty = false;
+    int pin_count = 0;
+    Lsn recovery_lsn = kNullLsn;  // first LSN since clean
+    Lsn last_lsn = kNullLsn;      // latest LSN affecting the page
+    std::uint64_t lru_tick = 0;
+  };
+
+  Frame& FaultIn(PageNumber page);
+  void EvictOne();
+  void WriteBack(PageNumber page, Frame& frame);
+  void CheckBounds(const ObjectId& oid) const;
+
+  sim::Substrate& substrate_;
+  sim::SimDisk& disk_;
+  SegmentId id_;
+  PageNumber page_count_;
+  size_t buffer_frames_;
+  WriteAheadHooks* hooks_ = nullptr;
+  std::map<PageNumber, Frame> frames_;
+  std::uint64_t lru_clock_ = 0;
+  std::uint64_t faults_ = 0;
+  PageNumber last_faulted_ = static_cast<PageNumber>(-2);
+};
+
+}  // namespace tabs::kernel
+
+#endif  // TABS_KERNEL_RECOVERABLE_SEGMENT_H_

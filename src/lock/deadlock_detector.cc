@@ -1,0 +1,71 @@
+#include "src/lock/deadlock_detector.h"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <set>
+
+namespace tabs::lock {
+
+std::vector<TransactionId> DeadlockDetector::FindCycle() const {
+  std::map<TransactionId, std::set<TransactionId>> graph;
+  for (const LockManager* lm : managers_) {
+    for (const auto& e : lm->WaitsFor()) {
+      graph[e.waiter].insert(e.holder);
+    }
+  }
+
+  // Iterative DFS with colour marking; reconstructs the first cycle found.
+  std::map<TransactionId, int> colour;  // 0 white, 1 grey, 2 black
+  std::vector<TransactionId> stack;
+  std::vector<TransactionId> cycle;
+
+  std::function<bool(const TransactionId&)> dfs = [&](const TransactionId& u) -> bool {
+    colour[u] = 1;
+    stack.push_back(u);
+    auto it = graph.find(u);
+    if (it != graph.end()) {
+      for (const TransactionId& v : it->second) {
+        int c = colour.count(v) ? colour[v] : 0;
+        if (c == 1) {
+          // Found a back edge: the cycle is stack from v to the top.
+          auto start = std::find(stack.begin(), stack.end(), v);
+          cycle.assign(start, stack.end());
+          return true;
+        }
+        if (c == 0 && dfs(v)) {
+          return true;
+        }
+      }
+    }
+    colour[u] = 2;
+    stack.pop_back();
+    return false;
+  };
+
+  for (const auto& [tid, _] : graph) {
+    if ((colour.count(tid) ? colour[tid] : 0) == 0 && dfs(tid)) {
+      return cycle;
+    }
+  }
+  return {};
+}
+
+std::optional<TransactionId> DeadlockDetector::BreakOneCycle() {
+  std::vector<TransactionId> cycle = FindCycle();
+  if (cycle.empty()) {
+    return std::nullopt;
+  }
+  // Victim: the youngest transaction (largest sequence number) — it has done
+  // the least work.
+  TransactionId victim = *std::max_element(
+      cycle.begin(), cycle.end(), [](const TransactionId& a, const TransactionId& b) {
+        return a.sequence < b.sequence;
+      });
+  for (LockManager* lm : managers_) {
+    lm->CancelWaits(victim);
+  }
+  return victim;
+}
+
+}  // namespace tabs::lock

@@ -1,0 +1,39 @@
+// Local waits-for-graph deadlock detection.
+//
+// TABS itself "currently relies on time-outs" to break deadlock (Section
+// 2.1.2) but cites systems that run deadlock detectors (Obermarck; R*). This
+// detector is that extension: it assembles the waits-for graph from one or
+// more lock managers on a node, finds a cycle, and names a victim (the
+// youngest transaction in the cycle) whose waits are then cancelled.
+
+#ifndef TABS_LOCK_DEADLOCK_DETECTOR_H_
+#define TABS_LOCK_DEADLOCK_DETECTOR_H_
+
+#include <optional>
+#include <vector>
+
+#include "src/common/types.h"
+#include "src/lock/lock_manager.h"
+
+namespace tabs::lock {
+
+class DeadlockDetector {
+ public:
+  // Registers a lock manager whose waiters participate in the graph.
+  void AddLockManager(LockManager* lm) { managers_.push_back(lm); }
+
+  // Returns the transactions forming one cycle, or empty when deadlock-free.
+  std::vector<TransactionId> FindCycle() const;
+
+  // Picks a victim from FindCycle() (the youngest = largest sequence) and
+  // cancels its lock waits in every registered manager, causing its Lock()
+  // calls to return kAborted. Returns the victim, or nullopt if no cycle.
+  std::optional<TransactionId> BreakOneCycle();
+
+ private:
+  std::vector<LockManager*> managers_;
+};
+
+}  // namespace tabs::lock
+
+#endif  // TABS_LOCK_DEADLOCK_DETECTOR_H_

@@ -1,0 +1,173 @@
+#include "src/lock/lock_manager.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace tabs::lock {
+
+LockManager::LockManager(sim::Scheduler& sched, CompatibilityMatrix matrix,
+                         SimTime default_timeout)
+    : sched_(sched), matrix_(std::move(matrix)), default_timeout_(default_timeout) {}
+
+bool LockManager::CanGrant(const LockHead& head, const TransactionId& tid,
+                           LockMode mode) const {
+  for (const auto& [holder, modes] : head.granted) {
+    if (holder == tid) {
+      continue;  // conversion: own locks never conflict with the request
+    }
+    for (LockMode held : modes) {
+      if (!matrix_.Compatible(mode, held)) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+Status LockManager::Lock(const TransactionId& tid, const ObjectId& oid, LockMode mode,
+                         SimTime timeout) {
+  if (timeout == kUseDefault) {
+    timeout = default_timeout_;
+  }
+  LockHead& head = heads_[oid];
+  if (CanGrant(head, tid, mode)) {
+    head.granted[tid].insert(mode);
+    return Status::kOk;
+  }
+  auto waiter = std::make_shared<Waiter>();
+  waiter->tid = tid;
+  waiter->mode = mode;
+  head.waiters.push_back(waiter);
+
+  bool granted_flag = false;
+  bool notified = sched_.Wait(waiter->queue, timeout);
+  // Re-look-up: the head may have been erased/recreated while we slept.
+  LockHead& head2 = heads_[oid];
+  auto held = head2.granted.find(tid);
+  granted_flag = held != head2.granted.end() && held->second.contains(mode);
+
+  if (granted_flag) {
+    return Status::kOk;  // granted, possibly racing a timeout
+  }
+  // Timed out or cancelled: withdraw the request.
+  auto& w = head2.waiters;
+  w.erase(std::remove(w.begin(), w.end(), waiter), w.end());
+  if (head2.granted.empty() && head2.waiters.empty()) {
+    heads_.erase(oid);
+  }
+  if (waiter->cancelled) {
+    return Status::kAborted;
+  }
+  (void)notified;
+  return Status::kTimeout;
+}
+
+bool LockManager::ConditionalLock(const TransactionId& tid, const ObjectId& oid,
+                                  LockMode mode) {
+  LockHead& head = heads_[oid];
+  if (!CanGrant(head, tid, mode)) {
+    if (head.granted.empty() && head.waiters.empty()) {
+      heads_.erase(oid);
+    }
+    return false;
+  }
+  head.granted[tid].insert(mode);
+  return true;
+}
+
+bool LockManager::IsLocked(const ObjectId& oid) const {
+  auto it = heads_.find(oid);
+  return it != heads_.end() && !it->second.granted.empty();
+}
+
+bool LockManager::Holds(const TransactionId& tid, const ObjectId& oid, LockMode mode) const {
+  auto it = heads_.find(oid);
+  if (it == heads_.end()) {
+    return false;
+  }
+  auto h = it->second.granted.find(tid);
+  return h != it->second.granted.end() && h->second.contains(mode);
+}
+
+void LockManager::GrantEligibleWaiters(LockHead& head) {
+  // Strict FIFO: grant from the front until the first request that still
+  // conflicts. This avoids starving writers behind a stream of readers.
+  while (!head.waiters.empty()) {
+    auto& w = head.waiters.front();
+    if (!CanGrant(head, w->tid, w->mode)) {
+      break;
+    }
+    head.granted[w->tid].insert(w->mode);
+    sched_.NotifyOne(w->queue);
+    head.waiters.erase(head.waiters.begin());
+  }
+}
+
+void LockManager::ReleaseAll(const TransactionId& tid) {
+  for (auto it = heads_.begin(); it != heads_.end();) {
+    LockHead& head = it->second;
+    if (head.granted.erase(tid) > 0) {
+      GrantEligibleWaiters(head);
+    }
+    if (head.granted.empty() && head.waiters.empty()) {
+      it = heads_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void LockManager::InheritToParent(const TransactionId& child, const TransactionId& parent) {
+  for (auto& [oid, head] : heads_) {
+    auto it = head.granted.find(child);
+    if (it == head.granted.end()) {
+      continue;
+    }
+    auto modes = std::move(it->second);
+    head.granted.erase(it);
+    head.granted[parent].insert(modes.begin(), modes.end());
+  }
+}
+
+std::vector<ObjectId> LockManager::LocksHeldBy(const TransactionId& tid) const {
+  std::vector<ObjectId> out;
+  for (const auto& [oid, head] : heads_) {
+    if (head.granted.contains(tid)) {
+      out.push_back(oid);
+    }
+  }
+  return out;
+}
+
+std::vector<LockManager::WaitsForEdge> LockManager::WaitsFor() const {
+  std::vector<WaitsForEdge> edges;
+  for (const auto& [oid, head] : heads_) {
+    for (const auto& w : head.waiters) {
+      for (const auto& [holder, modes] : head.granted) {
+        if (holder == w->tid) {
+          continue;
+        }
+        bool conflicts = std::any_of(modes.begin(), modes.end(), [&](LockMode m) {
+          return !matrix_.Compatible(w->mode, m);
+        });
+        if (conflicts) {
+          edges.push_back({w->tid, holder, oid});
+        }
+      }
+    }
+  }
+  return edges;
+}
+
+void LockManager::CancelWaits(const TransactionId& tid) {
+  for (auto& [oid, head] : heads_) {
+    for (auto& w : head.waiters) {
+      if (w->tid == tid && !w->queue.empty()) {
+        w->cancelled = true;
+        sched_.NotifyOne(w->queue);
+      }
+    }
+  }
+}
+
+}  // namespace tabs::lock

@@ -1,0 +1,103 @@
+// The per-data-server lock manager.
+//
+// Each TABS data server implements locking locally so it can tailor the
+// mechanism (Section 2.1.2); one LockManager instance therefore belongs to
+// one server. Deadlock is broken by time-outs explicitly set by system users,
+// as in the paper (an optional waits-for-graph detector lives in
+// deadlock_detector.h as the R*-style extension the paper cites).
+//
+// Lock acquisition follows strict two-phase locking: locks accumulate during
+// a transaction and are released only at commit or abort by the server
+// library (ReleaseAll). When a subtransaction commits, its locks are
+// inherited by its parent (InheritToParent) — with respect to
+// synchronization, a subtransaction behaves as a completely separate
+// transaction until then (Section 2.1.3).
+
+#ifndef TABS_LOCK_LOCK_MANAGER_H_
+#define TABS_LOCK_LOCK_MANAGER_H_
+
+#include <map>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/common/types.h"
+#include "src/lock/lock_mode.h"
+#include "src/sim/scheduler.h"
+
+namespace tabs::lock {
+
+class LockManager {
+ public:
+  // `default_timeout` applies when Lock() is called without an explicit
+  // timeout; pass kNoTimeout to wait forever (tests only — production
+  // servers always configure a timeout).
+  static constexpr SimTime kNoTimeout = -1;
+  static constexpr SimTime kUseDefault = -2;
+
+  LockManager(sim::Scheduler& sched, CompatibilityMatrix matrix, SimTime default_timeout);
+
+  // Blocks the calling task until the lock is granted or the timeout
+  // expires. Re-requests by a holder are granted immediately when the new
+  // mode is compatible with every *other* holder (lock conversion).
+  Status Lock(const TransactionId& tid, const ObjectId& oid, LockMode mode,
+              SimTime timeout = kUseDefault);
+
+  // ConditionallyLockObject: acquires if immediately available, else returns
+  // false without waiting (Table 3-1).
+  bool ConditionalLock(const TransactionId& tid, const ObjectId& oid, LockMode mode);
+
+  // IsObjectLocked: true iff any transaction holds a lock on `oid`. The weak
+  // queue and IO servers use this to observe transaction state (Section 4).
+  bool IsLocked(const ObjectId& oid) const;
+
+  // True iff `tid` holds a lock on `oid` in exactly/at least `mode`.
+  bool Holds(const TransactionId& tid, const ObjectId& oid, LockMode mode) const;
+
+  // Releases every lock held by `tid` and wakes eligible waiters.
+  void ReleaseAll(const TransactionId& tid);
+
+  // Subtransaction commit: re-owns every lock of `child` to `parent`.
+  void InheritToParent(const TransactionId& child, const TransactionId& parent);
+
+  std::vector<ObjectId> LocksHeldBy(const TransactionId& tid) const;
+  size_t LockedObjectCount() const { return heads_.size(); }
+
+  // Waits-for edges (waiter -> holder) for the deadlock detector.
+  struct WaitsForEdge {
+    TransactionId waiter;
+    TransactionId holder;
+    ObjectId object;
+  };
+  std::vector<WaitsForEdge> WaitsFor() const;
+
+  // Forcibly wakes any waiter belonging to `tid` with a timeout-style
+  // failure; used by the deadlock detector to sacrifice a victim.
+  void CancelWaits(const TransactionId& tid);
+
+ private:
+  struct Waiter {
+    TransactionId tid;
+    LockMode mode;
+    bool cancelled = false;
+    sim::WaitQueue queue;  // exactly one task waits here
+  };
+  struct LockHead {
+    // Modes held, per transaction (a holder may hold several modes).
+    std::map<TransactionId, std::set<LockMode>> granted;
+    std::vector<std::shared_ptr<Waiter>> waiters;  // FIFO
+  };
+
+  bool CanGrant(const LockHead& head, const TransactionId& tid, LockMode mode) const;
+  void GrantEligibleWaiters(LockHead& head);
+
+  sim::Scheduler& sched_;
+  CompatibilityMatrix matrix_;
+  SimTime default_timeout_;
+  std::map<ObjectId, LockHead> heads_;
+};
+
+}  // namespace tabs::lock
+
+#endif  // TABS_LOCK_LOCK_MANAGER_H_

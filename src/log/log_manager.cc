@@ -1,0 +1,184 @@
+#include "src/log/log_manager.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace tabs::log {
+
+namespace {
+
+constexpr std::uint64_t kFrameOverhead = 8;  // leading + trailing u32 lengths
+
+std::uint32_t ReadU32(std::span<const std::uint8_t> s) {
+  std::uint32_t v;
+  assert(s.size() >= sizeof v);
+  std::memcpy(&v, s.data(), sizeof v);
+  return v;
+}
+
+}  // namespace
+
+std::span<const std::uint8_t> StableLogDevice::Read(std::uint64_t offset,
+                                                    std::uint64_t length) const {
+  if (offset < truncated_prefix_ || offset + length > data_.size()) {
+    return {};
+  }
+  return {data_.data() + offset, length};
+}
+
+void StableLogDevice::TruncateBefore(std::uint64_t offset) {
+  if (offset <= truncated_prefix_) {
+    return;
+  }
+  assert(offset <= data_.size());
+  std::fill(data_.begin() + static_cast<std::ptrdiff_t>(truncated_prefix_),
+            data_.begin() + static_cast<std::ptrdiff_t>(offset), std::uint8_t{0});
+  truncated_prefix_ = offset;
+}
+
+LogManager::LogManager(sim::Substrate& substrate, StableLogDevice& device)
+    : substrate_(substrate), device_(device) {
+  // Rebinding to a device that already holds log data (recovery after a
+  // crash): the volatile buffer starts empty at the stable frontier.
+  next_lsn_ = device_.size() + 1;
+  buffer_start_ = next_lsn_;
+  durable_lsn_ = LastDurableLsn();
+  last_record_lsn_ = durable_lsn_;
+}
+
+Lsn LogManager::Append(LogRecord rec) {
+  rec.prev_lsn = LastLsnOf(rec.owner);
+  rec.lsn = next_lsn_;
+  Bytes payload = rec.Serialize();
+  auto len = static_cast<std::uint32_t>(payload.size());
+
+  ByteWriter w;
+  w.U32(len);
+  Bytes framed = w.Take();
+  framed.insert(framed.end(), payload.begin(), payload.end());
+  ByteWriter w2;
+  w2.U32(len);
+  Bytes trailer = w2.Take();
+  framed.insert(framed.end(), trailer.begin(), trailer.end());
+
+  buffer_.insert(buffer_.end(), framed.begin(), framed.end());
+  if (!rec.owner.IsNull()) {
+    chains_[rec.owner] = rec.lsn;
+  }
+  Lsn lsn = next_lsn_;
+  next_lsn_ += framed.size();
+  last_record_lsn_ = lsn;
+  return lsn;
+}
+
+void LogManager::Force(Lsn upto) {
+  if (upto == kNullLsn || upto < buffer_start_ || buffer_.empty()) {
+    return;
+  }
+  // The buffer is forced as a unit (group force): TABS spools records and
+  // writes them together, so one commit typically costs one stable write.
+  std::uint64_t bytes = buffer_.size();
+  auto pages = static_cast<double>((bytes + kPageSize - 1) / kPageSize);
+  substrate_.Charge(sim::Primitive::kStableWrite, pages);
+  device_.Append(buffer_);
+  buffer_.clear();
+  buffer_start_ = next_lsn_;
+  durable_lsn_ = LastDurableLsn();
+  // A force is an I/O wait performed by the Recovery Manager process: other
+  // processes (and server coroutines) run while the disk spins (Section
+  // 2.1.1's wait-driven switching). Page faults, by contrast, suspend the
+  // whole server and do NOT yield.
+  if (substrate_.scheduler().in_task()) {
+    substrate_.scheduler().Yield();
+  }
+}
+
+std::optional<LogRecord> LogManager::ReadRecord(Lsn lsn) const {
+  if (lsn == kNullLsn || lsn <= device_.truncated_prefix() || lsn >= next_lsn_) {
+    return std::nullopt;
+  }
+  std::span<const std::uint8_t> head;
+  std::span<const std::uint8_t> body;
+  if (lsn >= buffer_start_) {
+    // Still in the volatile buffer.
+    std::uint64_t off = lsn - buffer_start_;
+    if (off + 4 > buffer_.size()) {
+      return std::nullopt;
+    }
+    head = {buffer_.data() + off, 4};
+    std::uint32_t len = ReadU32(head);
+    if (off + 4 + len > buffer_.size()) {
+      return std::nullopt;
+    }
+    body = {buffer_.data() + off + 4, len};
+  } else {
+    std::uint64_t offset = lsn - 1;
+    head = device_.Read(offset, 4);
+    if (head.empty()) {
+      return std::nullopt;
+    }
+    std::uint32_t len = ReadU32(head);
+    body = device_.Read(offset + 4, len);
+    if (body.empty() && len != 0) {
+      return std::nullopt;
+    }
+  }
+  auto rec = LogRecord::Deserialize(body);
+  if (rec) {
+    rec->lsn = lsn;
+  }
+  return rec;
+}
+
+Lsn LogManager::NextLsn(Lsn lsn) const {
+  if (lsn == kNullLsn) {
+    return kNullLsn;
+  }
+  std::uint64_t offset = lsn - 1;
+  auto head = device_.Read(offset, 4);
+  if (head.empty()) {
+    return kNullLsn;
+  }
+  std::uint64_t next = offset + kFrameOverhead + ReadU32(head);
+  return next >= device_.size() ? kNullLsn : next + 1;
+}
+
+Lsn LogManager::LastDurableLsn() const {
+  std::uint64_t size = device_.size();
+  if (size <= device_.truncated_prefix()) {
+    return kNullLsn;
+  }
+  auto trailer = device_.Read(size - 4, 4);
+  if (trailer.empty()) {
+    return kNullLsn;
+  }
+  std::uint32_t len = ReadU32(trailer);
+  return size - kFrameOverhead - len + 1;
+}
+
+Lsn LogManager::PrevLsn(Lsn lsn) const {
+  if (lsn == kNullLsn) {
+    return kNullLsn;
+  }
+  std::uint64_t offset = lsn - 1;
+  if (offset < kFrameOverhead || offset - 4 < device_.truncated_prefix()) {
+    return kNullLsn;
+  }
+  auto trailer = device_.Read(offset - 4, 4);
+  if (trailer.empty()) {
+    return kNullLsn;
+  }
+  std::uint32_t len = ReadU32(trailer);
+  if (offset < kFrameOverhead + len) {
+    return kNullLsn;
+  }
+  std::uint64_t prev = offset - kFrameOverhead - len;
+  return prev < device_.truncated_prefix() ? kNullLsn : prev + 1;
+}
+
+Lsn LogManager::LastLsnOf(const TransactionId& owner) const {
+  auto it = chains_.find(owner);
+  return it == chains_.end() ? kNullLsn : it->second;
+}
+
+}  // namespace tabs::log

@@ -1,0 +1,104 @@
+// The per-node log: a volatile buffer in front of an append-only stable
+// device, with group force and backward chains.
+//
+// "All log records are written into a volatile buffer until the buffer fills
+// or until the buffer is forced to non-volatile storage by either the
+// write-ahead-log or commit protocols." (Section 3.2.2.)
+//
+// LSNs are 1 + the byte offset of the record in the log stream; kNullLsn (0)
+// terminates backward chains. Each record is framed as
+//   [u32 length][record bytes][u32 length]
+// so the log can be scanned in either direction (the value-logging crash
+// recovery is a single *backward* pass).
+
+#ifndef TABS_LOG_LOG_MANAGER_H_
+#define TABS_LOG_LOG_MANAGER_H_
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+
+#include "src/common/types.h"
+#include "src/log/log_record.h"
+#include "src/sim/substrate.h"
+
+namespace tabs::log {
+
+// The stable device. Its contents survive node crashes; the space-reclamation
+// low-water mark models the paper's log-space reclamation (Section 3.2.2).
+class StableLogDevice {
+ public:
+  std::uint64_t size() const { return data_.size(); }
+  std::uint64_t truncated_prefix() const { return truncated_prefix_; }
+
+  void Append(const Bytes& bytes) { data_.insert(data_.end(), bytes.begin(), bytes.end()); }
+  std::span<const std::uint8_t> Read(std::uint64_t offset, std::uint64_t length) const;
+
+  // Logically discards everything before `offset` (checkpoint-driven
+  // reclamation). Reads below the prefix fail.
+  void TruncateBefore(std::uint64_t offset);
+
+ private:
+  Bytes data_;  // offsets below truncated_prefix_ are zeroed and unreadable
+  std::uint64_t truncated_prefix_ = 0;
+};
+
+class LogManager {
+ public:
+  LogManager(sim::Substrate& substrate, StableLogDevice& device);
+
+  // Appends `rec` to the volatile buffer, filling in prev_lsn from the
+  // owner's chain and rec.lsn. Returns the record's LSN. Does not force.
+  Lsn Append(LogRecord rec);
+
+  // Forces the buffer through `upto` to the stable device, charging one
+  // stable-storage write per page of forced log data (grouped). No-op if
+  // already durable.
+  void Force(Lsn upto);
+  void ForceAll() { Force(next_lsn_ - 1); }
+
+  Lsn durable_lsn() const { return durable_lsn_; }   // everything ≤ this is stable
+  // LSN of the most recently appended record (durable or buffered).
+  Lsn last_lsn() const { return last_record_lsn_; }
+  // First LSN at/after which records exist (moves up with reclamation).
+  Lsn first_lsn() const { return device_.truncated_prefix() + 1; }
+
+  // Reads a record by LSN. During normal operation this reads through the
+  // volatile buffer (abort processing follows chains into unforced records);
+  // after a crash the buffer is empty, so recovery naturally sees only what
+  // reached the stable device. Returns nullopt for unknown/reclaimed LSNs.
+  std::optional<LogRecord> ReadRecord(Lsn lsn) const;
+
+  // LSN of the record after `lsn`, or kNullLsn at the durable frontier.
+  Lsn NextLsn(Lsn lsn) const;
+  // LSN of the last durable record, for starting a backward scan.
+  Lsn LastDurableLsn() const;
+  // LSN of the record preceding `lsn` in the stable log, or kNullLsn.
+  Lsn PrevLsn(Lsn lsn) const;
+
+  // Backward chain bookkeeping: last LSN appended by `owner` (volatile; used
+  // for abort processing during normal operation).
+  Lsn LastLsnOf(const TransactionId& owner) const;
+  void ForgetChain(const TransactionId& owner) { chains_.erase(owner); }
+
+  // Bytes of stable log in use (for reclamation policy tests).
+  std::uint64_t StableBytesInUse() const {
+    return device_.size() - device_.truncated_prefix();
+  }
+
+  StableLogDevice& device() { return device_; }
+
+ private:
+  sim::Substrate& substrate_;
+  StableLogDevice& device_;
+  Bytes buffer_;            // volatile: records past durable_lsn_
+  Lsn buffer_start_ = 1;    // LSN corresponding to buffer_[0]
+  Lsn next_lsn_ = 1;
+  Lsn last_record_lsn_ = kNullLsn;
+  Lsn durable_lsn_ = kNullLsn;
+  std::unordered_map<TransactionId, Lsn> chains_;
+};
+
+}  // namespace tabs::log
+
+#endif  // TABS_LOG_LOG_MANAGER_H_

@@ -1,0 +1,105 @@
+// Log record formats.
+//
+// TABS bases recovery on write-ahead logging with a single common log per
+// node shared by all data servers and the Transaction Manager (Sections
+// 2.1.3, 3.2.2). Two update-record families co-exist in that log:
+//
+//  * Value records carry the old and new values of at most one page of an
+//    object's representation. Crash recovery for value-logged objects is a
+//    single backward pass.
+//  * Operation records carry an operation name and enough information to
+//    invoke its redo/undo. Crash recovery is three passes (analysis, redo,
+//    undo) guarded by the page sequence numbers the modified kernel stamps
+//    into each sector header.
+//
+// Every update record carries two transaction identifiers: `owner`, the
+// (sub)transaction that wrote it — whose backward chain `prev_lsn` threads —
+// and `top`, the top-level ancestor whose commit outcome decides redo-vs-undo
+// at crash recovery (subtransactions commit only with their top-level parent,
+// Section 2.1.3).
+//
+// Compensation records (written while undoing) carry `undo_next_lsn`, the
+// prev_lsn of the record they compensate, so that an abort interrupted by a
+// crash never undoes the same update twice.
+
+#ifndef TABS_LOG_LOG_RECORD_H_
+#define TABS_LOG_LOG_RECORD_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/common/bytes.h"
+#include "src/common/types.h"
+
+namespace tabs::log {
+
+enum class RecordType : std::uint8_t {
+  kValueUpdate = 1,     // old/new images of one object (≤ 1 page)
+  kOperationUpdate,     // redoable/undoable operation description
+  kCompensation,        // value-style compensation written during undo
+  kOpCompensation,      // operation-style compensation written during undo
+  kTxnPrepare,          // participant prepared (2PC phase one)
+  kTxnCommit,           // commit decided
+  kTxnAbort,            // abort decided
+  kTxnEnd,              // all participants acknowledged; forget the txn
+  kSubtxnCommit,        // subtransaction committed into its parent
+  kCheckpoint,          // active-txn table + dirty-page table snapshot
+};
+
+const char* RecordTypeName(RecordType t);
+
+struct LogRecord {
+  RecordType type = RecordType::kValueUpdate;
+  TransactionId owner;          // writing (sub)transaction
+  TransactionId top;            // top-level ancestor (== owner for top-level)
+  Lsn prev_lsn = kNullLsn;      // backward chain of `owner` (filled by LogManager)
+  Lsn undo_next_lsn = kNullLsn; // compensation records only
+
+  // Update / compensation records.
+  std::string server;           // data server the object belongs to
+  ObjectId oid;
+  Bytes old_value;              // value records: before-image
+  Bytes new_value;              // value records: after-image
+
+  // Operation records. `op_name`/`redo_args` re-apply the operation;
+  // `undo_op_name`/`undo_args` name the inverse operation that cancels it.
+  std::string op_name;
+  Bytes redo_args;
+  std::string undo_op_name;
+  Bytes undo_args;
+  std::vector<PageId> pages;    // pages the operation touches (for seqno guard)
+
+  // Transaction-management records.
+  NodeId parent_node = kInvalidNode;       // prepare: my 2PC parent in the tree
+  std::vector<NodeId> children;            // prepare/commit: my subtree children
+  std::vector<NodeId> siblings;            // prepare: my parent's other children
+                                           // (for cooperative termination)
+  std::vector<std::string> local_servers;  // prepare: servers with updates here
+  TransactionId parent_tid;                // subtxn-commit: the parent
+
+  // Checkpoint payload (opaque to the log; recovery interprets it).
+  Bytes checkpoint_data;
+
+  // Filled in by LogManager on append / on read.
+  Lsn lsn = kNullLsn;
+
+  Bytes Serialize() const;
+  static std::optional<LogRecord> Deserialize(std::span<const std::uint8_t> data);
+
+  bool IsUpdate() const {
+    return type == RecordType::kValueUpdate || type == RecordType::kOperationUpdate ||
+           type == RecordType::kCompensation || type == RecordType::kOpCompensation;
+  }
+  bool IsCompensation() const {
+    return type == RecordType::kCompensation || type == RecordType::kOpCompensation;
+  }
+  bool IsValueStyle() const {
+    return type == RecordType::kValueUpdate || type == RecordType::kCompensation;
+  }
+};
+
+}  // namespace tabs::log
+
+#endif  // TABS_LOG_LOG_RECORD_H_

@@ -1,0 +1,59 @@
+// The TABS Name Server (Sections 3.1.3, 3.2.5).
+//
+// Each node's Name Server maps names to one or more <node, server,
+// logical-object-id> bindings for objects managed by data servers on that
+// node. "Whenever the Name Server is asked about a name it does not
+// recognize, it broadcasts a name lookup request to all other Name Servers."
+// A data server may service several objects on one port, and independent
+// data servers can together implement replicated objects — so a name may
+// resolve to many bindings (the replicated directory registers one binding
+// per representative).
+
+#ifndef TABS_NAME_NAME_SERVER_H_
+#define TABS_NAME_NAME_SERVER_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/comm/comm_manager.h"
+#include "src/common/types.h"
+
+namespace tabs::name {
+
+struct Binding {
+  NodeId node = kInvalidNode;
+  std::string server;   // the data server's port, morally
+  ObjectId object;      // logical object identifier within that server
+
+  friend bool operator==(const Binding&, const Binding&) = default;
+};
+
+class NameServer {
+ public:
+  explicit NameServer(comm::CommManager& cm) : cm_(cm) {}
+
+  // World keeps this map current across crashes; a crashed node's entry is
+  // null and broadcasts to it go unanswered.
+  void SetPeers(const std::map<NodeId, NameServer*>* peers) { peers_ = peers; }
+
+  void Register(const std::string& name, Binding binding);
+  void DeRegister(const std::string& name, const Binding& binding);
+
+  // Local map only; answers broadcasts.
+  std::vector<Binding> LocalLookup(const std::string& name) const;
+
+  // LookUp(Name, DesiredNumberOfPortIDs, MaxWait) — Table 3-3. Checks the
+  // local map, then broadcasts and gathers replies until `desired` bindings
+  // arrive or `max_wait` virtual time passes.
+  std::vector<Binding> LookUp(const std::string& name, size_t desired, SimTime max_wait);
+
+ private:
+  comm::CommManager& cm_;
+  const std::map<NodeId, NameServer*>* peers_ = nullptr;
+  std::map<std::string, std::vector<Binding>> bindings_;
+};
+
+}  // namespace tabs::name
+
+#endif  // TABS_NAME_NAME_SERVER_H_

@@ -1,0 +1,102 @@
+// Checkpoints and log-space reclamation (Section 3.2.2).
+//
+// "At checkpoint time, a list of the pages currently in volatile storage and
+// the status of currently active transactions are written to the log."
+// Checkpoints bound how much log must survive: everything below the oldest
+// of (the checkpoint itself, the first record of any active transaction, the
+// recovery LSN of any dirty page) can be reclaimed. When the system nears
+// the end of its log space, the Recovery Manager "runs a reclamation
+// algorithm... [which] may force pages back to disk before they would
+// otherwise be written."
+
+#include <algorithm>
+
+#include "src/recovery/recovery_manager.h"
+
+namespace tabs::recovery {
+
+using log::LogRecord;
+using log::RecordType;
+
+Lsn RecoveryManager::TakeCheckpoint(const std::vector<ActiveTxn>& active) {
+  ByteWriter w;
+  w.U32(static_cast<std::uint32_t>(active.size()));
+  for (const ActiveTxn& t : active) {
+    w.Tid(t.owner);
+    w.Tid(t.top);
+    w.U8(t.prepared ? 1 : 0);
+    w.U64(t.first_lsn);
+  }
+  std::uint32_t dirty_total = 0;
+  ByteWriter dirty;
+  for (const auto& [name, seg] : segments_) {
+    for (const auto& [page, rec_lsn] : seg->DirtyPages()) {
+      dirty.U32(seg->id());
+      dirty.U32(page);
+      dirty.U64(rec_lsn);
+      ++dirty_total;
+    }
+  }
+  w.U32(dirty_total);
+  const Bytes& db = dirty.bytes();
+  w.Blob(db);
+
+  LogRecord rec;
+  rec.type = RecordType::kCheckpoint;
+  rec.checkpoint_data = w.Take();
+  Lsn lsn = log_.Append(std::move(rec));
+  log_.ForceAll();
+  return lsn;
+}
+
+void RecoveryManager::Reclaim(const std::vector<ActiveTxn>& active) {
+  // Force every dirty page out: with clean segments, only active
+  // transactions pin log space.
+  for (auto& [name, seg] : segments_) {
+    seg->FlushAll();
+  }
+  Lsn checkpoint_lsn = TakeCheckpoint(active);
+
+  Lsn low = checkpoint_lsn;
+  for (const ActiveTxn& t : active) {
+    if (t.first_lsn != kNullLsn) {
+      low = std::min(low, t.first_lsn);
+    }
+  }
+  // Media recovery needs the log from the last archive dump onward.
+  if (archive_low_water_ != kNullLsn) {
+    low = std::min(low, archive_low_water_);
+  }
+  if (low > log_.first_lsn()) {
+    log_.device().TruncateBefore(low - 1);
+  }
+}
+
+Archive RecoveryManager::DumpArchive() {
+  Archive archive;
+  for (auto& [name, seg] : segments_) {
+    seg->FlushAll();
+  }
+  log_.ForceAll();
+  archive.dump_lsn = log_.LastDurableLsn();
+  for (auto& [name, seg] : segments_) {
+    auto& pages = archive.segments[seg->id()];
+    for (PageNumber p = 0; p < seg->page_count(); ++p) {
+      pages.push_back(node_.disk().PeekPage({seg->id(), p}));
+      // Reading a page into the archive is sequential disk traffic.
+      node_.substrate().Charge(sim::Primitive::kSequentialRead);
+    }
+  }
+  return archive;
+}
+
+void RecoveryManager::RestoreArchive(const Archive& archive) {
+  for (const auto& [segment, pages] : archive.segments) {
+    node_.disk().EnsureSegment(segment, static_cast<PageNumber>(pages.size()));
+    for (PageNumber p = 0; p < pages.size(); ++p) {
+      node_.disk().RestorePage({segment, p}, pages[p]);
+    }
+  }
+}
+
+}  // namespace tabs::recovery

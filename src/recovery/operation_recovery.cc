@@ -1,0 +1,214 @@
+// The analysis pass shared by both recovery algorithms, and the
+// operation-logging redo/undo passes.
+//
+// Operation logging buys multi-page records, more concurrency, and less log
+// space, at the price of "three passes over the log during crash recovery,
+// instead of the single pass needed for the value-based algorithm"
+// (Section 2.1.3):
+//
+//  pass 1 (analysis) — forward: replay transaction-management records into
+//    the Transaction Manager, classify every top-level transaction, find the
+//    losers and the in-doubt (prepared) set.
+//  pass 2 (redo) — forward: repeat history. An operation (or compensation)
+//    is re-applied iff some page it touches carries a sector sequence number
+//    older than the record's LSN — the kernel's atomically-stamped sequence
+//    number is exactly the guard that makes non-idempotent operations safe
+//    to replay (Section 3.2.1).
+//  pass 3 (undo) — backward: invoke the inverse operation for every loser
+//    update not already compensated, writing compensation records whose
+//    undo_next pointers make the undo itself restartable.
+
+#include <cassert>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "src/recovery/recovery_manager.h"
+
+namespace tabs::recovery {
+
+using log::LogRecord;
+using log::RecordType;
+
+Lsn RecoveryManager::AnalysisPass(TxnOutcomeSource& outcomes, RecoveryStats* stats,
+                                  bool* saw_operations, const std::string* only_server) {
+  Lsn scan_low = log_.first_lsn();
+  *saw_operations = false;
+
+  // Transactions seen with updates, in first-contact order, plus the LSNs of
+  // their (non-compensation) updates for rebuilding in-doubt undo lists.
+  std::vector<TransactionId> update_tops;
+  std::unordered_set<TransactionId> seen_tops;
+  std::unordered_map<TransactionId, std::vector<Lsn>> update_lsns_by_owner;
+  std::unordered_map<TransactionId, std::vector<TransactionId>> owners_by_top;
+
+  for (Lsn lsn = scan_low; lsn != kNullLsn; lsn = log_.NextLsn(lsn)) {
+    auto rec = log_.ReadRecord(lsn);
+    if (!rec.has_value()) {
+      break;  // torn tail: everything durable ends here
+    }
+    ++stats->records_scanned;
+    switch (rec->type) {
+      case RecordType::kTxnPrepare:
+      case RecordType::kTxnCommit:
+      case RecordType::kTxnAbort:
+      case RecordType::kTxnEnd:
+      case RecordType::kSubtxnCommit:
+        outcomes.ObserveTxnRecord(*rec);
+        break;
+      case RecordType::kOperationUpdate:
+      case RecordType::kOpCompensation:
+        *saw_operations = true;
+        [[fallthrough]];
+      case RecordType::kValueUpdate:
+      case RecordType::kCompensation:
+        if (only_server != nullptr && rec->server != *only_server) {
+          break;  // another (live) server's record: not ours to recover
+        }
+        if (!seen_tops.contains(rec->top)) {
+          seen_tops.insert(rec->top);
+          update_tops.push_back(rec->top);
+        }
+        if (!rec->IsCompensation()) {
+          auto& owner_list = update_lsns_by_owner[rec->owner];
+          if (owner_list.empty()) {
+            owners_by_top[rec->top].push_back(rec->owner);
+          }
+          owner_list.push_back(lsn);
+        }
+        break;
+      case RecordType::kCheckpoint:
+        break;  // full-scan recovery; checkpoints drive reclamation only
+    }
+  }
+
+  for (const TransactionId& top : update_tops) {
+    switch (outcomes.OutcomeOf(top)) {
+      case TxnOutcome::kActive:
+        stats->losers.push_back(top);
+        break;
+      case TxnOutcome::kPrepared: {
+        stats->in_doubt.push_back(top);
+        if (only_server != nullptr) {
+          break;  // the node is alive: its undo lists are already current
+        }
+        // Rebuild the undo list so a later coordinator "abort" verdict can
+        // unwind this in-doubt transaction through the normal path.
+        std::vector<Lsn> merged;
+        for (const TransactionId& owner : owners_by_top[top]) {
+          auto& lsns = update_lsns_by_owner[owner];
+          merged.insert(merged.end(), lsns.begin(), lsns.end());
+        }
+        std::sort(merged.begin(), merged.end());
+        undo_lists_[top] = std::move(merged);
+        break;
+      }
+      case TxnOutcome::kCommitted:
+      case TxnOutcome::kAborted:
+        break;
+    }
+  }
+  return scan_low;
+}
+
+void RecoveryManager::RunOperationPasses(TxnOutcomeSource& outcomes, Lsn scan_low,
+                                         RecoveryStats* stats,
+                                         const std::string* only_server) {
+  // ---- pass 2: redo (repeat history, guarded by sector sequence numbers) --
+  // Sequence numbers are read from disk once per page and then tracked as
+  // redo progresses (redone effects live in volatile frames until the final
+  // flush re-stamps the sectors).
+  std::unordered_map<PageId, std::uint64_t> page_seq;
+  auto effective_seq = [&](kernel::RecoverableSegment* seg, PageId page) {
+    auto it = page_seq.find(page);
+    if (it == page_seq.end()) {
+      it = page_seq.emplace(page, seg->DiskSequenceNumber(page.page)).first;
+    }
+    return it->second;
+  };
+
+  for (Lsn lsn = scan_low; lsn != kNullLsn; lsn = log_.NextLsn(lsn)) {
+    auto rec = log_.ReadRecord(lsn);
+    if (!rec.has_value()) {
+      break;
+    }
+    ++stats->records_scanned;
+    if (rec->type != RecordType::kOperationUpdate && rec->type != RecordType::kOpCompensation) {
+      continue;
+    }
+    if (only_server != nullptr && rec->server != *only_server) {
+      continue;
+    }
+    kernel::RecoverableSegment* seg = SegmentOf(rec->server);
+    auto hooks = op_hooks_.find(rec->server);
+    if (seg == nullptr || hooks == op_hooks_.end()) {
+      continue;
+    }
+    bool needs_redo = false;
+    for (const PageId& page : rec->pages) {
+      if (effective_seq(seg, page) < rec->lsn) {
+        needs_redo = true;
+      }
+    }
+    if (!needs_redo) {
+      continue;
+    }
+    hooks->second.apply(rec->op_name, rec->redo_args, rec->lsn);
+    for (const PageId& page : rec->pages) {
+      page_seq[page] = rec->lsn;
+    }
+    ++stats->operations_redone;
+  }
+
+  // ---- pass 3: undo losers (backward, compensation-aware) -----------------
+  std::unordered_set<TransactionId> losers(stats->losers.begin(), stats->losers.end());
+  // Records with LSN above an owner's cursor were already compensated before
+  // the crash (the compensation's undo_next points below them).
+  std::unordered_map<TransactionId, Lsn> cursor;
+
+  for (Lsn lsn = log_.LastDurableLsn(); lsn != kNullLsn && lsn >= scan_low;
+       lsn = log_.PrevLsn(lsn)) {
+    auto rec = log_.ReadRecord(lsn);
+    if (!rec.has_value()) {
+      break;
+    }
+    ++stats->records_scanned;
+    if (!losers.contains(rec->top)) {
+      continue;
+    }
+    if (rec->type == RecordType::kOpCompensation) {
+      // Only the latest compensation (first seen walking backward) matters:
+      // its undo_next names the next record still needing undo.
+      cursor.try_emplace(rec->owner, rec->undo_next_lsn);
+      continue;
+    }
+    if (rec->type != RecordType::kOperationUpdate) {
+      continue;  // value records of losers are handled by the value pass
+    }
+    if (only_server != nullptr && rec->server != *only_server) {
+      continue;
+    }
+    auto cur = cursor.find(rec->owner);
+    if (cur != cursor.end() && (cur->second == kNullLsn || rec->lsn > cur->second)) {
+      continue;  // already compensated before the crash
+    }
+    auto hooks = op_hooks_.find(rec->server);
+    if (hooks == op_hooks_.end()) {
+      continue;
+    }
+    LogRecord comp;
+    comp.type = RecordType::kOpCompensation;
+    comp.owner = rec->owner;
+    comp.top = rec->top;
+    comp.undo_next_lsn = rec->prev_lsn;
+    comp.server = rec->server;
+    comp.op_name = rec->undo_op_name;
+    comp.redo_args = rec->undo_args;
+    comp.pages = rec->pages;
+    Lsn comp_lsn = log_.Append(std::move(comp));
+    hooks->second.apply(rec->undo_op_name, rec->undo_args, comp_lsn);
+    cursor[rec->owner] = rec->prev_lsn;  // this record is now compensated
+    ++stats->operations_undone;
+  }
+}
+
+}  // namespace tabs::recovery

@@ -1,0 +1,256 @@
+#include "src/recovery/recovery_manager.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace tabs::recovery {
+
+using log::LogRecord;
+using log::RecordType;
+
+RecoveryManager::RecoveryManager(kernel::Node& node)
+    : node_(node), log_(node.substrate(), node.stable_log()) {}
+
+void RecoveryManager::RegisterSegment(const std::string& server,
+                                      kernel::RecoverableSegment* segment) {
+  segments_[server] = segment;
+  segment->SetHooks(this);
+}
+
+void RecoveryManager::RegisterOperationHooks(const std::string& server, OperationHooks hooks) {
+  op_hooks_[server] = std::move(hooks);
+}
+
+void RecoveryManager::UnregisterServer(const std::string& server) {
+  segments_.erase(server);
+  op_hooks_.erase(server);
+}
+
+kernel::RecoverableSegment* RecoveryManager::SegmentOf(const std::string& server) const {
+  auto it = segments_.find(server);
+  return it == segments_.end() ? nullptr : it->second;
+}
+
+kernel::RecoverableSegment* RecoveryManager::SegmentForOid(const std::string& server,
+                                                           const ObjectId& oid) {
+  kernel::RecoverableSegment* seg = SegmentOf(server);
+  assert(seg != nullptr && "value record for unregistered server");
+  assert(seg->id() == oid.segment && "ObjectId names a different segment");
+  return seg;
+}
+
+Lsn RecoveryManager::LogValue(const TransactionId& owner, const TransactionId& top,
+                              const std::string& server, const ObjectId& oid,
+                              Bytes old_value, Bytes new_value) {
+  assert(old_value.size() == oid.length && new_value.size() == oid.length);
+  assert(oid.length <= kPageSize && "value records hold at most one page");
+  LogRecord rec;
+  rec.type = RecordType::kValueUpdate;
+  rec.owner = owner;
+  rec.top = top;
+  rec.server = server;
+  rec.oid = oid;
+  rec.old_value = std::move(old_value);
+  Bytes new_copy = new_value;  // applied to the segment below
+  rec.new_value = std::move(new_value);
+  Lsn lsn = log_.Append(std::move(rec));
+  undo_lists_[owner].push_back(lsn);
+  // Apply to volatile storage under the record's LSN: write-ahead ordering is
+  // then enforced by the page-out gate (BeforePageWrite forces through LSN).
+  SegmentForOid(server, oid)->Write(oid, new_copy, lsn);
+  MaybeAutoReclaim();
+  return lsn;
+}
+
+void RecoveryManager::MaybeAutoReclaim() {
+  if (log_budget_bytes_ == 0 || reclaiming_ || !active_source_) {
+    return;
+  }
+  std::uint64_t in_use = log_.StableBytesInUse() + (log_.last_lsn() - log_.durable_lsn());
+  if (in_use < log_budget_bytes_) {
+    return;
+  }
+  reclaiming_ = true;  // Reclaim itself appends records; don't recurse
+  Reclaim(active_source_());
+  reclaiming_ = false;
+  ++auto_reclaims_;
+}
+
+Lsn RecoveryManager::LogOperation(const TransactionId& owner, const TransactionId& top,
+                                  const std::string& server, const std::string& op_name,
+                                  Bytes redo_args, const std::string& undo_op_name,
+                                  Bytes undo_args, std::vector<PageId> pages) {
+  LogRecord rec;
+  rec.type = RecordType::kOperationUpdate;
+  rec.owner = owner;
+  rec.top = top;
+  rec.server = server;
+  rec.op_name = op_name;
+  Bytes apply_args = redo_args;
+  rec.redo_args = std::move(redo_args);
+  rec.undo_op_name = undo_op_name;
+  rec.undo_args = std::move(undo_args);
+  rec.pages = std::move(pages);
+  Lsn lsn = log_.Append(std::move(rec));
+  undo_lists_[owner].push_back(lsn);
+  // Apply the operation's effect through the server's dispatcher under the
+  // record's LSN (forward processing applies exactly once).
+  auto hooks = op_hooks_.find(server);
+  assert(hooks != op_hooks_.end() && hooks->second.apply &&
+         "operation logging requires registered hooks");
+  hooks->second.apply(op_name, apply_args, lsn);
+  MaybeAutoReclaim();
+  return lsn;
+}
+
+void RecoveryManager::UndoTransaction(const TransactionId& owner, const TransactionId& top) {
+  auto it = undo_lists_.find(owner);
+  if (it == undo_lists_.end()) {
+    return;
+  }
+  // "...the recovery manager follows the backward chain of log records that
+  // were written by the transaction and sends messages to the servers
+  // instructing them to undo their effects." (Section 3.2.2)
+  std::vector<Lsn> list = std::move(it->second);
+  undo_lists_.erase(it);
+  for (auto rit = list.rbegin(); rit != list.rend(); ++rit) {
+    auto rec = log_.ReadRecord(*rit);
+    assert(rec.has_value() && "undo-list record vanished before abort finished");
+    if (SegmentOf(rec->server) == nullptr) {
+      // The server crashed independently: its volatile state is gone and no
+      // compensation is written now. Its single-server recovery will roll
+      // this (aborted) record back from the log.
+      continue;
+    }
+    if (rec->type == RecordType::kValueUpdate) {
+      LogRecord comp;
+      comp.type = RecordType::kCompensation;
+      comp.owner = owner;
+      comp.top = top;
+      comp.undo_next_lsn = rec->prev_lsn;
+      comp.server = rec->server;
+      comp.oid = rec->oid;
+      comp.old_value = rec->new_value;
+      comp.new_value = rec->old_value;
+      Bytes restored = rec->old_value;
+      Lsn comp_lsn = log_.Append(std::move(comp));
+      kernel::RecoverableSegment* seg = SegmentForOid(rec->server, rec->oid);
+      seg->Pin(rec->oid);
+      seg->Write(rec->oid, restored, comp_lsn);
+      seg->Unpin(rec->oid);
+    } else if (rec->type == RecordType::kOperationUpdate) {
+      LogRecord comp;
+      comp.type = RecordType::kOpCompensation;
+      comp.owner = owner;
+      comp.top = top;
+      comp.undo_next_lsn = rec->prev_lsn;
+      comp.server = rec->server;
+      // The compensation's redo *is* the original's undo: replaying it after
+      // a crash re-applies the inverse operation.
+      comp.op_name = rec->undo_op_name;
+      comp.redo_args = rec->undo_args;
+      comp.pages = rec->pages;
+      Lsn comp_lsn = log_.Append(std::move(comp));
+      auto hooks = op_hooks_.find(rec->server);
+      assert(hooks != op_hooks_.end() && hooks->second.apply &&
+             "operation record for server without hooks");
+      hooks->second.apply(rec->undo_op_name, rec->undo_args, comp_lsn);
+    }
+    // Compensation records themselves never appear in undo lists.
+  }
+}
+
+void RecoveryManager::MergeChild(const TransactionId& child, const TransactionId& parent) {
+  auto it = undo_lists_.find(child);
+  if (it == undo_lists_.end()) {
+    return;
+  }
+  auto& parent_list = undo_lists_[parent];
+  parent_list.insert(parent_list.end(), it->second.begin(), it->second.end());
+  // Keep LSN order so a parent abort unwinds newest-first across children.
+  std::sort(parent_list.begin(), parent_list.end());
+  undo_lists_.erase(child);
+}
+
+void RecoveryManager::ForgetTransaction(const TransactionId& owner) {
+  undo_lists_.erase(owner);
+  log_.ForgetChain(owner);
+}
+
+std::vector<Lsn> RecoveryManager::UndoListOf(const TransactionId& owner) const {
+  auto it = undo_lists_.find(owner);
+  return it == undo_lists_.end() ? std::vector<Lsn>{} : it->second;
+}
+
+Lsn RecoveryManager::FirstLsnOf(const TransactionId& owner) const {
+  auto it = undo_lists_.find(owner);
+  return it == undo_lists_.end() || it->second.empty() ? kNullLsn : it->second.front();
+}
+
+void RecoveryManager::OnFirstDirty(PageId page, Lsn recovery_lsn) {
+  // Kernel -> RM: "a page frame backed by a recoverable segment has been
+  // modified for the first time". Its message cost is folded into the
+  // write-back bundle charged by BeforePageWrite (the paper's counts bill
+  // the WAL messages where the transaction actually waits for paging).
+}
+
+std::uint64_t RecoveryManager::BeforePageWrite(PageId page, Lsn last_lsn) {
+  // The write-back message bundle: first-dirty notification, kernel -> RM
+  // write request, RM -> kernel permission — after the log covering the
+  // page is safely on stable storage.
+  node_.substrate().ChargeSystemMessage(sim::Primitive::kSmallMessage, 3);
+  log_.Force(last_lsn);
+  // The sequence number the kernel stamps into the sector header is the LSN
+  // of the latest record applying to the page (the operation-logging guard).
+  return last_lsn;
+}
+
+void RecoveryManager::AfterPageWrite(PageId page, bool ok) {
+  assert(ok);
+  node_.substrate().ChargeSystemMessage(sim::Primitive::kSmallMessage, 1);
+}
+
+RecoveryStats RecoveryManager::Recover(TxnOutcomeSource& outcomes,
+                                       const std::string* only_server) {
+  RecoveryStats stats;
+  bool saw_operations = false;
+  Lsn scan_low = AnalysisPass(outcomes, &stats, &saw_operations, only_server);
+  stats.passes = 1;
+  if (saw_operations) {
+    // Three-pass algorithm for operation-logged objects (Section 2.1.3:
+    // "it requires three passes over the log during crash recovery").
+    RunOperationPasses(outcomes, scan_low, &stats, only_server);
+    stats.passes = 3;
+  }
+  // Single backward pass for value-logged objects. Runs in every recovery:
+  // both techniques co-exist in the common log.
+  RunValueBackwardPass(outcomes, scan_low, &stats, only_server);
+  // Reading the retained log from disk costs sequential I/O per pass — the
+  // reason checkpoints "shorten the time to recover after a crash".
+  std::uint64_t retained = log_.StableBytesInUse();
+  node_.substrate().Charge(sim::Primitive::kSequentialRead,
+                           static_cast<double>(stats.passes) *
+                               static_cast<double>((retained + kPageSize - 1) / kPageSize));
+  // Losers are now rolled back; make that outcome durable so a second crash
+  // classifies them as aborted immediately. (Single-server recovery writes
+  // none: the node is alive and its Transaction Manager owns the outcomes —
+  // World::CrashServer aborted every transaction involving the server.)
+  if (only_server == nullptr) {
+    for (const TransactionId& loser : stats.losers) {
+      LogRecord abort_rec;
+      abort_rec.type = RecordType::kTxnAbort;
+      abort_rec.owner = loser;
+      abort_rec.top = loser;
+      log_.Append(std::move(abort_rec));
+    }
+  }
+  // Settle the rebuilt state onto non-volatile storage so a crash during the
+  // next epoch starts from here.
+  for (auto& [name, seg] : segments_) {
+    seg->FlushAll();
+  }
+  log_.ForceAll();
+  return stats;
+}
+
+}  // namespace tabs::recovery

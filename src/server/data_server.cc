@@ -1,0 +1,180 @@
+#include "src/server/data_server.h"
+
+#include <cassert>
+
+namespace tabs::server {
+
+DataServer::DataServer(const ServerContext& ctx, Options options)
+    : ctx_(ctx),
+      options_(std::move(options)),
+      name_(ctx.name),
+      segment_(std::make_unique<kernel::RecoverableSegment>(
+          ctx.node->substrate(), ctx.node->disk(), ctx.segment, options_.pages,
+          options_.buffer_frames)),
+      locks_(ctx.node->substrate().scheduler(), options_.matrix, options_.lock_timeout) {
+  ctx_.rm->RegisterSegment(name_, segment_.get());
+  recovery::OperationHooks hooks;
+  hooks.apply = [this](const std::string& op, const Bytes& args, Lsn lsn) {
+    auto it = operations_.find(op);
+    assert(it != operations_.end() && "operation record names an unregistered operation");
+    it->second(args, lsn);
+  };
+  ctx_.rm->RegisterOperationHooks(name_, hooks);
+}
+
+void DataServer::Join(const Tx& tx) {
+  ctx_.tm->JoinServer(tx.tid, tx.top, this);
+}
+
+Status DataServer::LockObject(const Tx& tx, const ObjectId& oid, lock::LockMode mode) {
+  // A library call is an operation on behalf of tx: the server announces
+  // itself to the Transaction Manager on first contact (idempotent), so
+  // commit/abort cleanup always reaches it even when the call bypassed the
+  // request dispatcher (ExecuteTransaction bodies, nested helpers).
+  Join(tx);
+  return locks_.Lock(tx.tid, oid, mode);
+}
+
+bool DataServer::ConditionallyLockObject(const Tx& tx, const ObjectId& oid,
+                                         lock::LockMode mode) {
+  Join(tx);
+  return locks_.ConditionalLock(tx.tid, oid, mode);
+}
+
+void DataServer::PinAndBuffer(const Tx& tx, const ObjectId& oid) {
+  Join(tx);
+  segment_->Pin(oid);
+  Bytes current = segment_->Read(oid);
+  StagedWrite sw;
+  sw.old_value = current;
+  sw.new_value = std::move(current);
+  staged_[{tx.tid, oid}] = std::move(sw);
+}
+
+Bytes& DataServer::Staged(const Tx& tx, const ObjectId& oid) {
+  auto it = staged_.find({tx.tid, oid});
+  assert(it != staged_.end() && "Staged() without PinAndBuffer()");
+  return it->second.new_value;
+}
+
+void DataServer::LogAndUnPin(const Tx& tx, const ObjectId& oid) {
+  auto it = staged_.find({tx.tid, oid});
+  assert(it != staged_.end() && "LogAndUnPin() without PinAndBuffer()");
+  // The buffered old value and the new value travel to the Recovery Manager
+  // (one large local message of log data), which appends the record and
+  // applies the new value to the segment under the record's LSN.
+  substrate().ChargeSystemMessage(sim::Primitive::kLargeMessage, 1);
+  substrate().ChargeSystemMessage(sim::Primitive::kSmallMessage, 2);  // pin/unpin kernel msgs
+  ctx_.rm->LogValue(tx.tid, tx.top, name_, oid, std::move(it->second.old_value),
+                    std::move(it->second.new_value));
+  staged_.erase(it);
+  segment_->Unpin(oid);
+  updates_.insert(tx.tid);
+}
+
+Status DataServer::LockAndMark(const Tx& tx, const ObjectId& oid, lock::LockMode mode) {
+  Status s = LockObject(tx, oid, mode);
+  if (s != Status::kOk) {
+    return s;
+  }
+  marked_[tx.tid].push_back(oid);
+  return Status::kOk;
+}
+
+void DataServer::PinAndBufferMarkedObjects(const Tx& tx) {
+  auto it = marked_.find(tx.tid);
+  if (it == marked_.end()) {
+    return;
+  }
+  for (const ObjectId& oid : it->second) {
+    PinAndBuffer(tx, oid);
+  }
+}
+
+void DataServer::LogAndUnPinMarkedObjects(const Tx& tx) {
+  auto it = marked_.find(tx.tid);
+  if (it == marked_.end()) {
+    return;
+  }
+  for (const ObjectId& oid : it->second) {
+    LogAndUnPin(tx, oid);
+  }
+  marked_.erase(it);
+}
+
+void DataServer::WriteValue(const Tx& tx, const ObjectId& oid, Bytes new_value) {
+  PinAndBuffer(tx, oid);
+  Staged(tx, oid) = std::move(new_value);
+  LogAndUnPin(tx, oid);
+}
+
+Status DataServer::ExecuteTransaction(const std::function<Status(const Tx&)>& body) {
+  TransactionId tid = ctx_.tm->Begin();
+  Tx tx{tid, tid, node_id(), ctx_.cm};
+  // The body operates on this server directly (no dispatch), so the first-
+  // operation announcement to the Transaction Manager happens here.
+  Join(tx);
+  Status s = body(tx);
+  if (s == Status::kOk) {
+    return ctx_.tm->End(tid);
+  }
+  ctx_.tm->Abort(tid);
+  return s;
+}
+
+void DataServer::RegisterOperation(const std::string& op_name, OpFn fn) {
+  operations_[op_name] = std::move(fn);
+}
+
+Lsn DataServer::LogOperationRecord(const Tx& tx, const std::string& op_name, Bytes redo_args,
+                                   const std::string& undo_op_name, Bytes undo_args,
+                                   std::vector<PageId> pages) {
+  Join(tx);
+  substrate().ChargeSystemMessage(sim::Primitive::kLargeMessage, 1);
+  substrate().ChargeSystemMessage(sim::Primitive::kSmallMessage, 2);
+  updates_.insert(tx.tid);
+  return ctx_.rm->LogOperation(tx.tid, tx.top, name_, op_name, std::move(redo_args),
+                               undo_op_name, std::move(undo_args), std::move(pages));
+}
+
+void DataServer::OnCommit(const TransactionId& tid) {
+  locks_.ReleaseAll(tid);
+  updates_.erase(tid);
+  marked_.erase(tid);
+  // Any staged-but-unlogged writes vanish (they were never applied).
+  for (auto it = staged_.begin(); it != staged_.end();) {
+    if (it->first.first == tid) {
+      segment_->Unpin(it->first.second);
+      it = staged_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void DataServer::OnAbort(const TransactionId& tid) {
+  OnCommit(tid);  // identical cleanup; the undo itself ran through the RM
+}
+
+void DataServer::OnSubtxnCommit(const TransactionId& child, const TransactionId& parent) {
+  locks_.InheritToParent(child, parent);
+  if (updates_.erase(child) > 0) {
+    updates_.insert(parent);
+  }
+  marked_.erase(child);
+}
+
+void DataServer::RelockForRecovery(const TransactionId& tid, const log::LogRecord& rec) {
+  updates_.insert(tid);
+  if (rec.IsValueStyle()) {
+    locks_.ConditionalLock(tid, rec.oid, lock::kExclusive);
+    return;
+  }
+  // Operation records: lock the touched pages wholesale.
+  for (const PageId& p : rec.pages) {
+    locks_.ConditionalLock(tid, ObjectId{p.segment, p.page * kPageSize, kPageSize},
+                           lock::kExclusive);
+  }
+}
+
+}  // namespace tabs::server

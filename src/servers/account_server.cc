@@ -1,0 +1,173 @@
+#include "src/servers/account_server.h"
+
+#include <cstring>
+
+namespace tabs::servers {
+
+namespace {
+
+server::DataServer::Options MakeOptions(std::uint32_t accounts) {
+  server::DataServer::Options o;
+  o.pages = (accounts * 8 + kPageSize - 1) / kPageSize;
+  // Typed compatibility: increments and decrements commute with each other
+  // (and with themselves); reads conflict with updates; exclusive conflicts
+  // with everything.
+  lock::CompatibilityMatrix m(4);
+  m.SetCompatible(lock::kShared, lock::kShared);
+  m.SetCompatible(AccountServer::kIncrement, AccountServer::kIncrement);
+  m.SetCompatible(AccountServer::kDecrement, AccountServer::kDecrement);
+  m.SetCompatible(AccountServer::kIncrement, AccountServer::kDecrement);
+  o.matrix = m;
+  return o;
+}
+
+}  // namespace
+
+AccountServer::AccountServer(const server::ServerContext& ctx, std::uint32_t accounts)
+    : DataServer(ctx, MakeOptions(accounts)), accounts_(accounts) {
+  RegisterOperation("deposit", [this](const Bytes& args, Lsn lsn) {
+    std::uint32_t account;
+    std::int64_t amount;
+    std::memcpy(&account, args.data(), 4);
+    std::memcpy(&amount, args.data() + 4, 8);
+    ApplyDelta(account, amount, lsn);
+  });
+  RegisterOperation("withdraw", [this](const Bytes& args, Lsn lsn) {
+    std::uint32_t account;
+    std::int64_t amount;
+    std::memcpy(&account, args.data(), 4);
+    std::memcpy(&amount, args.data() + 4, 8);
+    ApplyDelta(account, -amount, lsn);
+  });
+}
+
+std::int64_t AccountServer::CurrentBalance(std::uint32_t account) {
+  Bytes b = ReadObject(BalanceOid(account));
+  std::int64_t v;
+  std::memcpy(&v, b.data(), 8);
+  return v;
+}
+
+void AccountServer::ApplyDelta(std::uint32_t account, std::int64_t delta, Lsn lsn) {
+  std::int64_t v = CurrentBalance(account) + delta;
+  Bytes nv(8);
+  std::memcpy(nv.data(), &v, 8);
+  ObjectId oid = BalanceOid(account);
+  PinObject(oid);
+  segment().Write(oid, nv, lsn);
+  UnPinObject(oid);
+}
+
+Status AccountServer::LogDelta(const server::Tx& tx, std::uint32_t account,
+                               std::int64_t delta, const char* op, const char* undo_op) {
+  Bytes args(12);
+  std::uint32_t acc = account;
+  std::int64_t amount = delta;
+  std::memcpy(args.data(), &acc, 4);
+  std::memcpy(args.data() + 4, &amount, 8);
+  LogOperationRecord(tx, op, args, undo_op, args,
+                     {{segment().id(), BalanceOid(account).FirstPage()}});
+  return Status::kOk;
+}
+
+Status AccountServer::Deposit(const server::Tx& tx, std::uint32_t account,
+                              std::int64_t amount) {
+  auto r = Call<bool>(tx, "Deposit", [this, tx, account, amount]() -> Result<bool> {
+    if (account >= accounts_ || amount <= 0) {
+      return Status::kOutOfRange;
+    }
+    Status s = LockObject(tx, BalanceOid(account), kIncrement);
+    if (s != Status::kOk) {
+      return s;
+    }
+    pending_increment_[account] += amount;
+    txn_increments_[tx.tid][account] += amount;
+    LogDelta(tx, account, amount, "deposit", "withdraw");
+    return true;
+  });
+  return r.ok() ? Status::kOk : r.status();
+}
+
+Status AccountServer::Withdraw(const server::Tx& tx, std::uint32_t account,
+                               std::int64_t amount) {
+  auto r = Call<bool>(tx, "Withdraw", [this, tx, account, amount]() -> Result<bool> {
+    if (account >= accounts_ || amount <= 0) {
+      return Status::kOutOfRange;
+    }
+    Status s = LockObject(tx, BalanceOid(account), kDecrement);
+    if (s != Status::kOk) {
+      return s;
+    }
+    // Escrow admission: the guaranteed balance assumes every concurrent
+    // withdrawal commits and every uncommitted deposit (already applied to
+    // the in-memory balance) aborts.
+    std::int64_t guaranteed = CurrentBalance(account) - pending_decrement_[account] -
+                              pending_increment_[account];
+    if (guaranteed < amount) {
+      return Status::kConflict;  // might overdraw; reject rather than wait
+    }
+    pending_decrement_[account] += amount;
+    txn_decrements_[tx.tid][account] += amount;
+    LogDelta(tx, account, amount, "withdraw", "deposit");
+    return true;
+  });
+  return r.ok() ? Status::kOk : r.status();
+}
+
+Result<std::int64_t> AccountServer::ReadBalance(const server::Tx& tx, std::uint32_t account) {
+  return Call<std::int64_t>(tx, "ReadBalance", [this, tx, account]() -> Result<std::int64_t> {
+    if (account >= accounts_) {
+      return Status::kOutOfRange;
+    }
+    Status s = LockObject(tx, BalanceOid(account), lock::kShared);
+    if (s != Status::kOk) {
+      return s;
+    }
+    return CurrentBalance(account);
+  });
+}
+
+void AccountServer::SettleEscrow(const TransactionId& tid) {
+  auto dec = txn_decrements_.find(tid);
+  if (dec != txn_decrements_.end()) {
+    for (auto& [account, amount] : dec->second) {
+      pending_decrement_[account] -= amount;
+    }
+    txn_decrements_.erase(dec);
+  }
+  auto inc = txn_increments_.find(tid);
+  if (inc != txn_increments_.end()) {
+    for (auto& [account, amount] : inc->second) {
+      pending_increment_[account] -= amount;
+    }
+    txn_increments_.erase(inc);
+  }
+}
+
+void AccountServer::OnCommit(const TransactionId& tid) {
+  SettleEscrow(tid);
+  DataServer::OnCommit(tid);
+}
+
+void AccountServer::OnAbort(const TransactionId& tid) {
+  SettleEscrow(tid);
+  DataServer::OnAbort(tid);
+}
+
+void AccountServer::OnSubtxnCommit(const TransactionId& child, const TransactionId& parent) {
+  auto move_into = [&](std::map<TransactionId, PerAccount>& table) {
+    auto it = table.find(child);
+    if (it != table.end()) {
+      auto& into = table[parent];
+      for (auto& [account, amount] : it->second) {
+        into[account] += amount;
+      }
+      table.erase(child);
+    }
+  };
+  move_into(txn_decrements_);
+  move_into(txn_increments_);
+  DataServer::OnSubtxnCommit(child, parent);
+}
+
+}  // namespace tabs::servers

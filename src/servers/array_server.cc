@@ -1,0 +1,55 @@
+#include "src/servers/array_server.h"
+
+#include <cstring>
+
+namespace tabs::servers {
+
+namespace {
+server::DataServer::Options MakeOptions(std::uint32_t cells, size_t buffer_frames) {
+  server::DataServer::Options o;
+  o.pages = (cells * sizeof(std::int32_t) + kPageSize - 1) / kPageSize;
+  o.buffer_frames = buffer_frames;
+  return o;
+}
+}  // namespace
+
+ArrayServer::ArrayServer(const server::ServerContext& ctx, std::uint32_t cells,
+                         size_t buffer_frames)
+    : DataServer(ctx, MakeOptions(cells, buffer_frames)), cells_(cells) {}
+
+Result<std::int32_t> ArrayServer::GetCell(const server::Tx& tx, std::uint32_t cell) {
+  return Call<std::int32_t>(tx, "GetCell", [this, tx, cell]() -> Result<std::int32_t> {
+    if (cell >= cells_) {
+      return Status::kOutOfRange;
+    }
+    ObjectId obj = CellOid(cell);
+    Status s = LockObject(tx, obj, lock::kShared);
+    if (s != Status::kOk) {
+      return s;
+    }
+    Bytes v = ReadObject(obj);
+    std::int32_t value;
+    std::memcpy(&value, v.data(), sizeof value);
+    return value;
+  });
+}
+
+Status ArrayServer::SetCell(const server::Tx& tx, std::uint32_t cell, std::int32_t value) {
+  auto r = Call<bool>(tx, "SetCell", [this, tx, cell, value]() -> Result<bool> {
+    if (cell >= cells_) {
+      return Status::kOutOfRange;
+    }
+    ObjectId obj = CellOid(cell);
+    Status s = LockObject(tx, obj, lock::kExclusive);
+    if (s != Status::kOk) {
+      return s;
+    }
+    PinAndBuffer(tx, obj);
+    std::memcpy(Staged(tx, obj).data(), &value, sizeof value);  // obj.ptr^ := value
+    LogAndUnPin(tx, obj);
+    return true;
+  });
+  return r.ok() ? Status::kOk : r.status();
+}
+
+}  // namespace tabs::servers

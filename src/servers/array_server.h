@@ -1,0 +1,42 @@
+// The integer array server (paper Section 4.1).
+//
+// "The integer array server maintains an array of (one word) integers" with
+// GetCell/SetCell operations — the simplest possible data server, using only
+// two-phase read/write locking and value logging. The combined Pascal code
+// for both operations was 50 lines; the structure below mirrors it: compute
+// the cell's ObjectId by address arithmetic, lock it, PinAndBuffer, assign,
+// LogAndUnPin.
+
+#ifndef TABS_SERVERS_ARRAY_SERVER_H_
+#define TABS_SERVERS_ARRAY_SERVER_H_
+
+#include <cstdint>
+
+#include "src/server/data_server.h"
+
+namespace tabs::servers {
+
+class ArrayServer : public server::DataServer {
+ public:
+  ArrayServer(const server::ServerContext& ctx, std::uint32_t cells,
+              size_t buffer_frames = 1024);
+
+  std::uint32_t max_cell() const { return cells_; }
+
+  // FUNCTION GetCell(cellNum: integer): integer
+  Result<std::int32_t> GetCell(const server::Tx& tx, std::uint32_t cell);
+  // PROCEDURE SetCell(cellNum: integer; value: integer)
+  Status SetCell(const server::Tx& tx, std::uint32_t cell, std::int32_t value);
+
+  // The cell's ObjectId (address arithmetic, exposed for tests/benches).
+  ObjectId CellOid(std::uint32_t cell) const {
+    return CreateObjectId(cell * sizeof(std::int32_t), sizeof(std::int32_t));
+  }
+
+ private:
+  std::uint32_t cells_;
+};
+
+}  // namespace tabs::servers
+
+#endif  // TABS_SERVERS_ARRAY_SERVER_H_

@@ -1,0 +1,125 @@
+// The Input/Output server (paper Section 4.3).
+//
+// The IO server extends the transaction domain to the display: output is
+// shown immediately but rendered in a style that reveals the state of the
+// transaction that produced it —
+//   * in progress: gray ("tentative nature"),
+//   * committed:   black ("the operation really occurred"),
+//   * aborted:     struck through ("preferable to making output disappear").
+// After a node failure the screen contents are restored from a recoverable
+// segment (TABS marked real screens with grease pencils to check this; we
+// settle for assertions).
+//
+// The trick for determining a finished transaction's outcome without asking
+// the Transaction Manager (which "would require retaining an infinite amount
+// of log data") is the paper's: when a transaction takes ownership of an
+// area the server runs ExecuteTransaction to write `aborted` into a state
+// object, then has the client transaction lock the state object and set it
+// to `committed`. Later:
+//   * state object locked        -> the client transaction is in progress;
+//   * unlocked, reads committed  -> it committed;
+//   * unlocked, reads aborted    -> it aborted (recovery reset the value).
+//
+// Output characters are permanent but NOT failure atomic: each write happens
+// inside its own ExecuteTransaction, so text survives even when the client
+// transaction later aborts.
+
+#ifndef TABS_SERVERS_IO_SERVER_H_
+#define TABS_SERVERS_IO_SERVER_H_
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/server/data_server.h"
+
+namespace tabs::servers {
+
+enum class DisplayState { kInProgress, kCommitted, kAborted };
+
+struct DisplayLine {
+  std::string text;
+  DisplayState state = DisplayState::kInProgress;
+  bool is_input = false;  // echoed user input (the paper draws boxes around it)
+};
+
+using IoAreaId = std::uint32_t;
+
+class IoServer : public server::DataServer {
+ public:
+  IoServer(const server::ServerContext& ctx, std::uint32_t area_count = 8);
+
+  // FUNCTION ObtainIOarea: ioAreaID — the client transaction becomes the
+  // area's owner; its outcome will color the area's subsequent output.
+  Result<IoAreaId> ObtainIOArea(const server::Tx& tx);
+  // PROCEDURE DestroyIOarea
+  Status DestroyIOArea(const server::Tx& tx, IoAreaId area);
+  // PROCEDURE WriteToArea — appends to the area's current line.
+  Status WriteToArea(const server::Tx& tx, IoAreaId area, const std::string& text);
+  // PROCEDURE WriteLnToArea — writes text and terminates the line.
+  Status WriteLnToArea(const server::Tx& tx, IoAreaId area, const std::string& text);
+  // FUNCTION ReadCharFromArea — one echoed character of input.
+  Result<char> ReadCharFromArea(const server::Tx& tx, IoAreaId area);
+  // FUNCTION ReadLineFromArea — blocks until input is available; the echo is
+  // written to the area (the paper boxes characters the application read).
+  Result<std::string> ReadLineFromArea(const server::Tx& tx, IoAreaId area);
+
+  // Simulated keyboard: queue a line of input for an area.
+  void TypeInput(IoAreaId area, std::string line);
+
+  // The screen, reconstructed from the recoverable segment + lock state.
+  // Works identically before and after a crash.
+  std::vector<DisplayLine> Render(IoAreaId area);
+  std::string RenderScreen();  // all areas, ANSI-free textual markup
+
+ private:
+  // Segment layout per area (fixed-size record):
+  //   state object (4): 0 = aborted, 1 = committed
+  //   epoch (4): increments per ObtainIOArea, clears the text
+  //   text length (4)
+  //   line table count (4)
+  //   allocated flag (4): the area is owned until DestroyIOArea frees it
+  //   (4 pad), then kMaxLines x {offset u16, len u16, input u8, pad},
+  //   then text bytes (kTextBytes)
+  static constexpr std::uint32_t kMaxLines = 48;
+  static constexpr std::uint32_t kTextBytes = 2048;
+  static constexpr std::uint32_t kLineEntry = 8;
+  static constexpr std::uint32_t kHeader = 24;
+  static constexpr std::uint32_t kAreaSize =
+      kHeader + kMaxLines * kLineEntry + kTextBytes;
+
+  std::uint32_t AreaBase(IoAreaId area) const { return area * kAreaSize; }
+  ObjectId StateOid(IoAreaId area) const { return CreateObjectId(AreaBase(area), 4); }
+  ObjectId EpochOid(IoAreaId area) const { return CreateObjectId(AreaBase(area) + 4, 4); }
+  ObjectId LenOid(IoAreaId area) const { return CreateObjectId(AreaBase(area) + 8, 4); }
+  ObjectId LineCountOid(IoAreaId area) const { return CreateObjectId(AreaBase(area) + 12, 4); }
+  ObjectId AllocatedOid(IoAreaId area) const { return CreateObjectId(AreaBase(area) + 16, 4); }
+  ObjectId LineOid(IoAreaId area, std::uint32_t line) const {
+    return CreateObjectId(AreaBase(area) + kHeader + line * kLineEntry, kLineEntry);
+  }
+  ObjectId TextOid(IoAreaId area, std::uint32_t offset, std::uint32_t len) const {
+    return CreateObjectId(AreaBase(area) + kHeader + kMaxLines * kLineEntry + offset, len);
+  }
+
+  std::uint32_t ReadU32(const ObjectId& oid);
+  // Writes one u32 object inside a fresh top-level transaction (permanent,
+  // non-failure-atomic with respect to the *client* transaction).
+  void PermanentWriteU32(const server::Tx& io_tx, const ObjectId& oid, std::uint32_t v);
+
+  Status AppendLine(const server::Tx& tx, IoAreaId area, const std::string& text,
+                    bool is_input);
+  Result<std::string> BlockForInput(IoAreaId area);
+
+  std::uint32_t area_count_;
+  std::map<IoAreaId, std::deque<std::string>> pending_input_;
+  // Partial lines accumulated by WriteToArea, flushed by WriteLnToArea.
+  // Volatile by design: an unterminated line is in-flight terminal state.
+  std::map<IoAreaId, std::string> partial_line_;
+  sim::WaitQueue input_arrived_;
+};
+
+}  // namespace tabs::servers
+
+#endif  // TABS_SERVERS_IO_SERVER_H_

@@ -1,0 +1,137 @@
+#include "src/servers/weak_queue_server.h"
+
+#include <cstring>
+
+namespace tabs::servers {
+
+namespace {
+server::DataServer::Options MakeOptions(std::uint32_t capacity) {
+  server::DataServer::Options o;
+  o.pages = (64 + capacity * 8 + kPageSize - 1) / kPageSize;
+  return o;
+}
+}  // namespace
+
+WeakQueueServer::WeakQueueServer(const server::ServerContext& ctx, std::uint32_t capacity)
+    : DataServer(ctx, MakeOptions(capacity)), capacity_(capacity) {
+  Recover();
+}
+
+std::uint32_t WeakQueueServer::ReadHead() {
+  Bytes b = ReadObject(HeadOid());
+  std::uint32_t h;
+  std::memcpy(&h, b.data(), 4);
+  return h;
+}
+
+WeakQueueServer::Element WeakQueueServer::ReadElement(std::uint32_t index) {
+  Bytes b = ReadObject(ElementOid(index));
+  Element e;
+  std::memcpy(&e.value, b.data(), 4);
+  e.in_use = b[4] != 0;
+  return e;
+}
+
+void WeakQueueServer::Recover() {
+  // "The tail pointer can be recomputed after crashes by examining the head
+  // pointer and InUse bits, so it is kept in volatile storage."
+  std::uint32_t head = ReadHead();
+  tail_ = head;
+  for (std::uint32_t i = head; i < head + capacity_; ++i) {
+    if (ReadElement(i).in_use) {
+      tail_ = i + 1;
+    }
+  }
+}
+
+Status WeakQueueServer::Enqueue(const server::Tx& tx, std::int32_t data) {
+  auto r = Call<bool>(tx, "Enqueue", [this, tx, data]() -> Result<bool> {
+    // Garbage collection as a side effect of Enqueue: move the head past
+    // elements that are not locked and not in use (aborted enqueues and
+    // completed dequeues). The head is failure atomic, so an abort of this
+    // transaction rolls the collection back harmlessly.
+    std::uint32_t head = ReadHead();
+    std::uint32_t collected = head;
+    while (collected < tail_ && !IsObjectLocked(ElementOid(collected)) &&
+           !ReadElement(collected).in_use) {
+      ++collected;
+    }
+    if (collected != head) {
+      if (ConditionallyLockObject(tx, HeadOid(), lock::kExclusive)) {
+        PinAndBuffer(tx, HeadOid());
+        std::memcpy(Staged(tx, HeadOid()).data(), &collected, 4);
+        LogAndUnPin(tx, HeadOid());
+        head = collected;
+      }
+    }
+
+    // Full check reads the head pointer without locking it (the paper's
+    // deliberate unprotected read — blocking here would serialize the queue).
+    if (tail_ - head >= capacity_) {
+      return Status::kConflict;  // queue full
+    }
+
+    // Place the item below the tail pointer. The tail is volatile and only
+    // ever updated between waits (monitor semantics): no lock needed.
+    std::uint32_t slot = tail_;
+    ObjectId obj = ElementOid(slot);
+    Status s = LockObject(tx, obj, lock::kExclusive);
+    if (s != Status::kOk) {
+      return s;
+    }
+    tail_ = slot + 1;
+    PinAndBuffer(tx, obj);
+    Bytes& staged = Staged(tx, obj);
+    std::memcpy(staged.data(), &data, 4);
+    staged[4] = 1;  // InUse := true (abort restores the gap)
+    LogAndUnPin(tx, obj);
+    return true;
+  });
+  return r.ok() ? Status::kOk : r.status();
+}
+
+Result<std::int32_t> WeakQueueServer::Dequeue(const server::Tx& tx) {
+  return Call<std::int32_t>(tx, "Dequeue", [this, tx]() -> Result<std::int32_t> {
+    std::uint32_t head = ReadHead();
+    for (std::uint32_t i = head; i < tail_; ++i) {
+      ObjectId obj = ElementOid(i);
+      // "If an element is locked, another operation is still manipulating
+      // it; if its InUse bit is false, the Enqueue aborted or it was already
+      // removed."
+      if (IsObjectLocked(obj)) {
+        continue;
+      }
+      Element e = ReadElement(i);
+      if (!e.in_use) {
+        continue;
+      }
+      if (!ConditionallyLockObject(tx, obj, lock::kExclusive)) {
+        continue;  // raced another dequeuer between the check and the lock
+      }
+      // Re-read under the lock: the element may have changed while unlocked.
+      e = ReadElement(i);
+      if (!e.in_use) {
+        continue;  // lock retained (strict 2PL); element was emptied
+      }
+      PinAndBuffer(tx, obj);
+      Staged(tx, obj)[4] = 0;  // InUse := false; abort restores the element
+      LogAndUnPin(tx, obj);
+      return e.value;
+    }
+    return Status::kNotFound;  // nothing dequeuable right now
+  });
+}
+
+Result<bool> WeakQueueServer::IsQueueEmpty(const server::Tx& tx) {
+  return Call<bool>(tx, "IsQueueEmpty", [this, tx]() -> Result<bool> {
+    std::uint32_t head = ReadHead();
+    for (std::uint32_t i = head; i < tail_; ++i) {
+      if (IsObjectLocked(ElementOid(i)) || ReadElement(i).in_use) {
+        return false;
+      }
+    }
+    return true;
+  });
+}
+
+}  // namespace tabs::servers

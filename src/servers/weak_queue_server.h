@@ -1,0 +1,75 @@
+// The weak queue server (paper Section 4.2).
+//
+// A weak queue (semi-queue) relaxes FIFO order to gain concurrency while
+// remaining failure atomic: items are not guaranteed to be dequeued strictly
+// in the order they were enqueued. The implementation is the paper's:
+//
+//  * an array of individually lockable elements, each holding its contents
+//    and an InUse bit;
+//  * a head pointer that is a permanent, failure-atomic object;
+//  * a tail pointer kept in volatile storage and recomputed after crashes by
+//    examining the head pointer and the InUse bits;
+//  * Enqueue places the item below the tail pointer, relying on the monitor
+//    semantics of TABS coroutines (our cooperative scheduler: no switch
+//    between waits) so only one transaction at a time updates the tail;
+//  * Dequeue scans from the head using IsObjectLocked and the InUse bit —
+//    exactly the primitives whose addition to the server library this
+//    server prompted — skipping elements other transactions still own;
+//  * aborted Enqueues leave gaps (InUse reset to false) that a garbage
+//    collection pass, run as a side effect of Enqueue, reclaims by advancing
+//    the head past unlocked not-in-use elements.
+
+#ifndef TABS_SERVERS_WEAK_QUEUE_SERVER_H_
+#define TABS_SERVERS_WEAK_QUEUE_SERVER_H_
+
+#include <cstdint>
+
+#include "src/server/data_server.h"
+
+namespace tabs::servers {
+
+class WeakQueueServer : public server::DataServer {
+ public:
+  WeakQueueServer(const server::ServerContext& ctx, std::uint32_t capacity);
+
+  std::uint32_t capacity() const { return capacity_; }
+
+  // PROCEDURE Enqueue(data: integer)
+  Status Enqueue(const server::Tx& tx, std::int32_t data);
+  // FUNCTION Dequeue: integer — kNotFound when no dequeuable element exists.
+  Result<std::int32_t> Dequeue(const server::Tx& tx);
+  // FUNCTION IsQueueEmpty: boolean
+  Result<bool> IsQueueEmpty(const server::Tx& tx);
+
+  // Recomputes the volatile tail pointer from head and the InUse bits.
+  void Recover() override;
+
+  // Introspection for tests.
+  std::uint32_t head() { return ReadHead(); }
+  std::uint32_t tail() const { return tail_; }
+
+ private:
+  // Segment layout: [0,4) head pointer; elements from kElementBase, 8 bytes
+  // each: {int32 value, uint8 in_use, 3 pad}.
+  static constexpr std::uint32_t kElementBase = 64;
+  static constexpr std::uint32_t kElementSize = 8;
+
+  ObjectId HeadOid() const { return CreateObjectId(0, 4); }
+  ObjectId ElementOid(std::uint32_t index) const {
+    return CreateObjectId(kElementBase + (index % capacity_) * kElementSize, kElementSize);
+  }
+
+  std::uint32_t ReadHead();
+  struct Element {
+    std::int32_t value;
+    bool in_use;
+  };
+  Element ReadElement(std::uint32_t index);
+
+  std::uint32_t capacity_;
+  std::uint32_t tail_ = 0;  // volatile; recomputed by Recover()
+};
+
+}  // namespace tabs::servers
+
+#endif  // TABS_SERVERS_WEAK_QUEUE_SERVER_H_

@@ -1,0 +1,59 @@
+#include "src/sim/cost_model.h"
+
+namespace tabs::sim {
+
+const char* PrimitiveName(Primitive p) {
+  switch (p) {
+    case Primitive::kDataServerCall:
+      return "Data Server Call";
+    case Primitive::kInterNodeDataServerCall:
+      return "Inter-Node Data Server Call";
+    case Primitive::kDatagram:
+      return "Datagram";
+    case Primitive::kSmallMessage:
+      return "Small Contiguous Message";
+    case Primitive::kLargeMessage:
+      return "Large Contiguous Message";
+    case Primitive::kPointerMessage:
+      return "Pointer Message";
+    case Primitive::kRandomPageIo:
+      return "Random Access Paged I/O";
+    case Primitive::kSequentialRead:
+      return "Sequential Read";
+    case Primitive::kStableWrite:
+      return "Stable Storage Write";
+    case Primitive::kCount:
+      break;
+  }
+  return "?";
+}
+
+CostModel CostModel::Baseline() {
+  CostModel m;
+  m.Of(Primitive::kDataServerCall) = 26100;        // 26.1 ms
+  m.Of(Primitive::kInterNodeDataServerCall) = 89000;
+  m.Of(Primitive::kDatagram) = 25000;
+  m.Of(Primitive::kSmallMessage) = 3000;
+  m.Of(Primitive::kLargeMessage) = 4400;
+  m.Of(Primitive::kPointerMessage) = 18300;
+  m.Of(Primitive::kRandomPageIo) = 32000;
+  m.Of(Primitive::kSequentialRead) = 16000;
+  m.Of(Primitive::kStableWrite) = 79000;
+  return m;
+}
+
+CostModel CostModel::Achievable() {
+  CostModel m;
+  m.Of(Primitive::kDataServerCall) = 2500;          // 2.5 ms
+  m.Of(Primitive::kInterNodeDataServerCall) = 9000;
+  m.Of(Primitive::kDatagram) = 2000;
+  m.Of(Primitive::kSmallMessage) = 1000;
+  m.Of(Primitive::kLargeMessage) = 1250;
+  m.Of(Primitive::kPointerMessage) = 15000;
+  m.Of(Primitive::kRandomPageIo) = 32000;           // disk-bound already
+  m.Of(Primitive::kSequentialRead) = 10000;
+  m.Of(Primitive::kStableWrite) = 32000;
+  return m;
+}
+
+}  // namespace tabs::sim

@@ -1,0 +1,5 @@
+#include "src/sim/metrics.h"
+
+// Header-only for now; kept as a translation unit for build uniformity.
+
+namespace tabs::sim {}

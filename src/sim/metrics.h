@@ -1,0 +1,89 @@
+// Primitive-operation counters.
+//
+// The paper's Tables 5-2 and 5-3 report how many of each primitive a
+// benchmark executes, split between forward (pre-commit) processing and
+// commit processing. Metrics keeps exactly those two buckets; the
+// Transaction Manager flips the phase around commit processing, and the
+// benchmark harness snapshots/diffs counters per transaction.
+
+#ifndef TABS_SIM_METRICS_H_
+#define TABS_SIM_METRICS_H_
+
+#include <array>
+#include <cstdint>
+
+#include "src/sim/cost_model.h"
+
+namespace tabs::sim {
+
+enum class Phase { kPreCommit = 0, kCommit = 1 };
+
+struct PrimitiveCounts {
+  std::array<double, kPrimitiveCount> count{};
+
+  double Of(Primitive p) const { return count[static_cast<int>(p)]; }
+  double& Of(Primitive p) { return count[static_cast<int>(p)]; }
+
+  PrimitiveCounts operator-(const PrimitiveCounts& o) const {
+    PrimitiveCounts r;
+    for (int i = 0; i < kPrimitiveCount; ++i) {
+      r.count[i] = count[i] - o.count[i];
+    }
+    return r;
+  }
+  PrimitiveCounts& operator+=(const PrimitiveCounts& o) {
+    for (int i = 0; i < kPrimitiveCount; ++i) {
+      count[i] += o.count[i];
+    }
+    return *this;
+  }
+  // Latency predicted by primitives: the weighted sum of Section 5.1.
+  SimTime PredictedTime(const CostModel& m) const {
+    double t = 0;
+    for (int i = 0; i < kPrimitiveCount; ++i) {
+      t += count[i] * static_cast<double>(m.time_us[i]);
+    }
+    return static_cast<SimTime>(t);
+  }
+};
+
+class Metrics {
+ public:
+  void Count(Primitive p, double n = 1.0) { buckets_[static_cast<int>(phase_)].Of(p) += n; }
+
+  Phase phase() const { return phase_; }
+  void SetPhase(Phase ph) { phase_ = ph; }
+
+  const PrimitiveCounts& Bucket(Phase ph) const { return buckets_[static_cast<int>(ph)]; }
+  PrimitiveCounts Total() const {
+    PrimitiveCounts t = buckets_[0];
+    t += buckets_[1];
+    return t;
+  }
+  void Reset() {
+    buckets_[0] = {};
+    buckets_[1] = {};
+    phase_ = Phase::kPreCommit;
+  }
+
+ private:
+  std::array<PrimitiveCounts, 2> buckets_{};
+  Phase phase_ = Phase::kPreCommit;
+};
+
+// RAII phase scope used by the Transaction Manager around commit processing.
+class PhaseScope {
+ public:
+  PhaseScope(Metrics& m, Phase ph) : metrics_(m), saved_(m.phase()) { metrics_.SetPhase(ph); }
+  ~PhaseScope() { metrics_.SetPhase(saved_); }
+  PhaseScope(const PhaseScope&) = delete;
+  PhaseScope& operator=(const PhaseScope&) = delete;
+
+ private:
+  Metrics& metrics_;
+  Phase saved_;
+};
+
+}  // namespace tabs::sim
+
+#endif  // TABS_SIM_METRICS_H_

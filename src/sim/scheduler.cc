@@ -1,0 +1,277 @@
+#include "src/sim/scheduler.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace tabs::sim {
+
+Scheduler::~Scheduler() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutting_down_ = true;
+    for (auto& t : tasks_) {
+      t->killed = true;
+      if (t->state == Task::State::kBlocked) {
+        if (t->waiting_on != nullptr) {
+          auto& w = t->waiting_on->waiters_;
+          w.erase(std::remove(w.begin(), w.end(), t.get()), w.end());
+          t->waiting_on = nullptr;
+        }
+        t->state = Task::State::kReady;
+      }
+    }
+  }
+  // Give every remaining task one turn so its stack unwinds via TaskKilled.
+  Run();
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& t : tasks_) {
+    if (t->thread.joinable()) {
+      t->thread.join();
+    }
+  }
+}
+
+TaskId Scheduler::Spawn(std::string name, NodeId node, SimTime start_time,
+                        std::function<void()> fn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto task = std::make_unique<Task>();
+  task->id = next_id_++;
+  task->name = std::move(name);
+  task->node = node;
+  task->time = start_time;
+  task->state = Task::State::kReady;
+  task->fn = std::move(fn);
+  task->scheduler = this;
+  Task* raw = task.get();
+  task->thread = std::thread(&Scheduler::TaskMain, raw);
+  tasks_.push_back(std::move(task));
+  return raw->id;
+}
+
+void Scheduler::TaskMain(Task* t) {
+  Scheduler* sched = t->scheduler;
+  {
+    std::unique_lock<std::mutex> lock(sched->mu_);
+    t->cv.wait(lock, [&] { return sched->current_ == t; });
+  }
+  if (!t->killed) {
+    try {
+      t->fn();
+    } catch (const TaskKilled&) {
+      // Node crash or shutdown: the task dies with its stack unwound.
+    }
+  }
+  std::lock_guard<std::mutex> lock(sched->mu_);
+  t->state = Task::State::kDone;
+  sched->current_ = nullptr;
+  sched->sched_cv_.notify_one();
+}
+
+int Scheduler::Run() {
+  std::unique_lock<std::mutex> lock(mu_);
+  assert(current_ == nullptr && "Run() must not be called from inside a task");
+  for (;;) {
+    ReapDoneLocked();
+
+    Task* best = nullptr;
+    for (auto& t : tasks_) {
+      if (t->state != Task::State::kReady) {
+        continue;
+      }
+      if (best == nullptr || t->time < best->time ||
+          (t->time == best->time && t->id < best->id)) {
+        best = t.get();
+      }
+    }
+
+    // A pending lock-wait timeout fires if it precedes every runnable task.
+    while (!timers_.empty()) {
+      auto it = timers_.begin();
+      Task* victim = it->second.first;
+      std::uint64_t gen = it->second.second;
+      if (victim->state != Task::State::kBlocked || victim->timer_generation != gen) {
+        timers_.erase(it);  // stale: the task was woken or re-blocked since
+        continue;
+      }
+      if (best != nullptr && best->time <= it->first) {
+        break;  // a runnable task precedes the earliest timeout
+      }
+      // Fire the timeout: pull the victim out of its wait queue.
+      SimTime deadline = it->first;
+      timers_.erase(it);
+      if (victim->waiting_on != nullptr) {
+        auto& w = victim->waiting_on->waiters_;
+        w.erase(std::remove(w.begin(), w.end(), victim), w.end());
+        victim->waiting_on = nullptr;
+      }
+      victim->timed_out = true;
+      victim->state = Task::State::kReady;
+      victim->time = std::max(victim->time, deadline);
+      if (best == nullptr || victim->time < best->time ||
+          (victim->time == best->time && victim->id < best->id)) {
+        best = victim;
+      }
+    }
+
+    if (best == nullptr) {
+      break;  // quiescent: either all done or the rest are blocked forever
+    }
+
+    best->state = Task::State::kRunning;
+    current_ = best;
+    best->cv.notify_one();
+    sched_cv_.wait(lock, [&] { return current_ == nullptr; });
+  }
+  ReapDoneLocked();
+  int blocked = 0;
+  for (auto& t : tasks_) {
+    if (t->state == Task::State::kBlocked) {
+      ++blocked;
+    }
+  }
+  return blocked;
+}
+
+void Scheduler::ReapDoneLocked() {
+  for (auto it = tasks_.begin(); it != tasks_.end();) {
+    if ((*it)->state == Task::State::kDone) {
+      if ((*it)->thread.joinable()) {
+        (*it)->thread.join();
+      }
+      it = tasks_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+SimTime Scheduler::Now() const {
+  assert(current_ != nullptr);
+  return current_->time;
+}
+
+void Scheduler::Charge(SimTime cost) {
+  assert(cost >= 0);
+  if (current_ == nullptr) {
+    return;  // setup work outside any task is free (e.g. server construction)
+  }
+  if (current_->killed) {
+    throw TaskKilled{};
+  }
+  current_->time += cost;
+}
+
+void Scheduler::AdvanceTo(SimTime t) {
+  if (current_ == nullptr) {
+    return;
+  }
+  current_->time = std::max(current_->time, t);
+}
+
+void Scheduler::ParkCurrent(std::unique_lock<std::mutex>& lock, Task* t) {
+  current_ = nullptr;
+  sched_cv_.notify_one();
+  t->cv.wait(lock, [&] { return current_ == t; });
+  if (t->killed) {
+    throw TaskKilled{};
+  }
+}
+
+bool Scheduler::Wait(WaitQueue& q, SimTime timeout) {
+  Task* t = current_;
+  assert(t != nullptr && "Wait() called outside a task");
+  if (t->killed) {
+    throw TaskKilled{};
+  }
+  std::unique_lock<std::mutex> lock(mu_);
+  t->state = Task::State::kBlocked;
+  t->timed_out = false;
+  t->waiting_on = &q;
+  q.waiters_.push_back(t);
+  ++t->timer_generation;
+  if (timeout >= 0) {
+    timers_.insert({t->time + timeout, {t, t->timer_generation}});
+  }
+  ParkCurrent(lock, t);
+  return !t->timed_out;
+}
+
+void Scheduler::WakeLocked(Task* t, SimTime wake_time) {
+  t->waiting_on = nullptr;
+  ++t->timer_generation;  // cancel any pending timeout
+  t->state = Task::State::kReady;
+  t->time = std::max(t->time, wake_time);
+}
+
+void Scheduler::NotifyOne(WaitQueue& q) {
+  assert(current_ != nullptr && "NotifyOne() called outside a task");
+  std::lock_guard<std::mutex> lock(mu_);
+  Task* t = q.Front();
+  if (t != nullptr) {
+    q.waiters_.pop_front();
+    WakeLocked(t, current_->time);
+  }
+}
+
+void Scheduler::NotifyAll(WaitQueue& q) {
+  assert(current_ != nullptr && "NotifyAll() called outside a task");
+  std::lock_guard<std::mutex> lock(mu_);
+  while (Task* t = q.Front()) {
+    q.waiters_.pop_front();
+    WakeLocked(t, current_->time);
+  }
+}
+
+void Scheduler::Yield() {
+  Task* t = current_;
+  assert(t != nullptr);
+  if (t->killed) {
+    throw TaskKilled{};
+  }
+  std::unique_lock<std::mutex> lock(mu_);
+  t->state = Task::State::kReady;
+  ParkCurrent(lock, t);
+}
+
+void Scheduler::KillWhere(const std::function<bool(const Task&)>& pred) {
+  bool kill_self = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& t : tasks_) {
+      if (t->state == Task::State::kDone || !pred(*t)) {
+        continue;
+      }
+      if (t.get() == current_) {
+        kill_self = true;
+        t->killed = true;
+        continue;
+      }
+      t->killed = true;
+      if (t->state == Task::State::kBlocked) {
+        if (t->waiting_on != nullptr) {
+          auto& w = t->waiting_on->waiters_;
+          w.erase(std::remove(w.begin(), w.end(), t.get()), w.end());
+          t->waiting_on = nullptr;
+        }
+        ++t->timer_generation;
+        t->state = Task::State::kReady;  // resumes, sees killed, unwinds
+      }
+    }
+  }
+  if (kill_self) {
+    throw TaskKilled{};
+  }
+}
+
+int Scheduler::blocked_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  int n = 0;
+  for (const auto& t : tasks_) {
+    if (t->state == Task::State::kBlocked) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+}  // namespace tabs::sim

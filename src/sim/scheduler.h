@@ -1,0 +1,197 @@
+// Cooperative, deterministic, virtual-time scheduler.
+//
+// TABS ran as a set of Accent processes with coroutines inside data servers;
+// a coroutine switch occurred only when an operation waited (Section 3.1.1).
+// This scheduler reproduces that execution model: every activity (an
+// application, a data-server request, a commit-protocol participant) is a
+// Task with its own virtual clock. Exactly one task runs at a time; a task
+// runs until it blocks (lock wait, message wait) or finishes, and the
+// scheduler always resumes the runnable task with the smallest virtual time.
+// This makes every run — including multi-node two-phase commits and crash
+// recoveries — bit-for-bit reproducible while still modelling genuine
+// parallelism across nodes (each task advances its own clock; a task that
+// waits for several replies resumes at the max of their arrival times).
+//
+// Tasks are implemented as parked OS threads with strict hand-off: only one
+// thread is ever unparked, so no data races are possible and no per-platform
+// context-switch assembly is needed.
+
+#ifndef TABS_SIM_SCHEDULER_H_
+#define TABS_SIM_SCHEDULER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/common/types.h"
+
+namespace tabs::sim {
+
+class Scheduler;
+
+// Thrown inside a task when its node crashes or the scheduler shuts down.
+// Task bodies generally do not catch this; the task's stack unwinds and the
+// task is discarded, exactly like a process dying with its node.
+struct TaskKilled {};
+
+using TaskId = std::uint64_t;
+constexpr TaskId kInvalidTask = 0;
+
+// A queue of blocked tasks. Lock managers, reply channels, and condition-like
+// constructs are built on WaitQueues.
+class WaitQueue {
+ public:
+  WaitQueue() = default;
+  WaitQueue(const WaitQueue&) = delete;
+  WaitQueue& operator=(const WaitQueue&) = delete;
+
+  bool empty() const { return waiters_.empty(); }
+
+ private:
+  friend class Scheduler;
+  struct Task* Front() { return waiters_.empty() ? nullptr : waiters_.front(); }
+  std::deque<struct Task*> waiters_;
+};
+
+struct Task {
+  enum class State { kReady, kRunning, kBlocked, kDone };
+
+  TaskId id = kInvalidTask;
+  std::string name;
+  NodeId node = kInvalidNode;   // which simulated node this activity runs on
+  State state = State::kReady;
+  SimTime time = 0;             // the task's virtual clock
+  bool timed_out = false;       // set when a Wait() ended by timeout
+  bool killed = false;
+  std::uint64_t timer_generation = 0;
+  WaitQueue* waiting_on = nullptr;
+  std::function<void()> fn;
+  std::thread thread;
+  std::condition_variable cv;
+  Scheduler* scheduler = nullptr;
+};
+
+class Scheduler {
+ public:
+  Scheduler() = default;
+  ~Scheduler();
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  // Creates a task whose clock starts at `start_time` (typically the sender's
+  // clock plus a transmission cost, for message-handler tasks). May be called
+  // from inside a task or from the outside (before Run).
+  TaskId Spawn(std::string name, NodeId node, SimTime start_time, std::function<void()> fn);
+
+  // Runs tasks until none are runnable and no timers are pending. Returns the
+  // number of tasks still blocked (0 on clean completion; nonzero indicates
+  // an un-broken deadlock, which tests assert against).
+  int Run();
+
+  // --- The following are callable only from inside a running task. ---
+
+  // The running task's virtual clock.
+  SimTime Now() const;
+  // Advances the running task's clock by `cost` (a primitive-operation time).
+  void Charge(SimTime cost);
+  // Moves the clock forward to `t` if it is ahead (message-arrival join).
+  void AdvanceTo(SimTime t);
+
+  // Blocks on `q` until notified. With `timeout >= 0`, gives up after that
+  // much virtual time and returns false (TABS breaks deadlock by timeout,
+  // Section 2.1.2). Returns true when genuinely notified.
+  bool Wait(WaitQueue& q, SimTime timeout = -1);
+
+  // Wakes the longest-waiting task in `q`. The woken task resumes no earlier
+  // than the notifier's current virtual time (the wake-up *is* an event).
+  void NotifyOne(WaitQueue& q);
+  void NotifyAll(WaitQueue& q);
+
+  // Lets equal-or-earlier tasks run; the caller continues afterwards.
+  void Yield();
+
+  // Marks every task satisfying `pred` as killed. Blocked victims are woken
+  // and unwind via TaskKilled; the current task, if it matches, throws on its
+  // next scheduling point (or immediately if `immediate`).
+  void KillWhere(const std::function<bool(const Task&)>& pred);
+
+  Task* current() const { return current_; }
+  bool in_task() const { return current_ != nullptr; }
+  int blocked_count() const;
+
+ private:
+  static void TaskMain(Task* t);
+  // Parks the current task (state already updated) and waits to be resumed.
+  // Must be called with mu_ held via the unique_lock.
+  void ParkCurrent(std::unique_lock<std::mutex>& lock, Task* t);
+  void WakeLocked(Task* t, SimTime wake_time);
+  void ReapDoneLocked();
+
+  mutable std::mutex mu_;
+  std::condition_variable sched_cv_;
+  std::vector<std::unique_ptr<Task>> tasks_;
+  // (deadline, (task id, timer generation)) — stale generations are skipped.
+  std::multimap<SimTime, std::pair<Task*, std::uint64_t>> timers_;
+  Task* current_ = nullptr;
+  TaskId next_id_ = 1;
+  bool shutting_down_ = false;
+};
+
+// A typed rendezvous channel: producers Push values (waking a consumer),
+// consumers Pop (blocking while empty). Used for RPC replies and vote
+// collection during two-phase commit.
+template <typename T>
+class Channel {
+ public:
+  explicit Channel(Scheduler& sched) : sched_(sched) {}
+
+  void Push(T v) {
+    items_.push_back(std::move(v));
+    sched_.NotifyOne(queue_);
+  }
+
+  T Pop() {
+    while (items_.empty()) {
+      sched_.Wait(queue_);
+    }
+    T v = std::move(items_.front());
+    items_.pop_front();
+    return v;
+  }
+
+  // Pop with a timeout; returns false (leaving `out` untouched) on timeout.
+  bool PopWithTimeout(SimTime timeout, T* out) {
+    SimTime deadline = sched_.Now() + timeout;
+    while (items_.empty()) {
+      SimTime remaining = deadline - sched_.Now();
+      if (remaining <= 0 || !sched_.Wait(queue_, remaining)) {
+        if (items_.empty()) {
+          return false;
+        }
+        break;
+      }
+    }
+    *out = std::move(items_.front());
+    items_.pop_front();
+    return true;
+  }
+
+  bool empty() const { return items_.empty(); }
+  size_t size() const { return items_.size(); }
+
+ private:
+  Scheduler& sched_;
+  WaitQueue queue_;
+  std::deque<T> items_;
+};
+
+}  // namespace tabs::sim
+
+#endif  // TABS_SIM_SCHEDULER_H_

@@ -1,0 +1,69 @@
+#include "src/sim/sim_disk.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace tabs::sim {
+
+void SimDisk::EnsureSegment(SegmentId segment, PageNumber pages) {
+  auto& vec = segments_[segment];
+  if (vec.size() < pages) {
+    vec.resize(pages);
+  }
+}
+
+PageNumber SimDisk::SegmentPages(SegmentId segment) const {
+  auto it = segments_.find(segment);
+  return it == segments_.end() ? 0 : static_cast<PageNumber>(it->second.size());
+}
+
+DiskPage& SimDisk::PageRef(PageId page) {
+  auto it = segments_.find(page.segment);
+  assert(it != segments_.end() && "segment not created");
+  assert(page.page < it->second.size() && "page out of segment bounds");
+  return it->second[page.page];
+}
+
+std::uint64_t SimDisk::ReadPage(PageId page, std::uint8_t* out, bool sequential) {
+  substrate_.Charge(sequential ? Primitive::kSequentialRead : Primitive::kRandomPageIo);
+  DiskPage& p = PageRef(page);
+  std::memcpy(out, p.data.data(), kPageSize);
+  return p.sequence_number;
+}
+
+void SimDisk::WritePage(PageId page, const std::uint8_t* data, std::uint64_t sequence_number) {
+  substrate_.Charge(Primitive::kRandomPageIo);
+  DiskPage& p = PageRef(page);
+  std::memcpy(p.data.data(), data, kPageSize);
+  p.sequence_number = sequence_number;
+}
+
+std::uint64_t SimDisk::ReadSequenceNumber(PageId page) {
+  substrate_.Charge(Primitive::kRandomPageIo);
+  return PageRef(page).sequence_number;
+}
+
+const DiskPage& SimDisk::PeekPage(PageId page) const {
+  auto it = segments_.find(page.segment);
+  assert(it != segments_.end());
+  assert(page.page < it->second.size());
+  return it->second[page.page];
+}
+
+void SimDisk::WipeSegment(SegmentId segment) {
+  auto it = segments_.find(segment);
+  if (it == segments_.end()) {
+    return;
+  }
+  for (DiskPage& page : it->second) {
+    page = DiskPage{};
+  }
+}
+
+void SimDisk::RestorePage(PageId page, const DiskPage& image) {
+  substrate_.Charge(Primitive::kRandomPageIo);
+  DiskPage& p = PageRef(page);
+  p = image;
+}
+
+}  // namespace tabs::sim

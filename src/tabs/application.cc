@@ -1,0 +1,5 @@
+#include "src/tabs/application.h"
+
+// Application is header-only; this translation unit anchors the library.
+
+namespace tabs {}

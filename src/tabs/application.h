@@ -1,0 +1,66 @@
+// Application: a TABS application process on one node.
+//
+// Applications "initiate transactions and call data servers to perform
+// operations on objects" (Section 3). This handle wraps the transaction
+// management library of Table 3-2 — BeginTransaction / EndTransaction /
+// AbortTransaction / TransactionIsAborted — and mints the Tx contexts that
+// data-server operations take.
+
+#ifndef TABS_TABS_APPLICATION_H_
+#define TABS_TABS_APPLICATION_H_
+
+#include <functional>
+
+#include "src/comm/comm_manager.h"
+#include "src/common/result.h"
+#include "src/server/data_server.h"
+#include "src/txn/transaction_manager.h"
+
+namespace tabs {
+
+class Application {
+ public:
+  Application(NodeId node, txn::TransactionManager& tm, comm::CommManager& cm)
+      : node_(node), tm_(&tm), cm_(&cm) {}
+
+  NodeId node() const { return node_; }
+  txn::TransactionManager& tm() { return *tm_; }
+  comm::CommManager& cm() { return *cm_; }
+
+  // BeginTransaction(TransactionID) — the null TID begins a top-level
+  // transaction; a live TID begins a subtransaction of it.
+  TransactionId Begin(const TransactionId& parent = kNullTransaction) {
+    return tm_->Begin(parent);
+  }
+  // EndTransaction — commit. Returns kOk, or why the transaction did not commit.
+  Status End(const TransactionId& tid) { return tm_->End(tid); }
+  // AbortTransaction.
+  void Abort(const TransactionId& tid) { tm_->Abort(tid); }
+  // The TransactionIsAborted exception, as a query.
+  bool TransactionIsAborted(const TransactionId& tid) { return tm_->IsAborted(tid); }
+
+  // The context handed to data-server operations for `tid`.
+  server::Tx MakeTx(const TransactionId& tid) {
+    return server::Tx{tid, tm_->TopOf(tid), node_, cm_};
+  }
+
+  // Begin + body + End/Abort in one call. The body returns kOk to commit.
+  Status Transaction(const std::function<Status(const server::Tx&)>& body) {
+    TransactionId tid = Begin();
+    Status s = body(MakeTx(tid));
+    if (s == Status::kOk) {
+      return End(tid);
+    }
+    Abort(tid);
+    return s;
+  }
+
+ private:
+  NodeId node_;
+  txn::TransactionManager* tm_;
+  comm::CommManager* cm_;
+};
+
+}  // namespace tabs
+
+#endif  // TABS_TABS_APPLICATION_H_

@@ -1,0 +1,281 @@
+#include "src/tabs/world.h"
+
+#include <cassert>
+#include <sstream>
+
+namespace tabs {
+
+World::World(int node_count, WorldOptions options) : options_(options) {
+  substrate_ = std::make_unique<sim::Substrate>(scheduler_, options.costs, options.arch);
+  network_ = std::make_unique<comm::Network>(*substrate_);
+  for (int i = 0; i < node_count; ++i) {
+    NodeId id = static_cast<NodeId>(i + 1);
+    nodes_.push_back(std::make_unique<kernel::Node>(id, *substrate_));
+    network_->AddNode(id);
+    BuildRuntime(id);
+  }
+  WirePeers();
+}
+
+World::~World() = default;
+
+kernel::Node& World::node(NodeId id) {
+  assert(id >= 1 && id <= nodes_.size());
+  return *nodes_[id - 1];
+}
+
+World::Runtime& World::runtime(NodeId id) {
+  auto it = runtimes_.find(id);
+  assert(it != runtimes_.end());
+  return it->second;
+}
+
+recovery::RecoveryManager& World::rm(NodeId id) { return *runtime(id).rm; }
+txn::TransactionManager& World::tm(NodeId id) { return *runtime(id).tm; }
+comm::CommManager& World::cm(NodeId id) { return *runtime(id).cm; }
+name::NameServer& World::names(NodeId id) { return *runtime(id).ns; }
+
+void World::BuildRuntime(NodeId id) {
+  Runtime rt;
+  rt.rm = std::make_unique<recovery::RecoveryManager>(node(id));
+  rt.cm = std::make_unique<comm::CommManager>(id, *network_);
+  rt.tm = std::make_unique<txn::TransactionManager>(node(id), *rt.rm, *rt.cm);
+  rt.ns = std::make_unique<name::NameServer>(*rt.cm);
+  rt.tm->SetCheckpointInterval(options_.checkpoint_interval);
+  if (options_.log_space_budget > 0) {
+    txn::TransactionManager* tm = rt.tm.get();
+    rt.rm->SetLogSpaceBudget(options_.log_space_budget,
+                             [tm] { return tm->ActiveTransactions(); });
+  }
+  runtimes_[id] = std::move(rt);
+}
+
+void World::WirePeers() {
+  tm_peers_.clear();
+  ns_peers_.clear();
+  for (auto& [id, rt] : runtimes_) {
+    tm_peers_[id] = rt.dead ? nullptr : rt.tm.get();
+    ns_peers_[id] = rt.dead ? nullptr : rt.ns.get();
+  }
+  for (auto& [id, rt] : runtimes_) {
+    if (!rt.dead) {
+      rt.tm->SetPeers(&tm_peers_);
+      rt.ns->SetPeers(&ns_peers_);
+    }
+  }
+}
+
+server::DataServer* World::AddServer(NodeId node_id, const std::string& name,
+                                     ServerFactory factory) {
+  Blueprint bp;
+  bp.name = name;
+  bp.segment = node(node_id).AllocateSegment();
+  bp.factory = std::move(factory);
+
+  server::ServerContext ctx;
+  ctx.node = &node(node_id);
+  Runtime& rt = runtime(node_id);
+  ctx.rm = rt.rm.get();
+  ctx.tm = rt.tm.get();
+  ctx.cm = rt.cm.get();
+  ctx.segment = bp.segment;
+  ctx.name = name;
+
+  auto server = bp.factory(ctx);
+  server::DataServer* raw = server.get();
+  rt.servers[name] = std::move(server);
+  rt.ns->Register(name, name::Binding{node_id, name, ObjectId{bp.segment, 0, 1}});
+  blueprints_[node_id].push_back(std::move(bp));
+  return raw;
+}
+
+server::DataServer* World::FindServer(NodeId node_id, const std::string& name) {
+  Runtime& rt = runtime(node_id);
+  auto it = rt.servers.find(name);
+  return it == rt.servers.end() ? nullptr : it->second.get();
+}
+
+int World::RunApp(NodeId node_id, std::function<void(Application&)> body) {
+  SpawnApp(node_id, "app", std::move(body));
+  return scheduler_.Run();
+}
+
+void World::SpawnApp(NodeId node_id, std::string name,
+                     std::function<void(Application&)> body, SimTime start_time) {
+  scheduler_.Spawn(std::move(name), node_id, start_time, [this, node_id, body = std::move(body)] {
+    Application app(node_id, tm(node_id), cm(node_id));
+    body(app);
+  });
+}
+
+void World::CrashNode(NodeId node_id) {
+  network_->SetAlive(node_id, false);
+  runtime(node_id).dead = true;
+  WirePeers();
+  node(node_id).set_alive(false);
+  // Every process on the node dies with it. (If the caller runs on this
+  // node, KillWhere throws TaskKilled after marking the others.)
+  scheduler_.KillWhere([node_id](const sim::Task& t) { return t.node == node_id; });
+}
+
+recovery::RecoveryStats World::RecoverNode(NodeId node_id, bool resolve_in_doubt) {
+  assert(scheduler_.in_task() && "recovery happens in virtual time");
+  // Discard the dead volatile stack and rebuild the system components.
+  runtimes_.erase(node_id);
+  BuildRuntime(node_id);
+  node(node_id).set_alive(true);
+  network_->SetAlive(node_id, true);
+  WirePeers();
+
+  // Re-instantiate data servers from their blueprints (same disk segments).
+  Runtime& rt = runtime(node_id);
+  std::map<std::string, txn::CommitParticipant*> participants;
+  for (const Blueprint& bp : blueprints_[node_id]) {
+    server::ServerContext ctx;
+    ctx.node = &node(node_id);
+    ctx.rm = rt.rm.get();
+    ctx.tm = rt.tm.get();
+    ctx.cm = rt.cm.get();
+    ctx.segment = bp.segment;
+    ctx.name = bp.name;
+    auto server = bp.factory(ctx);
+    participants[bp.name] = server.get();
+    rt.ns->Register(bp.name, name::Binding{node_id, bp.name, ObjectId{bp.segment, 0, 1}});
+    rt.servers[bp.name] = std::move(server);
+  }
+
+  // Log-driven crash recovery, then transaction-level repair.
+  recovery::RecoveryStats stats = rt.rm->Recover(*rt.tm);
+  rt.tm->PostRecovery(stats, participants);
+  for (auto& [name, server] : rt.servers) {
+    server->Recover();
+  }
+  if (resolve_in_doubt) {
+    // Contact coordinators for every prepared transaction; unreachable ones
+    // stay in doubt (their data stays locked) until a later attempt.
+    for (const TransactionId& tid : rt.tm->InDoubt()) {
+      rt.tm->ResolveInDoubt(tid);
+    }
+  }
+  return stats;
+}
+
+recovery::Archive World::DumpArchive(NodeId node_id) {
+  Runtime& rt = runtime(node_id);
+  recovery::Archive archive = rt.rm->DumpArchive();
+  rt.rm->SetArchiveLowWaterMark(archive.dump_lsn);
+  return archive;
+}
+
+void World::MediaFailure(NodeId node_id) {
+  for (const Blueprint& bp : blueprints_[node_id]) {
+    node(node_id).disk().WipeSegment(bp.segment);
+  }
+  CrashNode(node_id);
+}
+
+recovery::RecoveryStats World::RestoreFromArchive(NodeId node_id,
+                                                  const recovery::Archive& archive) {
+  for (const auto& [segment, pages] : archive.segments) {
+    node(node_id).disk().EnsureSegment(segment, static_cast<PageNumber>(pages.size()));
+    for (PageNumber p = 0; p < pages.size(); ++p) {
+      node(node_id).disk().RestorePage({segment, p}, pages[p]);
+    }
+  }
+  recovery::RecoveryStats stats = RecoverNode(node_id);
+  runtime(node_id).rm->SetArchiveLowWaterMark(archive.dump_lsn);
+  return stats;
+}
+
+void World::CrashServer(NodeId node_id, const std::string& name) {
+  Runtime& rt = runtime(node_id);
+  auto it = rt.servers.find(name);
+  assert(it != rt.servers.end() && "CrashServer of unknown server");
+  server::DataServer* victim = it->second.get();
+
+  // Transactions that used the server cannot complete correctly: collect
+  // them, detach the dying participant, then abort them (their updates at
+  // OTHER servers roll back now; the crashed server's own records roll back
+  // during its recovery). Prepared (in-doubt) transactions stay untouched.
+  std::vector<TransactionId> involved = rt.tm->TransactionsInvolving(victim);
+  rt.tm->DetachParticipant(victim);
+  rt.rm->UnregisterServer(name);
+  rt.servers.erase(it);
+  for (const TransactionId& tid : involved) {
+    if (rt.tm->StateOf(tid) == txn::TxnState::kActive) {
+      rt.tm->Abort(tid);
+    }
+  }
+}
+
+recovery::RecoveryStats World::RecoverServer(NodeId node_id, const std::string& name) {
+  assert(scheduler_.in_task() && "recovery happens in virtual time");
+  Runtime& rt = runtime(node_id);
+  const Blueprint* bp = nullptr;
+  for (const Blueprint& candidate : blueprints_[node_id]) {
+    if (candidate.name == name) {
+      bp = &candidate;
+    }
+  }
+  assert(bp != nullptr && "RecoverServer of unknown server");
+
+  server::ServerContext ctx;
+  ctx.node = &node(node_id);
+  ctx.rm = rt.rm.get();
+  ctx.tm = rt.tm.get();
+  ctx.cm = rt.cm.get();
+  ctx.segment = bp->segment;
+  ctx.name = bp->name;
+  auto server = bp->factory(ctx);
+  server::DataServer* raw = server.get();
+  rt.servers[name] = std::move(server);
+  rt.ns->Register(name, name::Binding{node_id, name, ObjectId{bp->segment, 0, 1}});
+
+  recovery::RecoveryStats stats = rt.rm->Recover(*rt.tm, &name);
+  std::map<std::string, txn::CommitParticipant*> participants{{name, raw}};
+  rt.tm->PostRecovery(stats, participants);
+  raw->Recover();
+  return stats;
+}
+
+void World::Checkpoint(NodeId node_id) {
+  Runtime& rt = runtime(node_id);
+  rt.rm->TakeCheckpoint(rt.tm->ActiveTransactions());
+}
+
+void World::ReclaimLog(NodeId node_id) {
+  Runtime& rt = runtime(node_id);
+  rt.rm->Reclaim(rt.tm->ActiveTransactions());
+}
+
+lock::DeadlockDetector World::GlobalDeadlockDetector() {
+  lock::DeadlockDetector detector;
+  for (auto& [id, rt] : runtimes_) {
+    if (rt.dead) {
+      continue;
+    }
+    for (auto& [name, server] : rt.servers) {
+      detector.AddLockManager(&server->locks());
+    }
+  }
+  return detector;
+}
+
+std::string World::DescribeNode(NodeId node_id) {
+  Runtime& rt = runtime(node_id);
+  std::ostringstream os;
+  os << "TABS node " << node_id << (rt.dead ? " (crashed)" : "") << "\n";
+  os << "  system components: Name Server, Communication Manager, Recovery Manager, "
+        "Transaction Manager\n";
+  os << "  data servers:";
+  if (rt.servers.empty()) {
+    os << " (none)";
+  }
+  for (auto& [name, server] : rt.servers) {
+    os << " " << name;
+  }
+  os << "\n  stable log bytes in use: " << rt.rm->StableLogBytesInUse() << "\n";
+  return os.str();
+}
+
+}  // namespace tabs

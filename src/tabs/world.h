@@ -1,0 +1,179 @@
+// World: a cluster of TABS nodes — the top of the public API.
+//
+// A World owns the simulation substrate (scheduler, cost model, metrics),
+// the network, and one kernel::Node per simulated workstation. On each node
+// it assembles the four TABS system processes of Figure 3-1 — Recovery
+// Manager, Transaction Manager, Communication Manager, and Name Server —
+// plus any user data servers added via AddServer.
+//
+// Node crashes are first-class: CrashNode kills every task on the node and
+// discards all volatile state; RecoverNode rebuilds the system components
+// and data servers, replays the stable log through the Recovery Manager's
+// crash-recovery algorithms, re-locks in-doubt transactions, and calls each
+// server's Recover() hook. Disks and the stable log survive, exactly like
+// the hardware they model.
+
+#ifndef TABS_TABS_WORLD_H_
+#define TABS_TABS_WORLD_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/comm/network.h"
+#include "src/lock/deadlock_detector.h"
+#include "src/name/name_server.h"
+#include "src/server/data_server.h"
+#include "src/tabs/application.h"
+
+namespace tabs {
+
+struct WorldOptions {
+  sim::CostModel costs = sim::CostModel::Baseline();
+  sim::ArchitectureModel arch = sim::ArchitectureModel::Prototype();
+  // Per-node retained-log budget: the Recovery Manager reclaims log space
+  // automatically when exceeded (Section 3.2.2). 0 disables.
+  std::uint64_t log_space_budget = 0;
+  // TM-driven periodic checkpoints, virtual time between them. 0 disables.
+  SimTime checkpoint_interval = 0;
+};
+
+class World {
+ public:
+  using ServerFactory =
+      std::function<std::unique_ptr<server::DataServer>(const server::ServerContext&)>;
+
+  explicit World(int node_count, WorldOptions options = {});
+  ~World();
+  World(const World&) = delete;
+  World& operator=(const World&) = delete;
+
+  // --- access ------------------------------------------------------------------
+  sim::Substrate& substrate() { return *substrate_; }
+  sim::Scheduler& scheduler() { return scheduler_; }
+  sim::Metrics& metrics() { return substrate_->metrics(); }
+  comm::Network& network() { return *network_; }
+  int node_count() const { return static_cast<int>(nodes_.size()); }
+
+  kernel::Node& node(NodeId id);
+  recovery::RecoveryManager& rm(NodeId id);
+  txn::TransactionManager& tm(NodeId id);
+  comm::CommManager& cm(NodeId id);
+  name::NameServer& names(NodeId id);
+  bool NodeAlive(NodeId id) const { return network_->IsAlive(id); }
+
+  // --- data servers ---------------------------------------------------------------
+  // Installs a server blueprint on `node` and instantiates it. The factory
+  // is re-invoked whenever the node recovers from a crash; the segment id is
+  // stable across incarnations (it names the on-disk file). Registers the
+  // server's name with the node's Name Server.
+  server::DataServer* AddServer(NodeId node, const std::string& name, ServerFactory factory);
+
+  // Convenience: AddServer for a concrete type constructible as
+  // T(const ServerContext&, Args...).
+  template <typename T, typename... Args>
+  T* AddServerOf(NodeId node, const std::string& name, Args... args) {
+    return static_cast<T*>(AddServer(
+        node, name, [args...](const server::ServerContext& ctx) {
+          return std::make_unique<T>(ctx, args...);
+        }));
+  }
+
+  server::DataServer* FindServer(NodeId node, const std::string& name);
+  template <typename T>
+  T* Server(NodeId node, const std::string& name) {
+    return static_cast<T*>(FindServer(node, name));
+  }
+
+  // --- running work -------------------------------------------------------------------
+  // Spawns `body` as an application task on `node` and drains the scheduler.
+  // Returns the number of tasks still blocked (0 on clean completion). Must
+  // be called from outside any task.
+  int RunApp(NodeId node, std::function<void(Application&)> body);
+  // Spawns without draining (for concurrent scenarios), then call Drain().
+  void SpawnApp(NodeId node, std::string name, std::function<void(Application&)> body,
+                SimTime start_time = 0);
+  int Drain() { return scheduler_.Run(); }
+
+  // --- failures --------------------------------------------------------------------------
+  // Crashes `node`: every task running on it dies, volatile state is marked
+  // dead. Call from inside a task (the crash is an event in virtual time).
+  void CrashNode(NodeId node);
+  // Rebuilds the node: fresh system components and data servers, log-driven
+  // recovery, in-doubt relocking, server Recover() hooks, name
+  // re-registration. With `resolve_in_doubt` (the default), prepared
+  // transactions immediately query their coordinator for the verdict; pass
+  // false to observe the in-doubt window (its locks stay held). Call from
+  // inside a task. Returns pre-resolution recovery statistics.
+  recovery::RecoveryStats RecoverNode(NodeId node, bool resolve_in_doubt = true);
+
+  // Media recovery (Section 7 future work). DumpArchive snapshots a node's
+  // non-volatile storage (and pins the log's low-water mark so replay stays
+  // possible); MediaFailure destroys the node's disk contents AND crashes it
+  // (the stable log device survives, as Section 7 prescribes);
+  // RestoreFromArchive writes the archive back and runs crash recovery,
+  // which replays the retained log over the archived state. Call from
+  // inside a task.
+  recovery::Archive DumpArchive(NodeId node);
+  void MediaFailure(NodeId node);
+  recovery::RecoveryStats RestoreFromArchive(NodeId node, const recovery::Archive& archive);
+
+  // Single-server failure (Section 7 future work: "permit the recovery of a
+  // single server without the recovery of the entire node"). CrashServer
+  // kills one data server's process: its volatile state vanishes, active
+  // transactions that used it abort, and the rest of the node keeps running.
+  // RecoverServer re-instantiates it and replays only its records from the
+  // common log. Call both from inside a task.
+  void CrashServer(NodeId node, const std::string& name);
+  recovery::RecoveryStats RecoverServer(NodeId node, const std::string& name);
+
+  // Checkpoint / log reclamation on a node (normally timer-driven in TABS;
+  // explicit here so tests and benches control it).
+  void Checkpoint(NodeId node);
+  void ReclaimLog(NodeId node);
+
+  // A deadlock detector spanning every live server's lock manager — the
+  // global waits-for graph of the R*-style detectors the paper cites
+  // (Obermarck; Section 2.1.2). TABS itself relies on timeouts; this is the
+  // extension. Rebuild after topology changes (crash/recover); call
+  // BreakOneCycle from a task to sacrifice the youngest cycle member.
+  lock::DeadlockDetector GlobalDeadlockDetector();
+
+  // Figure 3-1 as text: the per-node process inventory.
+  std::string DescribeNode(NodeId node);
+
+ private:
+  struct Runtime {
+    std::unique_ptr<recovery::RecoveryManager> rm;
+    std::unique_ptr<comm::CommManager> cm;
+    std::unique_ptr<txn::TransactionManager> tm;
+    std::unique_ptr<name::NameServer> ns;
+    std::map<std::string, std::unique_ptr<server::DataServer>> servers;
+    bool dead = false;
+  };
+  struct Blueprint {
+    std::string name;
+    SegmentId segment;
+    ServerFactory factory;
+  };
+
+  Runtime& runtime(NodeId id);
+  void BuildRuntime(NodeId id);
+  void WirePeers();
+
+  WorldOptions options_;
+  sim::Scheduler scheduler_;
+  std::unique_ptr<sim::Substrate> substrate_;
+  std::unique_ptr<comm::Network> network_;
+  std::vector<std::unique_ptr<kernel::Node>> nodes_;
+  std::map<NodeId, Runtime> runtimes_;
+  std::map<NodeId, std::vector<Blueprint>> blueprints_;
+  std::map<NodeId, txn::TransactionManager*> tm_peers_;
+  std::map<NodeId, name::NameServer*> ns_peers_;
+};
+
+}  // namespace tabs
+
+#endif  // TABS_TABS_WORLD_H_

@@ -1,0 +1,464 @@
+#include "src/txn/transaction_manager.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace tabs::txn {
+
+using log::LogRecord;
+using log::RecordType;
+using recovery::TxnOutcome;
+
+TransactionManager::TransactionManager(kernel::Node& node, recovery::RecoveryManager& rm,
+                                       comm::CommManager& cm)
+    : node_(node), rm_(rm), cm_(cm) {
+  cm_.SetListener(this);
+}
+
+TransactionManager::Txn* TransactionManager::Find(const TransactionId& tid) {
+  auto it = txns_.find(tid);
+  return it == txns_.end() ? nullptr : &it->second;
+}
+
+const TransactionManager::Txn* TransactionManager::Find(const TransactionId& tid) const {
+  auto it = txns_.find(tid);
+  return it == txns_.end() ? nullptr : &it->second;
+}
+
+TransactionId TransactionManager::Begin(const TransactionId& parent) {
+  // Application -> TM request and reply (two small local messages).
+  node_.substrate().ChargeSystemMessage(sim::Primitive::kSmallMessage, 2);
+  TransactionId tid{node_.id(), next_sequence_++};
+  Txn txn;
+  txn.tid = tid;
+  txn.parent = parent;
+  if (parent.IsNull()) {
+    txn.top = tid;
+  } else {
+    Txn* p = Find(parent);
+    assert(p != nullptr && "BeginTransaction with unknown parent");
+    txn.top = p->top;
+    p->live_subtxns.insert(tid);
+  }
+  txns_[tid] = std::move(txn);
+  return tid;
+}
+
+TransactionManager::Txn& TransactionManager::GetOrCreateRemote(const TransactionId& tid,
+                                                               NodeId parent_node) {
+  Txn* existing = Find(tid);
+  if (existing != nullptr) {
+    return *existing;
+  }
+  Txn txn;
+  txn.tid = tid;
+  txn.top = tid;  // remote entries are tracked under the identifier used on the wire
+  txn.parent_node = parent_node;
+  txn.born_here = false;
+  auto [it, inserted] = txns_.emplace(tid, std::move(txn));
+  return it->second;
+}
+
+void TransactionManager::JoinServer(const TransactionId& tid, const TransactionId& top,
+                                    CommitParticipant* server) {
+  Txn* txn = Find(tid);
+  if (txn == nullptr) {
+    txn = Find(top);
+  }
+  assert(txn != nullptr && "operation on behalf of unknown transaction");
+  if (std::find(txn->servers.begin(), txn->servers.end(), server) != txn->servers.end()) {
+    return;
+  }
+  // "...sent by a data server the first time it is asked to perform an
+  // operation on behalf of a particular transaction" — plus the TM's ack.
+  node_.substrate().ChargeSystemMessage(sim::Primitive::kSmallMessage, 2);
+  txn->servers.push_back(server);
+}
+
+std::vector<TransactionId> TransactionManager::TransactionsInvolving(
+    const CommitParticipant* server) const {
+  std::vector<TransactionId> out;
+  for (const auto& [tid, txn] : txns_) {
+    if (std::find(txn.servers.begin(), txn.servers.end(), server) != txn.servers.end()) {
+      out.push_back(tid);
+    }
+  }
+  return out;
+}
+
+void TransactionManager::DetachParticipant(const CommitParticipant* server) {
+  for (auto& [tid, txn] : txns_) {
+    auto& s = txn.servers;
+    s.erase(std::remove(s.begin(), s.end(), server), s.end());
+  }
+  for (auto& [name, participant] : recovered_participants_) {
+    if (participant == server) {
+      participant = nullptr;
+    }
+  }
+}
+
+void TransactionManager::OnRemoteChildJoined(const TransactionId& tid, NodeId child) {
+  // The CM already charged the progress message; nothing further here.
+}
+
+void TransactionManager::OnRemoteParentObserved(const TransactionId& tid, NodeId parent) {
+  GetOrCreateRemote(tid, parent);
+}
+
+TxnState TransactionManager::StateOf(const TransactionId& tid) const {
+  const Txn* txn = Find(tid);
+  if (txn != nullptr) {
+    return txn->state;
+  }
+  auto it = logged_outcomes_.find(tid);
+  if (it != logged_outcomes_.end()) {
+    switch (it->second) {
+      case TxnOutcome::kCommitted:
+        return TxnState::kCommitted;
+      case TxnOutcome::kPrepared:
+        return TxnState::kPrepared;
+      default:
+        return TxnState::kAborted;
+    }
+  }
+  return TxnState::kAborted;  // forgotten implies resolved; presume abort
+}
+
+bool TransactionManager::IsAborted(const TransactionId& tid) const {
+  return StateOf(tid) == TxnState::kAborted;
+}
+
+TransactionId TransactionManager::TopOf(const TransactionId& tid) const {
+  const Txn* txn = Find(tid);
+  return txn == nullptr ? tid : txn->top;
+}
+
+Status TransactionManager::End(const TransactionId& tid) {
+  Txn* txn = Find(tid);
+  if (txn == nullptr || txn->state == TxnState::kAborted) {
+    return Status::kAborted;
+  }
+  if (!txn->parent.IsNull()) {
+    CommitSubtransaction(*txn);
+    return Status::kOk;
+  }
+  Status s = CommitTopLevel(*txn);
+  MaybeCheckpoint();
+  return s;
+}
+
+void TransactionManager::MaybeCheckpoint() {
+  if (checkpoint_interval_ <= 0 || !node_.substrate().scheduler().in_task()) {
+    return;
+  }
+  SimTime now = node_.substrate().scheduler().Now();
+  if (now - last_checkpoint_time_ < checkpoint_interval_) {
+    return;
+  }
+  last_checkpoint_time_ = now;
+  rm_.TakeCheckpoint(ActiveTransactions());
+  ++checkpoints_taken_;
+}
+
+void TransactionManager::Abort(const TransactionId& tid) {
+  Txn* txn = Find(tid);
+  if (txn == nullptr) {
+    return;
+  }
+  // Abort live subtransactions first (deepest effects unwind first).
+  for (const TransactionId& sub : std::set<TransactionId>(txn->live_subtxns)) {
+    Abort(sub);
+  }
+  if (txn->parent.IsNull()) {
+    AbortSubtree(*txn, /*notify_children=*/true);
+  } else {
+    // Independent subtransaction abort: unwind only the subtransaction's own
+    // effects — here and at remote participants — leaving the parent intact.
+    rm_.UndoTransaction(tid, txn->top);
+    for (CommitParticipant* s : txn->servers) {
+      s->OnAbort(tid);
+    }
+    for (NodeId child : cm_.InfoFor(txn->top).children) {
+      TransactionManager* child_tm = Peer(child);
+      if (child_tm == nullptr) {
+        continue;
+      }
+      TransactionId top = txn->top;
+      cm_.SendDatagram(child, "subtxn-abort",
+                       [child_tm, tid, top] { child_tm->HandleSubtxnAbort(tid, top); });
+    }
+    txn->state = TxnState::kAborted;
+    Txn* p = Find(txn->parent);
+    if (p != nullptr) {
+      p->live_subtxns.erase(tid);
+    }
+    txns_.erase(tid);
+    return;
+  }
+  ForgetTxn(tid);
+}
+
+void TransactionManager::AppendTxnRecord(RecordType type, const Txn& txn, bool force) {
+  LogRecord rec;
+  rec.type = type;
+  rec.owner = txn.tid;
+  rec.top = txn.top;
+  rec.parent_node = txn.parent_node;
+  rec.siblings = txn.siblings;
+  auto info = cm_.InfoFor(txn.top);
+  rec.children.assign(info.children.begin(), info.children.end());
+  for (CommitParticipant* s : txn.servers) {
+    rec.local_servers.push_back(s->participant_name());
+  }
+  rm_.log().Append(std::move(rec));
+  if (force) {
+    // TM -> RM force request and completion (two small messages), then the
+    // stable write itself (charged by the log manager).
+    node_.substrate().ChargeSystemMessage(sim::Primitive::kSmallMessage, 2);
+    rm_.log().ForceAll();
+  }
+}
+
+void TransactionManager::ForgetTxn(const TransactionId& tid) {
+  cm_.Forget(tid);
+  rm_.ForgetTransaction(tid);
+  txns_.erase(tid);
+}
+
+// --- crash recovery ---------------------------------------------------------
+
+void TransactionManager::ObserveTxnRecord(const LogRecord& rec) {
+  switch (rec.type) {
+    case RecordType::kTxnCommit:
+      logged_outcomes_[rec.top] = TxnOutcome::kCommitted;
+      break;
+    case RecordType::kTxnAbort:
+      logged_outcomes_[rec.top] = TxnOutcome::kAborted;
+      break;
+    case RecordType::kTxnPrepare:
+      if (!logged_outcomes_.contains(rec.top)) {
+        logged_outcomes_[rec.top] = TxnOutcome::kPrepared;
+      }
+      logged_parent_node_[rec.top] = rec.parent_node;
+      logged_siblings_[rec.top] = rec.siblings;
+      break;
+    case RecordType::kTxnEnd:
+      // Fully acknowledged; the outcome entry may be garbage-collected, but
+      // keeping it is harmless and answers stragglers.
+      break;
+    case RecordType::kSubtxnCommit:
+    default:
+      break;
+  }
+  // Sequence numbers must stay unique across restarts.
+  next_sequence_ = std::max(next_sequence_, rec.owner.sequence + 1);
+  next_sequence_ = std::max(next_sequence_, rec.top.sequence + 1);
+}
+
+TxnOutcome TransactionManager::OutcomeOf(const TransactionId& top) {
+  auto it = logged_outcomes_.find(top);
+  return it == logged_outcomes_.end() ? TxnOutcome::kActive : it->second;
+}
+
+void TransactionManager::PostRecovery(
+    const recovery::RecoveryStats& stats,
+    const std::map<std::string, CommitParticipant*>& participants) {
+  for (const TransactionId& tid : stats.in_doubt) {
+    in_doubt_.insert(tid);
+    // Rebuild lock state: every object the in-doubt transaction updated
+    // stays inaccessible until the coordinator's verdict arrives.
+    for (Lsn lsn : rm_.UndoListOf(tid)) {
+      auto rec = rm_.log().ReadRecord(lsn);
+      if (!rec.has_value()) {
+        continue;
+      }
+      auto it = participants.find(rec->server);
+      if (it != participants.end()) {
+        it->second->RelockForRecovery(tid, *rec);
+      }
+    }
+  }
+  for (const auto& [name, participant] : participants) {
+    recovered_participants_[name] = participant;
+  }
+  for (const TransactionId& loser : stats.losers) {
+    logged_outcomes_[loser] = TxnOutcome::kAborted;
+  }
+}
+
+std::vector<TransactionId> TransactionManager::InDoubt() const {
+  std::set<TransactionId> all = in_doubt_;
+  // Live prepared transactions whose verdict datagram was lost are equally
+  // in doubt: they hold locks until they re-query the coordinator.
+  for (const auto& [tid, txn] : txns_) {
+    if (txn.state == TxnState::kPrepared) {
+      all.insert(tid);
+    }
+  }
+  return {all.begin(), all.end()};
+}
+
+Status TransactionManager::ResolveInDoubt(const TransactionId& tid) {
+  bool recovered = in_doubt_.contains(tid);
+  Txn* live = Find(tid);
+  if (!recovered && (live == nullptr || live->state != TxnState::kPrepared)) {
+    return Status::kNotFound;
+  }
+  if (peers_ == nullptr) {
+    return Status::kNodeDown;
+  }
+
+  // Whom to ask: the parent is authoritative (presumed abort applies); if it
+  // is unreachable, the sibling participants recorded in the prepare record
+  // may already know the verdict — Dwork/Skeen-style cooperative
+  // termination, which shrinks the blocking window the paper notes plain
+  // two-phase commit has.
+  NodeId parent = recovered ? logged_parent_node_[tid] : live->parent_node;
+  std::vector<NodeId> siblings;
+  if (recovered) {
+    auto it = logged_siblings_.find(tid);
+    if (it != logged_siblings_.end()) {
+      siblings = it->second;
+    }
+  } else {
+    siblings = live->siblings;
+  }
+
+  auto ask = [&](NodeId node, bool authoritative, bool* committed) -> bool {
+    TransactionManager* tm = Peer(node);
+    if (tm == nullptr || !cm_.network().Reachable(node_.id(), node)) {
+      return false;
+    }
+    if (authoritative) {
+      auto verdict = cm_.network().SessionCall<bool>(
+          node_.id(), node, "resolve-in-doubt",
+          [tm, tid]() { return tm->QueryCommitted(tid); });
+      if (!verdict.ok()) {
+        return false;
+      }
+      *committed = verdict.value();
+      return true;
+    }
+    // A sibling only helps if it KNOWS (it may be in doubt itself).
+    auto verdict = cm_.network().SessionCall<int>(
+        node_.id(), node, "cooperative-termination",
+        [tm, tid]() { return tm->ParticipantKnowledge(tid); });
+    if (!verdict.ok() || verdict.value() == 0) {
+      return false;
+    }
+    *committed = verdict.value() > 0;
+    return true;
+  };
+
+  bool committed = false;
+  bool resolved = ask(parent, /*authoritative=*/true, &committed);
+  for (size_t i = 0; !resolved && i < siblings.size(); ++i) {
+    if (siblings[i] == node_.id()) {
+      continue;
+    }
+    resolved = ask(siblings[i], /*authoritative=*/false, &committed);
+  }
+  if (!resolved) {
+    return Status::kNodeDown;  // still in doubt; locks stay held
+  }
+
+  if (!recovered) {
+    if (committed) {
+      HandleCommit(tid);
+      return Status::kOk;
+    }
+    HandleAbortMsg(tid);
+    return Status::kAborted;
+  }
+
+  in_doubt_.erase(tid);
+  if (committed) {
+    logged_outcomes_[tid] = TxnOutcome::kCommitted;
+    LogRecord rec;
+    rec.type = RecordType::kTxnCommit;
+    rec.owner = tid;
+    rec.top = tid;
+    rm_.log().Append(std::move(rec));
+    rm_.log().ForceAll();
+    rm_.ForgetTransaction(tid);
+    for (auto& [name, participant] : recovered_participants_) {
+      if (participant != nullptr) {
+        participant->OnCommit(tid);
+      }
+    }
+    return Status::kOk;
+  }
+  logged_outcomes_[tid] = TxnOutcome::kAborted;
+  rm_.UndoTransaction(tid, tid);
+  for (auto& [name, participant] : recovered_participants_) {
+    if (participant != nullptr) {
+      participant->OnAbort(tid);
+    }
+  }
+  LogRecord rec;
+  rec.type = RecordType::kTxnAbort;
+  rec.owner = tid;
+  rec.top = tid;
+  rm_.log().Append(std::move(rec));
+  rm_.log().ForceAll();
+  rm_.ForgetTransaction(tid);
+  return Status::kAborted;
+}
+
+int TransactionManager::ParticipantKnowledge(const TransactionId& tid) {
+  Txn* txn = Find(tid);
+  if (txn != nullptr) {
+    switch (txn->state) {
+      case TxnState::kCommitted:
+        return 1;
+      case TxnState::kAborted:
+        return -1;
+      default:
+        return 0;  // in doubt too
+    }
+  }
+  auto it = logged_outcomes_.find(tid);
+  if (it == logged_outcomes_.end()) {
+    return 0;  // never heard of it: no knowledge either way (it might have
+               // been read-only here and forgotten — do not presume)
+  }
+  switch (it->second) {
+    case TxnOutcome::kCommitted:
+      return 1;
+    case TxnOutcome::kAborted:
+      return -1;
+    default:
+      return 0;
+  }
+}
+
+bool TransactionManager::QueryCommitted(const TransactionId& tid) {
+  Txn* txn = Find(tid);
+  if (txn != nullptr) {
+    return txn->state == TxnState::kCommitted;
+  }
+  auto it = logged_outcomes_.find(tid);
+  // Presumed abort: a forgotten transaction without a durable commit record
+  // did not commit.
+  return it != logged_outcomes_.end() && it->second == TxnOutcome::kCommitted;
+}
+
+std::vector<recovery::RecoveryManager::ActiveTxn> TransactionManager::ActiveTransactions()
+    const {
+  std::vector<recovery::RecoveryManager::ActiveTxn> out;
+  for (const auto& [tid, txn] : txns_) {
+    if (txn.state == TxnState::kCommitted || txn.state == TxnState::kAborted) {
+      continue;
+    }
+    recovery::RecoveryManager::ActiveTxn at;
+    at.owner = tid;
+    at.top = txn.top;
+    at.prepared = txn.state == TxnState::kPrepared;
+    at.first_lsn = rm_.FirstLsnOf(tid);
+    out.push_back(at);
+  }
+  return out;
+}
+
+}  // namespace tabs::txn

@@ -1,0 +1,202 @@
+// The Transaction Manager: transaction identifiers, the transaction tree,
+// and the tree-structured two-phase commit protocol (Section 3.2.3).
+//
+// One Transaction Manager runs per node. Applications and data servers send
+// it messages to begin, commit, or abort transactions; data servers announce
+// themselves the first time they perform an operation for a transaction
+// (JoinServer), and the Communication Manager announces remote involvement.
+// The commit protocol is two-phase over the transaction's spanning tree:
+// "each node serves as coordinator for the nodes that are its children."
+//
+// Subtransactions use the same machinery: BeginTransaction of a non-null
+// parent creates a subtransaction that synchronizes as a separate
+// transaction, cannot commit before its parent, and may abort independently
+// (Section 2.1.3). EndTransaction of a subtransaction merges its locks, undo
+// records and joined servers into the parent.
+
+#ifndef TABS_TXN_TRANSACTION_MANAGER_H_
+#define TABS_TXN_TRANSACTION_MANAGER_H_
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/comm/comm_manager.h"
+#include "src/common/result.h"
+#include "src/common/types.h"
+#include "src/recovery/recovery_manager.h"
+
+namespace tabs::txn {
+
+// A local data server's participation hooks. DataServer implements this.
+class CommitParticipant {
+ public:
+  virtual ~CommitParticipant() = default;
+  virtual const std::string& participant_name() const = 0;
+  // Did this server log updates on behalf of `tid`?
+  virtual bool HasUpdates(const TransactionId& tid) = 0;
+  // Outcome callbacks: release locks and per-transaction state. Undo (on
+  // abort) has already been performed through the Recovery Manager.
+  virtual void OnCommit(const TransactionId& tid) = 0;
+  virtual void OnAbort(const TransactionId& tid) = 0;
+  // Subtransaction commit: child's locks and state merge into the parent.
+  virtual void OnSubtxnCommit(const TransactionId& child, const TransactionId& parent) = 0;
+  // After crash recovery, re-acquire the lock protecting an in-doubt
+  // transaction's update (TABS nodes "restrict access to some data until
+  // other nodes recover").
+  virtual void RelockForRecovery(const TransactionId& tid, const log::LogRecord& rec) = 0;
+};
+
+enum class TxnState {
+  kActive,
+  kPreparing,
+  kPrepared,   // in doubt: awaiting the parent's verdict
+  kCommitted,
+  kAborted,
+};
+
+class TransactionManager : public comm::TransactionTreeListener,
+                           public recovery::TxnOutcomeSource {
+ public:
+  TransactionManager(kernel::Node& node, recovery::RecoveryManager& rm,
+                     comm::CommManager& cm);
+
+  void SetPeers(const std::map<NodeId, TransactionManager*>* peers) { peers_ = peers; }
+
+  // --- application interface (Table 3-2) ------------------------------------
+  // BeginTransaction: null parent creates a top-level transaction.
+  TransactionId Begin(const TransactionId& parent = kNullTransaction);
+  // EndTransaction: commits. For a top-level transaction this runs the
+  // tree-structured two-phase commit; for a subtransaction it merges into
+  // the parent. Returns kOk on commit, kAborted/kVoteNo/kNodeDown otherwise.
+  Status End(const TransactionId& tid);
+  // AbortTransaction: rolls back `tid` (and, transitively, its live
+  // subtransactions). A subtransaction abort does not disturb the parent.
+  void Abort(const TransactionId& tid);
+
+  TxnState StateOf(const TransactionId& tid) const;
+  bool IsAborted(const TransactionId& tid) const;
+  TransactionId TopOf(const TransactionId& tid) const;
+
+  // --- data server interface --------------------------------------------------
+  // First operation by `server` on behalf of `tid` at this node. Remote
+  // operations are tracked under the top-level transaction (whose entry the
+  // Communication Manager created on first contact); local ones under the
+  // (sub)transaction itself.
+  void JoinServer(const TransactionId& tid, const TransactionId& top,
+                  CommitParticipant* server);
+
+  // Single-server crash support (Section 7 future work): transactions that
+  // used a crashed server, and removal of its dangling participant pointer
+  // before those transactions are aborted.
+  std::vector<TransactionId> TransactionsInvolving(const CommitParticipant* server) const;
+  void DetachParticipant(const CommitParticipant* server);
+
+  // --- Communication Manager callbacks (TransactionTreeListener) --------------
+  void OnRemoteChildJoined(const TransactionId& tid, NodeId child) override;
+  void OnRemoteParentObserved(const TransactionId& tid, NodeId parent) override;
+
+  // --- two-phase commit participant side (invoked via datagram handlers) ------
+  // Prepares the subtree rooted at this node. Returns the vote.
+  enum class Vote { kYes, kReadOnly, kNo };
+  Vote HandlePrepare(const TransactionId& tid, NodeId parent_node,
+                     const std::vector<NodeId>& siblings = {});
+  void HandleCommit(const TransactionId& tid);
+  // Cooperative termination (Dwork/Skeen): what this participant knows about
+  // `tid` — 1 committed, -1 aborted, 0 no knowledge (possibly in doubt too).
+  int ParticipantKnowledge(const TransactionId& tid);
+  void HandleAbortMsg(const TransactionId& tid);
+  // Subtransaction outcome propagation to remote participants: locks and
+  // undo records of `child` merge into `parent` (commit) or unwind (abort).
+  void HandleSubtxnCommit(const TransactionId& child, const TransactionId& parent,
+                          const TransactionId& top);
+  void HandleSubtxnAbort(const TransactionId& child, const TransactionId& top);
+  // Remote query for a transaction's outcome (in-doubt resolution after a
+  // coordinator or participant crash). Presumes abort for unknown tids.
+  bool QueryCommitted(const TransactionId& tid);
+
+  // --- crash recovery (TxnOutcomeSource) ---------------------------------------
+  void ObserveTxnRecord(const log::LogRecord& rec) override;
+  recovery::TxnOutcome OutcomeOf(const TransactionId& top) override;
+
+  // After RecoveryManager::Recover: re-locks in-doubt transactions' objects
+  // through the named participants and remembers them for resolution.
+  void PostRecovery(const recovery::RecoveryStats& stats,
+                    const std::map<std::string, CommitParticipant*>& participants);
+  // Contacts the in-doubt transaction's parent node for the verdict and
+  // applies it locally. Returns the outcome, or kNodeDown if still unreachable.
+  Status ResolveInDoubt(const TransactionId& tid);
+  std::vector<TransactionId> InDoubt() const;
+
+  // Active-transaction table for checkpoints.
+  std::vector<recovery::RecoveryManager::ActiveTxn> ActiveTransactions() const;
+
+  // "Checkpoints are performed at intervals determined by the transaction
+  // manager" (Section 3.2.2): after a commit, if at least `interval` virtual
+  // time has passed since the last checkpoint, take one. 0 disables.
+  void SetCheckpointInterval(SimTime interval) { checkpoint_interval_ = interval; }
+  int checkpoint_count() const { return checkpoints_taken_; }
+
+  sim::Substrate& substrate() { return node_.substrate(); }
+
+ private:
+  struct Txn {
+    TransactionId tid;
+    TransactionId parent;           // null for top-level
+    TransactionId top;
+    TxnState state = TxnState::kActive;
+    NodeId parent_node = kInvalidNode;  // 2PC tree parent (kInvalid: rooted here)
+    std::vector<CommitParticipant*> servers;
+    Lsn first_lsn = kNullLsn;
+    std::set<TransactionId> live_subtxns;
+    std::set<NodeId> update_children;  // children that voted yes (not read-only)
+    std::vector<NodeId> siblings;      // fellow participants (from the prepare)
+    bool born_here = true;
+  };
+
+  Txn* Find(const TransactionId& tid);
+  const Txn* Find(const TransactionId& tid) const;
+  Txn& GetOrCreateRemote(const TransactionId& tid, NodeId parent_node);
+
+  // Implemented in two_phase_commit.cc.
+  Status CommitTopLevel(Txn& txn);
+  Vote PrepareSubtree(Txn& txn);
+  void CommitSubtree(Txn& txn, bool is_root);
+  void AbortSubtree(Txn& txn, bool notify_children);
+  void CommitSubtransaction(Txn& txn);
+  TransactionManager* Peer(NodeId node) const;
+
+  void AppendTxnRecord(log::RecordType type, const Txn& txn, bool force);
+  void ForgetTxn(const TransactionId& tid);
+  void MaybeCheckpoint();
+
+  kernel::Node& node_;
+  recovery::RecoveryManager& rm_;
+  comm::CommManager& cm_;
+  const std::map<NodeId, TransactionManager*>* peers_ = nullptr;
+
+  std::uint64_t next_sequence_ = 1;
+  std::map<TransactionId, Txn> txns_;
+
+  // Durable knowledge rebuilt from the log by ObserveTxnRecord, plus
+  // outcomes decided since; consulted by QueryCommitted and OutcomeOf.
+  std::map<TransactionId, recovery::TxnOutcome> logged_outcomes_;
+  std::map<TransactionId, NodeId> logged_parent_node_;
+  std::map<TransactionId, std::vector<NodeId>> logged_siblings_;
+  std::set<TransactionId> in_doubt_;
+  std::map<std::string, CommitParticipant*> recovered_participants_;
+
+  SimTime checkpoint_interval_ = 0;
+  SimTime last_checkpoint_time_ = 0;
+  int checkpoints_taken_ = 0;
+
+  // Commit-protocol tuning (paper Section 5.3): when the architecture model
+  // says optimized_commit, phase two leaves the latency-critical path.
+  static constexpr SimTime kVoteTimeout = 10'000'000;  // 10 s virtual
+};
+
+}  // namespace tabs::txn
+
+#endif  // TABS_TXN_TRANSACTION_MANAGER_H_

@@ -1,0 +1,393 @@
+// The tree-structured two-phase commit protocol (Section 3.2.3) and
+// subtransaction commit/abort propagation.
+//
+// Every node coordinates its own children in the transaction's spanning tree
+// (built by the Communication Managers as operations flowed). Prepares and
+// votes travel as datagrams — "TABS has been careful to use datagrams for
+// communication during transaction commit" (Section 2.1.2). The protocol
+// includes the read-only optimization: a subtree with no updates votes
+// read-only, releases its locks at prepare time, and drops out of phase two.
+//
+// Under ArchitectureModel::Improved (Section 5.3), phase two of a
+// distributed write commit leaves the latency-critical path: the coordinator
+// returns to the application as soon as the commit record is stable and the
+// commit datagrams are on the wire.
+
+#include <cassert>
+#include <memory>
+
+#include "src/txn/transaction_manager.h"
+
+namespace tabs::txn {
+
+using log::LogRecord;
+using log::RecordType;
+using recovery::TxnOutcome;
+
+TransactionManager* TransactionManager::Peer(NodeId node) const {
+  if (peers_ == nullptr) {
+    return nullptr;
+  }
+  auto it = peers_->find(node);
+  return it == peers_->end() ? nullptr : it->second;
+}
+
+Status TransactionManager::CommitTopLevel(Txn& txn) {
+  assert(txn.born_here && "EndTransaction must run at the transaction's birth node");
+  sim::Substrate& sub = node_.substrate();
+  sim::PhaseScope commit_phase(sub.metrics(), sim::Phase::kCommit);
+
+  // Open subtransactions commit with their parent (Section 2.1.3).
+  for (const TransactionId& s : std::set<TransactionId>(txn.live_subtxns)) {
+    Txn* st = Find(s);
+    if (st != nullptr) {
+      CommitSubtransaction(*st);
+    }
+  }
+
+  sub.ChargeSystemMessage(sim::Primitive::kSmallMessage, 1);  // app -> TM: commit
+  txn.state = TxnState::kPreparing;
+
+  auto info = cm_.InfoFor(txn.top);
+  if (!info.children.empty()) {
+    // The CM hands the TM the complete site list (a pointer message).
+    sub.Charge(sim::Primitive::kPointerMessage, 1);
+  }
+
+  Vote vote = PrepareSubtree(txn);
+  if (vote == Vote::kNo) {
+    AbortSubtree(txn, /*notify_children=*/true);
+    TransactionId tid = txn.tid;
+    ForgetTxn(tid);
+    return Status::kVoteNo;
+  }
+
+  // TABS process CPU time for local transaction management (Section 5.2).
+  sub.scheduler().Charge(sub.costs().coordinator_overhead_us);
+  bool updates = vote == Vote::kYes;
+  if (updates) {
+    sub.scheduler().Charge(sub.costs().coordinator_write_extra_us);
+    // The commit point: the commit record reaches stable storage.
+    AppendTxnRecord(RecordType::kTxnCommit, txn, /*force=*/true);
+  }
+  txn.state = TxnState::kCommitted;
+  logged_outcomes_[txn.top] = TxnOutcome::kCommitted;
+
+  CommitSubtree(txn, /*is_root=*/true);
+  sub.ChargeSystemMessage(sim::Primitive::kSmallMessage, 1);  // TM -> app: done
+  TransactionId tid = txn.tid;
+  ForgetTxn(tid);
+  return Status::kOk;
+}
+
+TransactionManager::Vote TransactionManager::PrepareSubtree(Txn& txn) {
+  sim::Substrate& sub = node_.substrate();
+  sim::Scheduler& sched = sub.scheduler();
+  auto info = cm_.InfoFor(txn.top);
+
+  // Phase one downward: prepare datagrams to every child, in parallel. The
+  // sender serializes sends, so each datagram after the first delays by half
+  // a datagram time (the paper's half-datagram estimate, Table 5-3 note).
+  auto votes = std::make_shared<sim::Channel<std::pair<NodeId, Vote>>>(sched);
+  int expected = 0;
+  bool first_send = true;
+  for (NodeId child : info.children) {
+    TransactionManager* child_tm = Peer(child);
+    if (child_tm == nullptr) {
+      return Vote::kNo;  // child crashed: cannot guarantee its updates
+    }
+    if (!first_send) {
+      sched.Charge(sub.CostOf(sim::Primitive::kDatagram) / 2);
+    }
+    first_send = false;
+    ++expected;
+    TransactionId tid = txn.top;
+    NodeId self = node_.id();
+    comm::CommManager* child_cm = &child_tm->cm_;
+    // The prepare carries the sibling list so an in-doubt participant can
+    // run cooperative termination if this coordinator later crashes.
+    std::vector<NodeId> siblings(info.children.begin(), info.children.end());
+    cm_.SendDatagram(child, "2pc-prepare",
+                     [child_tm, child_cm, tid, self, votes, child, siblings] {
+                       Vote v = child_tm->HandlePrepare(tid, self, siblings);
+                       child_cm->SendDatagram(
+                           self, "2pc-vote", [votes, child, v] { votes->Push({child, v}); });
+                     });
+  }
+
+  // Local prepare: ask each joined server whether it wrote updates. A server
+  // with updates ships its buffered log images to the Recovery Manager with
+  // its prepare work (one large message).
+  bool local_updates = false;
+  for (CommitParticipant* s : txn.servers) {
+    sub.ChargeSystemMessage(sim::Primitive::kSmallMessage, 1);  // TM -> server: prepare
+    if (s->HasUpdates(txn.tid)) {
+      local_updates = true;
+      sub.ChargeSystemMessage(sim::Primitive::kLargeMessage, 1);
+    }
+    sub.ChargeSystemMessage(sim::Primitive::kSmallMessage, 1);  // server -> TM: vote
+  }
+
+  bool any_no = false;
+  bool child_updates = false;
+  for (int i = 0; i < expected; ++i) {
+    std::pair<NodeId, Vote> v;
+    if (!votes->PopWithTimeout(kVoteTimeout, &v)) {
+      any_no = true;  // lost vote or crashed child: abort is always safe
+      break;
+    }
+    sub.ChargeSystemMessage(sim::Primitive::kSmallMessage, 1);  // CM -> TM: vote arrived
+    if (v.second == Vote::kNo) {
+      any_no = true;
+    } else if (v.second == Vote::kYes) {
+      child_updates = true;
+      txn.update_children.insert(v.first);
+    }
+  }
+  if (any_no) {
+    return Vote::kNo;
+  }
+  if (!local_updates && !child_updates) {
+    return Vote::kReadOnly;
+  }
+  return Vote::kYes;
+}
+
+TransactionManager::Vote TransactionManager::HandlePrepare(const TransactionId& tid,
+                                                           NodeId parent_node,
+                                                           const std::vector<NodeId>& siblings) {
+  sim::Substrate& sub = node_.substrate();
+  sim::PhaseScope commit_phase(sub.metrics(), sim::Phase::kCommit);
+  Txn* found = Find(tid);
+  if (found == nullptr) {
+    // We never saw an operation for this transaction (e.g. its work here
+    // aborted earlier): read-only by vacuity.
+    return Vote::kReadOnly;
+  }
+  Txn& txn = *found;
+  if (txn.state == TxnState::kAborted) {
+    return Vote::kNo;
+  }
+  // CM -> TM: prepare arrived; TM -> CM: vote handed back for the wire.
+  sub.ChargeSystemMessage(sim::Primitive::kSmallMessage, 2);
+  txn.parent_node = parent_node;
+  txn.siblings = siblings;
+  txn.state = TxnState::kPreparing;
+
+  Vote v = PrepareSubtree(txn);
+  if (v == Vote::kNo) {
+    AbortSubtree(txn, /*notify_children=*/true);
+    ForgetTxn(tid);
+    return Vote::kNo;
+  }
+  if (v == Vote::kReadOnly) {
+    // Read-only optimization: release locks now and drop out of phase two.
+    sub.scheduler().Charge(sub.costs().participant_read_overhead_us);
+    for (CommitParticipant* s : txn.servers) {
+      sub.ChargeSystemMessage(sim::Primitive::kSmallMessage, 1);  // TM -> server: release
+      s->OnCommit(tid);
+    }
+    ForgetTxn(tid);
+    return Vote::kReadOnly;
+  }
+  // Updates here (or below): become prepared — in doubt until the verdict.
+  sub.scheduler().Charge(sub.costs().participant_prepare_overhead_us);
+  AppendTxnRecord(RecordType::kTxnPrepare, txn, /*force=*/true);
+  txn.state = TxnState::kPrepared;
+  logged_outcomes_[tid] = TxnOutcome::kPrepared;
+  logged_parent_node_[tid] = parent_node;
+  return Vote::kYes;
+}
+
+void TransactionManager::CommitSubtree(Txn& txn, bool is_root) {
+  sim::Substrate& sub = node_.substrate();
+  sim::Scheduler& sched = sub.scheduler();
+  bool wait_for_acks = !sub.arch().optimized_commit;
+
+  auto acks = std::make_shared<sim::Channel<bool>>(sched);
+  int expected = 0;
+  bool first_send = true;
+  for (NodeId child : txn.update_children) {
+    TransactionManager* child_tm = Peer(child);
+    if (child_tm == nullptr) {
+      continue;  // crashed child resolves via in-doubt query after recovery
+    }
+    if (!first_send) {
+      sched.Charge(sub.CostOf(sim::Primitive::kDatagram) / 2);
+    }
+    first_send = false;
+    ++expected;
+    TransactionId tid = txn.tid;
+    NodeId self = node_.id();
+    comm::CommManager* child_cm = &child_tm->cm_;
+    cm_.SendDatagram(child, "2pc-commit", [child_tm, child_cm, tid, self, acks] {
+      child_tm->HandleCommit(tid);
+      child_cm->SendDatagram(self, "2pc-ack", [acks] { acks->Push(true); });
+    });
+  }
+
+  for (CommitParticipant* s : txn.servers) {
+    sub.ChargeSystemMessage(sim::Primitive::kSmallMessage, 1);  // TM -> server: commit
+    bool had_updates = s->HasUpdates(txn.tid);  // OnCommit clears the flag
+    s->OnCommit(txn.tid);
+    if (had_updates) {
+      sub.ChargeSystemMessage(sim::Primitive::kSmallMessage, 1);  // server -> TM: done
+    }
+  }
+
+  if (wait_for_acks) {
+    for (int i = 0; i < expected; ++i) {
+      bool b = false;
+      if (!acks->PopWithTimeout(kVoteTimeout, &b)) {
+        break;  // a child will resolve via in-doubt query; commit stands
+      }
+      sub.ChargeSystemMessage(sim::Primitive::kSmallMessage, 1);  // CM -> TM: ack arrived
+    }
+    if (is_root && expected > 0) {
+      AppendTxnRecord(RecordType::kTxnEnd, txn, /*force=*/false);
+    }
+  }
+}
+
+void TransactionManager::HandleCommit(const TransactionId& tid) {
+  Txn* txn = Find(tid);
+  if (txn == nullptr) {
+    return;  // duplicate delivery (at-most-once handlers make this benign)
+  }
+  sim::Substrate& sub = node_.substrate();
+  sim::PhaseScope commit_phase(sub.metrics(), sim::Phase::kCommit);
+  // CM -> TM: commit arrived; TM -> CM: acknowledgement handed back.
+  sub.ChargeSystemMessage(sim::Primitive::kSmallMessage, 2);
+  sub.scheduler().Charge(sub.costs().participant_commit_overhead_us);
+  AppendTxnRecord(RecordType::kTxnCommit, *txn, /*force=*/false);
+  txn->state = TxnState::kCommitted;
+  logged_outcomes_[tid] = TxnOutcome::kCommitted;
+  in_doubt_.erase(tid);
+  CommitSubtree(*txn, /*is_root=*/false);
+  ForgetTxn(tid);
+}
+
+void TransactionManager::AbortSubtree(Txn& txn, bool notify_children) {
+  sim::Substrate& sub = node_.substrate();
+  if (notify_children) {
+    auto info = cm_.InfoFor(txn.top);
+    for (NodeId child : info.children) {
+      TransactionManager* child_tm = Peer(child);
+      if (child_tm == nullptr) {
+        continue;
+      }
+      TransactionId tid = txn.top;
+      cm_.SendDatagram(child, "2pc-abort", [child_tm, tid] { child_tm->HandleAbortMsg(tid); });
+    }
+  }
+  // Undo local effects (backward chain through the Recovery Manager), then
+  // release locks.
+  rm_.UndoTransaction(txn.tid, txn.top);
+  for (CommitParticipant* s : txn.servers) {
+    sub.ChargeSystemMessage(sim::Primitive::kSmallMessage, 1);  // TM -> server: abort
+    s->OnAbort(txn.tid);
+  }
+  AppendTxnRecord(RecordType::kTxnAbort, txn, /*force=*/false);
+  txn.state = TxnState::kAborted;
+  logged_outcomes_[txn.top] = TxnOutcome::kAborted;
+}
+
+void TransactionManager::HandleAbortMsg(const TransactionId& tid) {
+  Txn* txn = Find(tid);
+  if (txn == nullptr) {
+    return;
+  }
+  AbortSubtree(*txn, /*notify_children=*/true);
+  in_doubt_.erase(tid);
+  ForgetTxn(tid);
+}
+
+void TransactionManager::CommitSubtransaction(Txn& txn) {
+  assert(!txn.parent.IsNull());
+  Txn* parent = Find(txn.parent);
+  assert(parent != nullptr && "subtransaction outlived its parent");
+
+  // Grandchildren commit into this subtransaction first.
+  for (const TransactionId& s : std::set<TransactionId>(txn.live_subtxns)) {
+    Txn* st = Find(s);
+    if (st != nullptr) {
+      CommitSubtransaction(*st);
+    }
+  }
+
+  for (CommitParticipant* s : txn.servers) {
+    s->OnSubtxnCommit(txn.tid, txn.parent);
+    if (std::find(parent->servers.begin(), parent->servers.end(), s) ==
+        parent->servers.end()) {
+      parent->servers.push_back(s);
+    }
+  }
+  rm_.MergeChild(txn.tid, txn.parent);
+
+  LogRecord rec;
+  rec.type = RecordType::kSubtxnCommit;
+  rec.owner = txn.tid;
+  rec.top = txn.top;
+  rec.parent_tid = txn.parent;
+  rm_.log().Append(std::move(rec));
+
+  // Remote participants of the top-level transaction inherit the
+  // subtransaction's locks and undo records too.
+  auto info = cm_.InfoFor(txn.top);
+  for (NodeId child : info.children) {
+    TransactionManager* child_tm = Peer(child);
+    if (child_tm == nullptr) {
+      continue;
+    }
+    TransactionId child_tid = txn.tid;
+    TransactionId parent_tid = txn.parent;
+    TransactionId top = txn.top;
+    cm_.SendDatagram(child, "subtxn-commit", [child_tm, child_tid, parent_tid, top] {
+      child_tm->HandleSubtxnCommit(child_tid, parent_tid, top);
+    });
+  }
+
+  parent->live_subtxns.erase(txn.tid);
+  txns_.erase(txn.tid);
+}
+
+void TransactionManager::HandleSubtxnCommit(const TransactionId& child,
+                                            const TransactionId& parent,
+                                            const TransactionId& top) {
+  rm_.MergeChild(child, parent);
+  Txn* txn = Find(top);
+  if (txn != nullptr) {
+    for (CommitParticipant* s : txn->servers) {
+      s->OnSubtxnCommit(child, parent);
+    }
+    for (NodeId grandchild : cm_.InfoFor(top).children) {
+      TransactionManager* gtm = Peer(grandchild);
+      if (gtm != nullptr) {
+        cm_.SendDatagram(grandchild, "subtxn-commit", [gtm, child, parent, top] {
+          gtm->HandleSubtxnCommit(child, parent, top);
+        });
+      }
+    }
+  }
+}
+
+void TransactionManager::HandleSubtxnAbort(const TransactionId& child,
+                                           const TransactionId& top) {
+  rm_.UndoTransaction(child, top);
+  Txn* txn = Find(top);
+  if (txn != nullptr) {
+    for (CommitParticipant* s : txn->servers) {
+      s->OnAbort(child);
+    }
+    for (NodeId grandchild : cm_.InfoFor(top).children) {
+      TransactionManager* gtm = Peer(grandchild);
+      if (gtm != nullptr) {
+        cm_.SendDatagram(grandchild, "subtxn-abort", [gtm, child, top] {
+          gtm->HandleSubtxnAbort(child, top);
+        });
+      }
+    }
+  }
+}
+
+}  // namespace tabs::txn

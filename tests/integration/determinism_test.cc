@@ -1,0 +1,110 @@
+// Determinism properties of the virtual-time substrate: identical runs
+// produce identical traces (virtual times, primitive counts, outcomes) —
+// the property that makes every benchmark and failure in this repository
+// exactly reproducible.
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <sstream>
+
+#include "src/servers/array_server.h"
+#include "src/servers/weak_queue_server.h"
+#include "src/tabs/world.h"
+
+namespace tabs {
+namespace {
+
+using servers::ArrayServer;
+using servers::WeakQueueServer;
+
+// Runs a mixed concurrent workload and returns a trace fingerprint.
+std::string RunWorkloadTrace(unsigned seed) {
+  World world(2);
+  auto* arr = world.AddServerOf<ArrayServer>(1, "arr", 32u);
+  auto* remote = world.AddServerOf<ArrayServer>(2, "rem", 32u);
+  auto* queue = world.AddServerOf<WeakQueueServer>(1, "q", 32u);
+
+  std::ostringstream trace;
+  for (int c = 0; c < 4; ++c) {
+    world.SpawnApp(1, "client", [&, c, seed](Application& app) {
+      std::mt19937 rng(seed + static_cast<unsigned>(c));
+      for (int i = 0; i < 6; ++i) {
+        Status s = app.Transaction([&](const server::Tx& tx) {
+          switch (rng() % 3) {
+            case 0:
+              return arr->SetCell(tx, rng() % 8, static_cast<std::int32_t>(rng() % 100));
+            case 1:
+              return remote->SetCell(tx, rng() % 8, static_cast<std::int32_t>(rng() % 100));
+            default:
+              return queue->Enqueue(tx, static_cast<std::int32_t>(rng() % 100));
+          }
+        });
+        trace << c << ":" << i << ":" << StatusName(s) << "@" << world.scheduler().Now()
+              << ";";
+      }
+    }, c * 2'500);
+  }
+  world.Drain();
+  world.RunApp(1, [&](Application& app) {
+    app.Transaction([&](const server::Tx& tx) {
+      for (std::uint32_t i = 0; i < 8; ++i) {
+        trace << arr->GetCell(tx, i).value() << ",";
+        trace << remote->GetCell(tx, i).value() << ",";
+      }
+      return Status::kOk;
+    });
+  });
+  trace << "|total=" << world.metrics().Total().PredictedTime(sim::CostModel::Baseline());
+  return trace.str();
+}
+
+TEST(DeterminismTest, IdenticalRunsProduceIdenticalTraces) {
+  std::string first = RunWorkloadTrace(42);
+  std::string second = RunWorkloadTrace(42);
+  EXPECT_EQ(first, second);
+  EXPECT_FALSE(first.empty());
+}
+
+TEST(DeterminismTest, DifferentSeedsDiverge) {
+  EXPECT_NE(RunWorkloadTrace(1), RunWorkloadTrace(2));
+}
+
+TEST(DeterminismTest, CrashRecoveryIsDeterministicToo) {
+  auto run = [](unsigned seed) {
+    World world(2);
+    auto* arr = world.AddServerOf<ArrayServer>(1, "arr", 16u);
+    std::ostringstream trace;
+    world.RunApp(1, [&](Application& app) {
+      std::mt19937 rng(seed);
+      for (int i = 0; i < 5; ++i) {
+        app.Transaction([&](const server::Tx& tx) {
+          return arr->SetCell(tx, rng() % 8, static_cast<std::int32_t>(i));
+        });
+      }
+      TransactionId t = app.Begin();
+      arr->SetCell(app.MakeTx(t), 0, -1);
+      world.rm(1).log().ForceAll();
+      world.CrashNode(1);
+    });
+    world.RunApp(2, [&](Application&) {
+      auto stats = world.RecoverNode(1);
+      trace << "scanned=" << stats.records_scanned << " losers=" << stats.losers.size();
+    });
+    arr = world.Server<ArrayServer>(1, "arr");
+    world.RunApp(1, [&](Application& app) {
+      app.Transaction([&](const server::Tx& tx) {
+        for (std::uint32_t i = 0; i < 8; ++i) {
+          trace << "," << arr->GetCell(tx, i).value();
+        }
+        return Status::kOk;
+      });
+      trace << "@" << world.scheduler().Now();
+    });
+    return trace.str();
+  };
+  EXPECT_EQ(run(7), run(7));
+}
+
+}  // namespace
+}  // namespace tabs

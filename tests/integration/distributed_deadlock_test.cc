@@ -1,0 +1,110 @@
+// Cross-node deadlock: two distributed transactions lock resources on
+// different nodes in opposite orders. TABS' own policy (timeouts) breaks the
+// cycle eventually; the global waits-for-graph detector breaks it promptly
+// and sacrifices only the youngest member (the R*/Obermarck extension the
+// paper cites in Section 2.1.2).
+
+#include <gtest/gtest.h>
+
+#include "src/servers/array_server.h"
+#include "src/tabs/world.h"
+
+namespace tabs {
+namespace {
+
+using servers::ArrayServer;
+
+class DistributedDeadlockTest : public ::testing::Test {
+ protected:
+  DistributedDeadlockTest() : world_(2) {
+    a_ = world_.AddServerOf<ArrayServer>(1, "a", 8u);
+    b_ = world_.AddServerOf<ArrayServer>(2, "b", 8u);
+  }
+
+  // Spawns the two opposite-order transactions; reports each one's final
+  // commit status. `first_then_second(app, X, Y)` writes X's cell then Y's.
+  void SpawnOpposingPair(Status* s1, Status* s2) {
+    world_.SpawnApp(1, "t1", [this, s1](Application& app) {
+      *s1 = app.Transaction([&](const server::Tx& tx) {
+        Status s = a_->SetCell(tx, 0, 1);
+        if (s != Status::kOk) {
+          return s;
+        }
+        world_.scheduler().Charge(10'000);
+        world_.scheduler().Yield();  // let t2 take its first lock
+        return b_->SetCell(tx, 0, 1);
+      });
+    });
+    world_.SpawnApp(2, "t2", [this, s2](Application& app) {
+      *s2 = app.Transaction([&](const server::Tx& tx) {
+        Status s = b_->SetCell(tx, 0, 2);
+        if (s != Status::kOk) {
+          return s;
+        }
+        world_.scheduler().Charge(10'000);
+        world_.scheduler().Yield();
+        return a_->SetCell(tx, 0, 2);
+      });
+    }, 1'000);
+  }
+
+  World world_;
+  ArrayServer* a_;
+  ArrayServer* b_;
+};
+
+TEST_F(DistributedDeadlockTest, TimeoutsBreakTheCycleEventually) {
+  Status s1 = Status::kInternal;
+  Status s2 = Status::kInternal;
+  SpawnOpposingPair(&s1, &s2);
+  EXPECT_EQ(world_.Drain(), 0);
+  // At least one victim; they cannot both commit (that would need both locks
+  // in both orders), and at least one aborts by timeout.
+  EXPECT_FALSE(s1 == Status::kOk && s2 == Status::kOk);
+  EXPECT_TRUE(s1 == Status::kTimeout || s2 == Status::kTimeout);
+}
+
+TEST_F(DistributedDeadlockTest, GlobalDetectorFindsCrossNodeCycle) {
+  Status s1 = Status::kInternal;
+  Status s2 = Status::kInternal;
+  SpawnOpposingPair(&s1, &s2);
+  TransactionId victim{};
+  world_.SpawnApp(1, "detector", [&](Application&) {
+    auto detector = world_.GlobalDeadlockDetector();
+    auto cycle = detector.FindCycle();
+    EXPECT_EQ(cycle.size(), 2u);  // T1 -> T2 -> T1 across the two nodes
+    auto chosen = detector.BreakOneCycle();
+    ASSERT_TRUE(chosen.has_value());
+    victim = *chosen;
+  }, 500'000);  // well before the 5 s lock timeout
+  EXPECT_EQ(world_.Drain(), 0);
+  // The sacrificed transaction aborted; the survivor committed.
+  EXPECT_TRUE((s1 == Status::kOk) != (s2 == Status::kOk));
+  EXPECT_TRUE(s1 == Status::kAborted || s2 == Status::kAborted);
+  EXPECT_NE(victim.sequence, 0u);
+}
+
+TEST_F(DistributedDeadlockTest, DetectorLeavesNonDeadlockedWaitersAlone) {
+  // One transaction simply waits behind another (no cycle): the detector
+  // must not kill anyone.
+  Status waiter = Status::kInternal;
+  world_.SpawnApp(1, "holder", [&](Application& app) {
+    TransactionId t = app.Begin();
+    a_->SetCell(app.MakeTx(t), 0, 1);
+    world_.scheduler().Charge(2'000'000);
+    world_.scheduler().Yield();
+    app.End(t);
+  });
+  world_.SpawnApp(1, "waiter", [&](Application& app) {
+    waiter = app.Transaction([&](const server::Tx& tx) { return a_->SetCell(tx, 0, 2); });
+  }, 1'000);
+  world_.SpawnApp(2, "detector", [&](Application&) {
+    auto detector = world_.GlobalDeadlockDetector();
+    EXPECT_FALSE(detector.BreakOneCycle().has_value());
+  }, 500'000);
+  EXPECT_EQ(world_.Drain(), 0);
+  EXPECT_EQ(waiter, Status::kOk);  // granted once the holder committed
+}
+
+}  // namespace
+}  // namespace tabs

@@ -1,0 +1,289 @@
+// Integration tests: full-stack transactions through World/Application on
+// the integer array server — local, distributed, aborting, subtransactions,
+// name lookup, and serializability-shaped interleavings.
+
+#include <gtest/gtest.h>
+
+#include "src/servers/array_server.h"
+#include "src/tabs/world.h"
+
+namespace tabs {
+namespace {
+
+using servers::ArrayServer;
+
+class TransactionTest : public ::testing::Test {
+ protected:
+  TransactionTest() : world_(3) {
+    a1_ = world_.AddServerOf<ArrayServer>(1, "array1", 128u);
+    a2_ = world_.AddServerOf<ArrayServer>(2, "array2", 128u);
+    a3_ = world_.AddServerOf<ArrayServer>(3, "array3", 128u);
+  }
+
+  World world_;
+  ArrayServer* a1_;
+  ArrayServer* a2_;
+  ArrayServer* a3_;
+};
+
+TEST_F(TransactionTest, LocalReadWriteCommit) {
+  int result = world_.RunApp(1, [&](Application& app) {
+    Status s = app.Transaction([&](const server::Tx& tx) {
+      EXPECT_EQ(a1_->SetCell(tx, 5, 42), Status::kOk);
+      auto v = a1_->GetCell(tx, 5);
+      EXPECT_TRUE(v.ok());
+      EXPECT_EQ(v.value(), 42);
+      return Status::kOk;
+    });
+    EXPECT_EQ(s, Status::kOk);
+    // A later transaction sees the committed value.
+    app.Transaction([&](const server::Tx& tx) {
+      EXPECT_EQ(a1_->GetCell(tx, 5).value(), 42);
+      return Status::kOk;
+    });
+  });
+  EXPECT_EQ(result, 0);
+}
+
+TEST_F(TransactionTest, AbortRestoresOldValue) {
+  world_.RunApp(1, [&](Application& app) {
+    app.Transaction([&](const server::Tx& tx) {
+      a1_->SetCell(tx, 7, 100);
+      return Status::kOk;
+    });
+    TransactionId t = app.Begin();
+    a1_->SetCell(app.MakeTx(t), 7, 999);
+    app.Abort(t);
+    EXPECT_TRUE(app.TransactionIsAborted(t));
+    app.Transaction([&](const server::Tx& tx) {
+      EXPECT_EQ(a1_->GetCell(tx, 7).value(), 100);
+      return Status::kOk;
+    });
+  });
+}
+
+TEST_F(TransactionTest, OutOfRangeReturnsError) {
+  world_.RunApp(1, [&](Application& app) {
+    app.Transaction([&](const server::Tx& tx) {
+      EXPECT_EQ(a1_->GetCell(tx, 9999).status(), Status::kOutOfRange);
+      EXPECT_EQ(a1_->SetCell(tx, 9999, 1), Status::kOutOfRange);
+      return Status::kOk;
+    });
+  });
+}
+
+TEST_F(TransactionTest, DistributedCommitTwoNodes) {
+  world_.RunApp(1, [&](Application& app) {
+    Status s = app.Transaction([&](const server::Tx& tx) {
+      EXPECT_EQ(a1_->SetCell(tx, 1, 11), Status::kOk);
+      EXPECT_EQ(a2_->SetCell(tx, 2, 22), Status::kOk);  // remote write
+      return Status::kOk;
+    });
+    EXPECT_EQ(s, Status::kOk);
+    app.Transaction([&](const server::Tx& tx) {
+      EXPECT_EQ(a1_->GetCell(tx, 1).value(), 11);
+      EXPECT_EQ(a2_->GetCell(tx, 2).value(), 22);
+      return Status::kOk;
+    });
+  });
+}
+
+TEST_F(TransactionTest, DistributedCommitThreeNodes) {
+  world_.RunApp(1, [&](Application& app) {
+    Status s = app.Transaction([&](const server::Tx& tx) {
+      EXPECT_EQ(a1_->SetCell(tx, 0, 1), Status::kOk);
+      EXPECT_EQ(a2_->SetCell(tx, 0, 2), Status::kOk);
+      EXPECT_EQ(a3_->SetCell(tx, 0, 3), Status::kOk);
+      return Status::kOk;
+    });
+    EXPECT_EQ(s, Status::kOk);
+    app.Transaction([&](const server::Tx& tx) {
+      EXPECT_EQ(a1_->GetCell(tx, 0).value(), 1);
+      EXPECT_EQ(a2_->GetCell(tx, 0).value(), 2);
+      EXPECT_EQ(a3_->GetCell(tx, 0).value(), 3);
+      return Status::kOk;
+    });
+  });
+}
+
+TEST_F(TransactionTest, DistributedAbortUndoesRemoteWrites) {
+  world_.RunApp(1, [&](Application& app) {
+    TransactionId t = app.Begin();
+    server::Tx tx = app.MakeTx(t);
+    a1_->SetCell(tx, 3, 33);
+    a2_->SetCell(tx, 3, 44);
+    app.Abort(t);
+    app.Transaction([&](const server::Tx& tx2) {
+      EXPECT_EQ(a1_->GetCell(tx2, 3).value(), 0);
+      EXPECT_EQ(a2_->GetCell(tx2, 3).value(), 0);
+      return Status::kOk;
+    });
+  });
+}
+
+TEST_F(TransactionTest, RemoteReadOnlyUsesReadOnlyVote) {
+  world_.RunApp(1, [&](Application& app) {
+    world_.metrics().Reset();
+    app.Transaction([&](const server::Tx& tx) {
+      EXPECT_EQ(a1_->GetCell(tx, 0).status(), Status::kOk);
+      EXPECT_EQ(a2_->GetCell(tx, 0).status(), Status::kOk);
+      return Status::kOk;
+    });
+    // Read-only distributed commit: prepare + vote only (2 datagrams).
+    EXPECT_EQ(world_.metrics().Bucket(sim::Phase::kCommit).Of(sim::Primitive::kDatagram), 2.0);
+  });
+}
+
+TEST_F(TransactionTest, DistributedWriteUsesFullTwoPhase) {
+  world_.RunApp(1, [&](Application& app) {
+    world_.metrics().Reset();
+    app.Transaction([&](const server::Tx& tx) {
+      a1_->SetCell(tx, 0, 1);
+      a2_->SetCell(tx, 0, 2);
+      return Status::kOk;
+    });
+    // prepare, vote, commit, ack.
+    EXPECT_EQ(world_.metrics().Bucket(sim::Phase::kCommit).Of(sim::Primitive::kDatagram), 4.0);
+  });
+}
+
+TEST_F(TransactionTest, SerializabilityUnderConflict) {
+  // Two transfer-style transactions over the same two cells, interleaved:
+  // locking must serialize them and conserve the total.
+  world_.RunApp(1, [&](Application& app0) {
+    app0.Transaction([&](const server::Tx& tx) {
+      a1_->SetCell(tx, 0, 100);
+      a1_->SetCell(tx, 1, 100);
+      return Status::kOk;
+    });
+  });
+  auto transfer = [&](Application& app, std::int32_t amount) {
+    app.Transaction([&](const server::Tx& tx) {
+      auto from = a1_->GetCell(tx, 0);
+      if (!from.ok()) {
+        return from.status();
+      }
+      Status s = a1_->SetCell(tx, 0, from.value() - amount);
+      if (s != Status::kOk) {
+        return s;
+      }
+      auto to = a1_->GetCell(tx, 1);
+      if (!to.ok()) {
+        return to.status();
+      }
+      return a1_->SetCell(tx, 1, to.value() + amount);
+    });
+  };
+  world_.SpawnApp(1, "t1", [&](Application& app) { transfer(app, 10); }, 0);
+  world_.SpawnApp(1, "t2", [&](Application& app) { transfer(app, 25); }, 1000);
+  EXPECT_EQ(world_.Drain(), 0);
+  world_.RunApp(1, [&](Application& app) {
+    app.Transaction([&](const server::Tx& tx) {
+      std::int32_t total = a1_->GetCell(tx, 0).value() + a1_->GetCell(tx, 1).value();
+      EXPECT_EQ(total, 200);
+      return Status::kOk;
+    });
+  });
+}
+
+TEST_F(TransactionTest, ConflictingWritersTimeOutAndAbort) {
+  Status second = Status::kOk;
+  world_.SpawnApp(1, "holder", [&](Application& app) {
+    TransactionId t = app.Begin();
+    a1_->SetCell(app.MakeTx(t), 0, 1);
+    // Hold the lock "forever" (longer than the contender's timeout).
+    world_.scheduler().Charge(20'000'000);
+    world_.scheduler().Yield();
+    app.End(t);
+  });
+  world_.SpawnApp(1, "contender", [&](Application& app) {
+    second = app.Transaction([&](const server::Tx& tx) {
+      return a1_->SetCell(tx, 0, 2);
+    });
+  }, 1000);
+  EXPECT_EQ(world_.Drain(), 0);
+  EXPECT_EQ(second, Status::kTimeout);
+}
+
+TEST_F(TransactionTest, SubtransactionCommitsWithParent) {
+  world_.RunApp(1, [&](Application& app) {
+    TransactionId parent = app.Begin();
+    a1_->SetCell(app.MakeTx(parent), 0, 1);
+    TransactionId child = app.Begin(parent);
+    a1_->SetCell(app.MakeTx(child), 1, 2);
+    EXPECT_EQ(app.End(child), Status::kOk);   // merges into parent
+    EXPECT_EQ(app.End(parent), Status::kOk);  // real commit
+    app.Transaction([&](const server::Tx& tx) {
+      EXPECT_EQ(a1_->GetCell(tx, 0).value(), 1);
+      EXPECT_EQ(a1_->GetCell(tx, 1).value(), 2);
+      return Status::kOk;
+    });
+  });
+}
+
+TEST_F(TransactionTest, SubtransactionAbortsAlone) {
+  world_.RunApp(1, [&](Application& app) {
+    TransactionId parent = app.Begin();
+    a1_->SetCell(app.MakeTx(parent), 0, 1);
+    TransactionId child = app.Begin(parent);
+    a1_->SetCell(app.MakeTx(child), 1, 2);
+    app.Abort(child);  // parent tolerates the failure
+    EXPECT_EQ(app.End(parent), Status::kOk);
+    app.Transaction([&](const server::Tx& tx) {
+      EXPECT_EQ(a1_->GetCell(tx, 0).value(), 1);
+      EXPECT_EQ(a1_->GetCell(tx, 1).value(), 0);  // child's write undone
+      return Status::kOk;
+    });
+  });
+}
+
+TEST_F(TransactionTest, ParentAbortKillsCommittedSubtransaction) {
+  world_.RunApp(1, [&](Application& app) {
+    TransactionId parent = app.Begin();
+    TransactionId child = app.Begin(parent);
+    a1_->SetCell(app.MakeTx(child), 1, 2);
+    EXPECT_EQ(app.End(child), Status::kOk);
+    app.Abort(parent);
+    app.Transaction([&](const server::Tx& tx) {
+      EXPECT_EQ(a1_->GetCell(tx, 1).value(), 0);
+      return Status::kOk;
+    });
+  });
+}
+
+TEST_F(TransactionTest, SubtransactionRemoteWriteFollowsParentOutcome) {
+  world_.RunApp(1, [&](Application& app) {
+    TransactionId parent = app.Begin();
+    TransactionId child = app.Begin(parent);
+    a2_->SetCell(app.MakeTx(child), 4, 44);  // remote write inside subtxn
+    EXPECT_EQ(app.End(child), Status::kOk);
+    EXPECT_EQ(app.End(parent), Status::kOk);
+    app.Transaction([&](const server::Tx& tx) {
+      EXPECT_EQ(a2_->GetCell(tx, 4).value(), 44);
+      return Status::kOk;
+    });
+  });
+}
+
+TEST_F(TransactionTest, NameServerFindsLocalAndRemoteBindings) {
+  world_.RunApp(1, [&](Application& app) {
+    auto local = world_.names(1).LookUp("array1", 1, 1'000'000);
+    ASSERT_EQ(local.size(), 1u);
+    EXPECT_EQ(local[0].node, 1u);
+    // Remote name resolved by broadcast.
+    auto remote = world_.names(1).LookUp("array3", 1, 1'000'000);
+    ASSERT_EQ(remote.size(), 1u);
+    EXPECT_EQ(remote[0].node, 3u);
+    // Unknown names come back empty after the broadcast wait.
+    EXPECT_TRUE(world_.names(1).LookUp("no-such-server", 1, 200'000).empty());
+  });
+}
+
+TEST_F(TransactionTest, DescribeNodeListsComponents) {
+  std::string desc = world_.DescribeNode(1);
+  EXPECT_NE(desc.find("Transaction Manager"), std::string::npos);
+  EXPECT_NE(desc.find("array1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tabs

@@ -1,0 +1,105 @@
+// Property sweeps for the lock manager: random acquire/release traffic
+// checked against invariants, across several compatibility matrices
+// (standard shared/exclusive plus typed variants).
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <random>
+#include <set>
+
+#include "src/lock/lock_manager.h"
+
+namespace tabs::lock {
+namespace {
+
+struct MatrixCase {
+  std::string name;
+  CompatibilityMatrix matrix;
+  int mode_count;
+};
+
+std::vector<MatrixCase> Matrices() {
+  std::vector<MatrixCase> out;
+  out.push_back({"shared_exclusive", CompatibilityMatrix::SharedExclusive(), 2});
+
+  // Typed: increment/decrement commute (the account server's matrix).
+  CompatibilityMatrix account(4);
+  account.SetCompatible(kShared, kShared);
+  account.SetCompatible(2, 2);
+  account.SetCompatible(3, 3);
+  account.SetCompatible(2, 3);
+  out.push_back({"account_typed", account, 4});
+
+  // All-compatible except exclusive: maximal concurrency.
+  CompatibilityMatrix loose(3);
+  loose.SetCompatible(kShared, kShared);
+  loose.SetCompatible(kShared, 2);
+  loose.SetCompatible(2, 2);
+  out.push_back({"loose", loose, 3});
+  return out;
+}
+
+class LockPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(LockPropertyTest, GrantsNeverViolateCompatibility) {
+  for (const MatrixCase& mc : Matrices()) {
+    sim::Scheduler sched;
+    LockManager lm(sched, mc.matrix, /*default_timeout=*/0);  // never wait
+    std::mt19937 rng(static_cast<unsigned>(GetParam()) * 131 + 7);
+
+    // Model of current grants: oid -> [(tid, mode)].
+    std::map<ObjectId, std::vector<std::pair<TransactionId, LockMode>>> granted;
+
+    sched.Spawn("driver", 1, 0, [&] {
+      for (int step = 0; step < 400; ++step) {
+        TransactionId tid{1, 1 + rng() % 5};
+        ObjectId oid{1, (rng() % 6) * 8, 8};
+        auto mode = static_cast<LockMode>(rng() % mc.mode_count);
+        if (rng() % 5 == 0) {
+          lm.ReleaseAll(tid);
+          for (auto& [o, grants] : granted) {
+            std::erase_if(grants, [&](auto& g) { return g.first == tid; });
+          }
+          continue;
+        }
+        bool got = lm.ConditionalLock(tid, oid, mode);
+        // Invariant 1: a grant is compatible with every other holder.
+        if (got) {
+          for (auto& [holder, held] : granted[oid]) {
+            if (holder != tid) {
+              EXPECT_TRUE(mc.matrix.Compatible(mode, held))
+                  << mc.name << " granted " << int(mode) << " against held " << int(held);
+            }
+          }
+          granted[oid].emplace_back(tid, mode);
+        } else {
+          // Invariant 2: a refusal means some other holder conflicts.
+          bool conflict = false;
+          for (auto& [holder, held] : granted[oid]) {
+            if (holder != tid && !mc.matrix.Compatible(mode, held)) {
+              conflict = true;
+            }
+          }
+          EXPECT_TRUE(conflict) << mc.name << " refused a compatible request";
+        }
+        // Invariant 3: IsLocked agrees with the model.
+        EXPECT_EQ(lm.IsLocked(oid), !granted[oid].empty());
+      }
+      // Teardown: everything releasable.
+      for (std::uint64_t s = 1; s <= 5; ++s) {
+        lm.ReleaseAll(TransactionId{1, s});
+      }
+      EXPECT_EQ(lm.LockedObjectCount(), 0u);
+    });
+    EXPECT_EQ(sched.Run(), 0) << mc.name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LockPropertyTest, ::testing::Values(1, 2, 3, 4, 5),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           return "seed" + std::to_string(info.param);
+                         });
+
+}  // namespace
+}  // namespace tabs::lock

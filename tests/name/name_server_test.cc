@@ -1,0 +1,121 @@
+// Name Server tests: registration, local and broadcast lookup, replicated
+// bindings, deregistration, crash behaviour.
+
+#include "src/name/name_server.h"
+
+#include <gtest/gtest.h>
+
+namespace tabs::name {
+namespace {
+
+class NameServerTest : public ::testing::Test {
+ protected:
+  NameServerTest()
+      : substrate_(sched_, sim::CostModel::Baseline(), sim::ArchitectureModel::Prototype()),
+        net_(substrate_) {
+    for (NodeId n = 1; n <= 3; ++n) {
+      net_.AddNode(n);
+      cms_.push_back(std::make_unique<comm::CommManager>(n, net_));
+      servers_.push_back(std::make_unique<NameServer>(*cms_.back()));
+      peers_[n] = servers_.back().get();
+    }
+    for (auto& s : servers_) {
+      s->SetPeers(&peers_);
+    }
+  }
+
+  NameServer& ns(NodeId n) { return *servers_[n - 1]; }
+
+  sim::Scheduler sched_;
+  sim::Substrate substrate_;
+  comm::Network net_;
+  std::vector<std::unique_ptr<comm::CommManager>> cms_;
+  std::vector<std::unique_ptr<NameServer>> servers_;
+  std::map<NodeId, NameServer*> peers_;
+};
+
+TEST_F(NameServerTest, LocalRegisterAndLookup) {
+  Binding b{1, "printer", {1, 0, 1}};
+  ns(1).Register("printer", b);
+  sched_.Spawn("t", 1, 0, [&] {
+    auto found = ns(1).LookUp("printer", 1, 1'000'000);
+    ASSERT_EQ(found.size(), 1u);
+    EXPECT_EQ(found[0], b);
+  });
+  EXPECT_EQ(sched_.Run(), 0);
+}
+
+TEST_F(NameServerTest, BroadcastFindsRemoteBinding) {
+  Binding b{3, "mail", {2, 0, 1}};
+  ns(3).Register("mail", b);
+  sched_.Spawn("t", 1, 0, [&] {
+    auto found = ns(1).LookUp("mail", 1, 1'000'000);
+    ASSERT_EQ(found.size(), 1u);
+    EXPECT_EQ(found[0].node, 3u);
+  });
+  EXPECT_EQ(sched_.Run(), 0);
+}
+
+TEST_F(NameServerTest, ReplicatedNameGathersMultipleBindings) {
+  // "Independent data server processes can together implement replicated
+  // objects": one name, three bindings on three nodes.
+  for (NodeId n = 1; n <= 3; ++n) {
+    ns(n).Register("directory", Binding{n, "dir-rep", {1, 0, 1}});
+  }
+  sched_.Spawn("t", 2, 0, [&] {
+    auto found = ns(2).LookUp("directory", 3, 1'000'000);
+    EXPECT_EQ(found.size(), 3u);
+  });
+  EXPECT_EQ(sched_.Run(), 0);
+}
+
+TEST_F(NameServerTest, DesiredCountTruncates) {
+  for (NodeId n = 1; n <= 3; ++n) {
+    ns(n).Register("svc", Binding{n, "svc", {1, 0, 1}});
+  }
+  sched_.Spawn("t", 1, 0, [&] {
+    auto found = ns(1).LookUp("svc", 2, 1'000'000);
+    EXPECT_EQ(found.size(), 2u);
+  });
+  EXPECT_EQ(sched_.Run(), 0);
+}
+
+TEST_F(NameServerTest, UnknownNameTimesOutEmpty) {
+  SimTime waited = 0;
+  sched_.Spawn("t", 1, 0, [&] {
+    SimTime t0 = sched_.Now();
+    auto found = ns(1).LookUp("nothing", 1, 300'000);
+    waited = sched_.Now() - t0;
+    EXPECT_TRUE(found.empty());
+  });
+  EXPECT_EQ(sched_.Run(), 0);
+  EXPECT_GE(waited, 300'000);  // waited out the MaxWait
+}
+
+TEST_F(NameServerTest, DeRegisterRemovesBinding) {
+  Binding b{1, "tmp", {1, 0, 1}};
+  ns(1).Register("tmp", b);
+  ns(1).DeRegister("tmp", b);
+  EXPECT_TRUE(ns(1).LocalLookup("tmp").empty());
+}
+
+TEST_F(NameServerTest, DuplicateRegistrationIsIdempotent) {
+  Binding b{1, "dup", {1, 0, 1}};
+  ns(1).Register("dup", b);
+  ns(1).Register("dup", b);
+  EXPECT_EQ(ns(1).LocalLookup("dup").size(), 1u);
+}
+
+TEST_F(NameServerTest, CrashedNodeDoesNotAnswerBroadcast) {
+  ns(3).Register("only-on-3", Binding{3, "s", {1, 0, 1}});
+  net_.SetAlive(3, false);
+  peers_[3] = nullptr;
+  sched_.Spawn("t", 1, 0, [&] {
+    auto found = ns(1).LookUp("only-on-3", 1, 300'000);
+    EXPECT_TRUE(found.empty());
+  });
+  EXPECT_EQ(sched_.Run(), 0);
+}
+
+}  // namespace
+}  // namespace tabs::name

@@ -1,0 +1,535 @@
+// Crash-recovery tests: value logging (single backward pass), operation
+// logging (three passes, page-sequence-number guard), abort processing with
+// compensation, checkpoints and reclamation.
+
+#include "src/recovery/recovery_manager.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "src/kernel/node.h"
+
+namespace tabs::recovery {
+namespace {
+
+using log::LogRecord;
+using log::RecordType;
+
+constexpr SegmentId kSeg = 1;
+constexpr char kServer[] = "srv";
+
+// A stand-in for the Transaction Manager's recovery side.
+class TestOutcomes : public TxnOutcomeSource {
+ public:
+  void ObserveTxnRecord(const LogRecord& rec) override {
+    switch (rec.type) {
+      case RecordType::kTxnCommit:
+        state_[rec.top] = TxnOutcome::kCommitted;
+        break;
+      case RecordType::kTxnAbort:
+        state_[rec.top] = TxnOutcome::kAborted;
+        break;
+      case RecordType::kTxnPrepare:
+        if (!state_.contains(rec.top)) {
+          state_[rec.top] = TxnOutcome::kPrepared;
+        }
+        break;
+      default:
+        break;
+    }
+  }
+  TxnOutcome OutcomeOf(const TransactionId& top) override {
+    auto it = state_.find(top);
+    return it == state_.end() ? TxnOutcome::kActive : it->second;
+  }
+
+ private:
+  std::map<TransactionId, TxnOutcome> state_;
+};
+
+// One volatile "epoch" of a node: everything a crash destroys.
+struct Epoch {
+  Epoch(kernel::Node& node, PageNumber pages = 16, size_t frames = 8)
+      : rm(node), seg(node.substrate(), node.disk(), kSeg, pages, frames) {
+    rm.RegisterSegment(kServer, &seg);
+  }
+  RecoveryManager rm;
+  kernel::RecoverableSegment seg;
+};
+
+class RecoveryTest : public ::testing::Test {
+ protected:
+  RecoveryTest()
+      : substrate_(sched_, sim::CostModel::Baseline(), sim::ArchitectureModel::Prototype()),
+        node_(1, substrate_) {}
+
+  void RunInTask(std::function<void()> fn) {
+    sched_.Spawn("test", 1, 0, std::move(fn));
+    ASSERT_EQ(sched_.Run(), 0);
+  }
+
+  // Server-library-shaped write: pin, log old/new (which applies), unpin.
+  static void WriteValue(Epoch& e, const TransactionId& tid, const ObjectId& oid,
+                         Bytes new_value) {
+    e.seg.Pin(oid);
+    Bytes old_value = e.seg.Read(oid);
+    e.rm.LogValue(tid, tid, kServer, oid, std::move(old_value), std::move(new_value));
+    e.seg.Unpin(oid);
+  }
+
+  static void Commit(Epoch& e, const TransactionId& tid) {
+    LogRecord rec;
+    rec.type = RecordType::kTxnCommit;
+    rec.owner = tid;
+    rec.top = tid;
+    e.rm.log().Append(std::move(rec));
+    e.rm.log().ForceAll();
+    e.rm.ForgetTransaction(tid);
+  }
+
+  sim::Scheduler sched_;
+  sim::Substrate substrate_;
+  kernel::Node node_;
+};
+
+TEST_F(RecoveryTest, CommittedValueSurvivesCrash) {
+  ObjectId oid{kSeg, 0, 4};
+  TransactionId t{1, 1};
+  RunInTask([&] {
+    Epoch before(node_);
+    WriteValue(before, t, oid, {1, 2, 3, 4});
+    Commit(before, t);
+    // Crash: volatile frames never reached disk.
+    Epoch after(node_);
+    TestOutcomes outcomes;
+    RecoveryStats stats = after.rm.Recover(outcomes);
+    EXPECT_EQ(stats.passes, 1);  // value-only log: single pass
+    EXPECT_EQ(after.seg.Read(oid), (Bytes{1, 2, 3, 4}));
+    EXPECT_TRUE(stats.losers.empty());
+  });
+}
+
+TEST_F(RecoveryTest, UncommittedValueRolledBack) {
+  ObjectId oid{kSeg, 0, 4};
+  TransactionId t{1, 1};
+  RunInTask([&] {
+    Epoch before(node_);
+    WriteValue(before, t, oid, {7, 7, 7, 7});
+    before.rm.log().ForceAll();  // records durable, but no commit record
+    before.seg.FlushAll();       // dirty page even reached the disk
+    Epoch after(node_);
+    TestOutcomes outcomes;
+    RecoveryStats stats = after.rm.Recover(outcomes);
+    EXPECT_EQ(after.seg.Read(oid), (Bytes{0, 0, 0, 0}));
+    ASSERT_EQ(stats.losers.size(), 1u);
+    EXPECT_EQ(stats.losers[0], t);
+  });
+}
+
+TEST_F(RecoveryTest, UnforcedCommittedUpdatesAreSimplyGone) {
+  // No force, no flush: WAL means the disk was never touched, so recovery
+  // has nothing to do and the transaction never happened.
+  ObjectId oid{kSeg, 0, 4};
+  TransactionId t{1, 1};
+  RunInTask([&] {
+    {
+      Epoch before(node_);
+      WriteValue(before, t, oid, {9, 9, 9, 9});
+      // commit record appended but NOT forced:
+      LogRecord rec;
+      rec.type = RecordType::kTxnCommit;
+      rec.owner = t;
+      rec.top = t;
+      before.rm.log().Append(std::move(rec));
+    }
+    Epoch after(node_);
+    TestOutcomes outcomes;
+    after.rm.Recover(outcomes);
+    EXPECT_EQ(after.seg.Read(oid), (Bytes{0, 0, 0, 0}));
+  });
+}
+
+TEST_F(RecoveryTest, InterleavedWinnersAndLosers) {
+  ObjectId a{kSeg, 0, 4}, b{kSeg, 4, 4}, c{kSeg, 8, 4};
+  TransactionId t1{1, 1}, t2{1, 2}, t3{1, 3};
+  RunInTask([&] {
+    Epoch before(node_);
+    WriteValue(before, t1, a, {1, 1, 1, 1});
+    WriteValue(before, t2, b, {2, 2, 2, 2});
+    WriteValue(before, t1, c, {3, 3, 3, 3});
+    Commit(before, t1);
+    WriteValue(before, t3, a, {4, 4, 4, 4});  // t3 overwrites committed t1 data
+    before.rm.log().ForceAll();
+    before.seg.FlushAll();
+    Epoch after(node_);
+    TestOutcomes outcomes;
+    after.rm.Recover(outcomes);
+    EXPECT_EQ(after.seg.Read(a), (Bytes{1, 1, 1, 1}));  // t3 undone back to t1's commit
+    EXPECT_EQ(after.seg.Read(b), (Bytes{0, 0, 0, 0}));  // t2 never committed
+    EXPECT_EQ(after.seg.Read(c), (Bytes{3, 3, 3, 3}));  // t1 committed
+  });
+}
+
+TEST_F(RecoveryTest, MultiRecordLoserUnwindsToOldest) {
+  ObjectId oid{kSeg, 0, 4};
+  TransactionId t{1, 1};
+  RunInTask([&] {
+    Epoch before(node_);
+    WriteValue(before, t, oid, {1, 0, 0, 0});
+    WriteValue(before, t, oid, {2, 0, 0, 0});
+    WriteValue(before, t, oid, {3, 0, 0, 0});
+    before.rm.log().ForceAll();
+    before.seg.FlushAll();
+    Epoch after(node_);
+    TestOutcomes outcomes;
+    after.rm.Recover(outcomes);
+    EXPECT_EQ(after.seg.Read(oid), (Bytes{0, 0, 0, 0}));
+  });
+}
+
+TEST_F(RecoveryTest, NormalAbortRestoresAndCompensates) {
+  ObjectId oid{kSeg, 0, 4};
+  TransactionId t{1, 1};
+  RunInTask([&] {
+    Epoch e(node_);
+    WriteValue(e, t, oid, {5, 5, 5, 5});
+    WriteValue(e, t, oid, {6, 6, 6, 6});
+    e.rm.UndoTransaction(t, t);
+    EXPECT_EQ(e.seg.Read(oid), (Bytes{0, 0, 0, 0}));
+  });
+}
+
+TEST_F(RecoveryTest, CrashAfterDurableAbortStaysRolledBack) {
+  ObjectId oid{kSeg, 0, 4};
+  TransactionId t{1, 1};
+  RunInTask([&] {
+    Epoch before(node_);
+    WriteValue(before, t, oid, {5, 5, 5, 5});
+    before.rm.UndoTransaction(t, t);
+    LogRecord rec;
+    rec.type = RecordType::kTxnAbort;
+    rec.owner = t;
+    rec.top = t;
+    before.rm.log().Append(std::move(rec));
+    before.rm.log().ForceAll();
+    before.seg.FlushAll();
+    Epoch after(node_);
+    TestOutcomes outcomes;
+    after.rm.Recover(outcomes);
+    EXPECT_EQ(after.seg.Read(oid), (Bytes{0, 0, 0, 0}));
+  });
+}
+
+TEST_F(RecoveryTest, AbortedSubtransactionInsideCommittedParent) {
+  ObjectId a{kSeg, 0, 4}, b{kSeg, 4, 4};
+  TransactionId parent{1, 1}, child{1, 2};
+  RunInTask([&] {
+    Epoch e(node_);
+    // Parent writes a; child writes b then aborts independently; parent
+    // commits. b must stay rolled back, a must survive.
+    e.seg.Pin(a);
+    e.rm.LogValue(parent, parent, kServer, a, e.seg.Read(a), {1, 1, 1, 1});
+    e.seg.Unpin(a);
+    e.seg.Pin(b);
+    e.rm.LogValue(child, parent, kServer, b, e.seg.Read(b), {2, 2, 2, 2});
+    e.seg.Unpin(b);
+    e.rm.UndoTransaction(child, parent);  // subtransaction aborts alone
+    Commit(e, parent);
+    e.rm.log().ForceAll();
+    Epoch after(node_);
+    TestOutcomes outcomes;
+    after.rm.Recover(outcomes);
+    EXPECT_EQ(after.seg.Read(a), (Bytes{1, 1, 1, 1}));
+    EXPECT_EQ(after.seg.Read(b), (Bytes{0, 0, 0, 0}));
+  });
+}
+
+TEST_F(RecoveryTest, CommittedSubtransactionRollsBackWithAbortedParent) {
+  ObjectId b{kSeg, 4, 4};
+  TransactionId parent{1, 1}, child{1, 2};
+  RunInTask([&] {
+    Epoch e(node_);
+    e.seg.Pin(b);
+    e.rm.LogValue(child, parent, kServer, b, e.seg.Read(b), {2, 2, 2, 2});
+    e.seg.Unpin(b);
+    e.rm.MergeChild(child, parent);  // subtransaction committed into parent
+    e.rm.UndoTransaction(parent, parent);  // ...then the parent aborts
+    EXPECT_EQ(e.seg.Read(b), (Bytes{0, 0, 0, 0}));
+  });
+}
+
+TEST_F(RecoveryTest, PreparedTransactionIsInDoubtAndKeepsValues) {
+  ObjectId oid{kSeg, 0, 4};
+  TransactionId t{1, 1};
+  RunInTask([&] {
+    Epoch before(node_);
+    WriteValue(before, t, oid, {8, 8, 8, 8});
+    LogRecord prep;
+    prep.type = RecordType::kTxnPrepare;
+    prep.owner = t;
+    prep.top = t;
+    before.rm.log().Append(std::move(prep));
+    before.rm.log().ForceAll();
+    Epoch after(node_);
+    TestOutcomes outcomes;
+    RecoveryStats stats = after.rm.Recover(outcomes);
+    ASSERT_EQ(stats.in_doubt.size(), 1u);
+    EXPECT_EQ(stats.in_doubt[0], t);
+    EXPECT_EQ(after.seg.Read(oid), (Bytes{8, 8, 8, 8}));
+    // Coordinator later says abort: the rebuilt undo list unwinds it.
+    after.rm.UndoTransaction(t, t);
+    EXPECT_EQ(after.seg.Read(oid), (Bytes{0, 0, 0, 0}));
+  });
+}
+
+// ---------- operation logging ----------
+
+// A tiny op-logged server: one u64 counter at offset 0, ops "add"/"sub".
+struct CounterServer {
+  explicit CounterServer(Epoch& e) : epoch(e) {
+    OperationHooks hooks;
+    hooks.apply = [this](const std::string& op, const Bytes& args, Lsn lsn) {
+      Apply(op, args, lsn);
+    };
+    epoch.rm.RegisterOperationHooks(kServer, hooks);
+  }
+
+  std::uint64_t Get() {
+    Bytes v = epoch.seg.Read(Oid());
+    std::uint64_t x;
+    memcpy(&x, v.data(), 8);
+    return x;
+  }
+
+  void Apply(const std::string& op, const Bytes& args, Lsn lsn) {
+    std::int64_t delta;
+    memcpy(&delta, args.data(), 8);
+    if (op == "sub") {
+      delta = -delta;
+    }
+    std::uint64_t cur = Get();
+    cur += static_cast<std::uint64_t>(delta);
+    Bytes nv(8);
+    memcpy(nv.data(), &cur, 8);
+    epoch.seg.Pin(Oid());
+    epoch.seg.Write(Oid(), nv, lsn);
+    epoch.seg.Unpin(Oid());
+  }
+
+  void Add(const TransactionId& tid, std::int64_t delta) {
+    Bytes args(8);
+    memcpy(args.data(), &delta, 8);
+    epoch.rm.LogOperation(tid, tid, kServer, "add", args, "sub", args, {{kSeg, 0}});
+  }
+
+  static ObjectId Oid() { return {kSeg, 0, 8}; }
+  Epoch& epoch;
+};
+
+TEST_F(RecoveryTest, OperationLoggingForwardAndAbort) {
+  TransactionId t{1, 1};
+  RunInTask([&] {
+    Epoch e(node_);
+    CounterServer ctr(e);
+    ctr.Add(t, 10);
+    ctr.Add(t, 5);
+    EXPECT_EQ(ctr.Get(), 15u);
+    e.rm.UndoTransaction(t, t);
+    EXPECT_EQ(ctr.Get(), 0u);
+  });
+}
+
+TEST_F(RecoveryTest, OperationRedoAfterCrashUsesThreePasses) {
+  TransactionId t{1, 1};
+  RunInTask([&] {
+    Epoch before(node_);
+    CounterServer ctr(before);
+    ctr.Add(t, 10);
+    ctr.Add(t, 7);
+    Commit(before, t);
+    // Crash without flushing: the counter page on disk is stale.
+    Epoch after(node_);
+    CounterServer ctr2(after);
+    TestOutcomes outcomes;
+    RecoveryStats stats = after.rm.Recover(outcomes);
+    EXPECT_EQ(stats.passes, 3);
+    EXPECT_EQ(stats.operations_redone, 2);
+    EXPECT_EQ(ctr2.Get(), 17u);
+  });
+}
+
+TEST_F(RecoveryTest, SequenceNumberGuardSuppressesDoubleRedo) {
+  TransactionId t{1, 1};
+  RunInTask([&] {
+    Epoch before(node_);
+    CounterServer ctr(before);
+    ctr.Add(t, 10);
+    Commit(before, t);
+    before.seg.FlushAll();  // the page reaches disk stamped with its LSN
+    Epoch after(node_);
+    CounterServer ctr2(after);
+    TestOutcomes outcomes;
+    RecoveryStats stats = after.rm.Recover(outcomes);
+    EXPECT_EQ(stats.operations_redone, 0);  // guard: page seqno >= record LSN
+    EXPECT_EQ(ctr2.Get(), 10u);             // and the value is already there
+  });
+}
+
+TEST_F(RecoveryTest, OperationLoserUndoneAtRecovery) {
+  TransactionId winner{1, 1}, loser{1, 2};
+  RunInTask([&] {
+    Epoch before(node_);
+    CounterServer ctr(before);
+    ctr.Add(winner, 100);
+    Commit(before, winner);
+    ctr.Add(loser, 11);
+    before.rm.log().ForceAll();
+    before.seg.FlushAll();
+    Epoch after(node_);
+    CounterServer ctr2(after);
+    TestOutcomes outcomes;
+    RecoveryStats stats = after.rm.Recover(outcomes);
+    EXPECT_EQ(stats.operations_undone, 1);
+    EXPECT_EQ(ctr2.Get(), 100u);
+  });
+}
+
+TEST_F(RecoveryTest, CrashDuringAbortDoesNotDoubleUndo) {
+  TransactionId t{1, 1};
+  RunInTask([&] {
+    Epoch before(node_);
+    CounterServer ctr(before);
+    ctr.Add(t, 10);
+    ctr.Add(t, 5);
+    before.rm.log().ForceAll();
+    // Abort proceeds: both compensations logged and applied...
+    before.rm.UndoTransaction(t, t);
+    before.rm.log().ForceAll();
+    before.seg.FlushAll();
+    // ...but the abort record never made it. Recovery sees a loser whose
+    // compensations are durable; undo_next pointers prevent re-undoing.
+    Epoch after(node_);
+    CounterServer ctr2(after);
+    TestOutcomes outcomes;
+    RecoveryStats stats = after.rm.Recover(outcomes);
+    EXPECT_EQ(stats.operations_undone, 0);
+    EXPECT_EQ(ctr2.Get(), 0u);
+  });
+}
+
+TEST_F(RecoveryTest, PartialAbortBeforeCrashFinishesAtRecovery) {
+  TransactionId t{1, 1};
+  RunInTask([&] {
+    Epoch before(node_);
+    CounterServer ctr(before);
+    ctr.Add(t, 10);
+    ctr.Add(t, 5);
+    ctr.Add(t, 3);
+    before.rm.log().ForceAll();
+    before.seg.FlushAll();  // the crash-point disk image: counter = 18
+    // Snapshot the disk as of this moment (a real crash cannot leave the
+    // disk ahead of the stable log — the WAL gate forbids it).
+    kernel::Node scratch(1, substrate_);
+    scratch.disk().EnsureSegment(kSeg, 16);
+    for (PageNumber p = 0; p < 16; ++p) {
+      const auto& page = node_.disk().PeekPage({kSeg, p});
+      scratch.disk().WritePage({kSeg, p}, page.data.data(), page.sequence_number);
+    }
+    // Run the abort; only its FIRST compensation record becomes durable
+    // before the "crash" (we rebuild a byte-prefix of the log).
+    Lsn pre_abort_end = before.rm.log().last_lsn();
+    before.rm.UndoTransaction(t, t);
+    before.rm.log().ForceAll();
+    Lsn first_comp = before.rm.log().NextLsn(pre_abort_end);
+    ASSERT_NE(first_comp, kNullLsn);
+    Lsn second_comp = before.rm.log().NextLsn(first_comp);
+    ASSERT_NE(second_comp, kNullLsn);
+    auto& dev = node_.stable_log();
+    Bytes prefix(dev.Read(0, second_comp - 1).begin(), dev.Read(0, second_comp - 1).end());
+    scratch.stable_log().Append(prefix);
+    RecoveryManager rm2(scratch);
+    kernel::RecoverableSegment seg2(substrate_, scratch.disk(), kSeg, 16, 8);
+    rm2.RegisterSegment(kServer, &seg2);
+    struct MiniCounter {
+      kernel::RecoverableSegment& seg;
+      std::uint64_t Get() {
+        Bytes v = seg.Read({kSeg, 0, 8});
+        std::uint64_t x;
+        memcpy(&x, v.data(), 8);
+        return x;
+      }
+    } mini{seg2};
+    OperationHooks hooks;
+    hooks.apply = [&](const std::string& op, const Bytes& args, Lsn lsn) {
+      std::int64_t delta;
+      memcpy(&delta, args.data(), 8);
+      if (op == "sub") {
+        delta = -delta;
+      }
+      std::uint64_t cur = mini.Get();
+      cur += static_cast<std::uint64_t>(delta);
+      Bytes nv(8);
+      memcpy(nv.data(), &cur, 8);
+      seg2.Pin({kSeg, 0, 8});
+      seg2.Write({kSeg, 0, 8}, nv, lsn);
+      seg2.Unpin({kSeg, 0, 8});
+    };
+    rm2.RegisterOperationHooks(kServer, hooks);
+    TestOutcomes outcomes;
+    RecoveryStats stats = rm2.Recover(outcomes);
+    // The add of 3 was compensated before the crash (its compensation is
+    // redone); only the adds of 5 and 10 need fresh undo.
+    EXPECT_EQ(stats.operations_redone, 1);
+    EXPECT_EQ(stats.operations_undone, 2);
+    EXPECT_EQ(mini.Get(), 0u);
+  });
+}
+
+TEST_F(RecoveryTest, CheckpointAndReclaimShrinkLogButPreserveCorrectness) {
+  ObjectId oid{kSeg, 0, 4};
+  TransactionId t1{1, 1}, t2{1, 2};
+  RunInTask([&] {
+    Epoch before(node_);
+    for (int i = 0; i < 50; ++i) {
+      WriteValue(before, t1, oid, {std::uint8_t(i), 0, 0, 0});
+    }
+    Commit(before, t1);
+    std::uint64_t in_use = before.rm.StableLogBytesInUse();
+    before.rm.Reclaim({});  // no active transactions: nearly everything goes
+    EXPECT_LT(before.rm.StableLogBytesInUse(), in_use / 4);
+    // Post-reclaim updates still recover.
+    WriteValue(before, t2, oid, {99, 0, 0, 0});
+    Commit(before, t2);
+    Epoch after(node_);
+    TestOutcomes outcomes;
+    after.rm.Recover(outcomes);
+    EXPECT_EQ(after.seg.Read(oid), (Bytes{99, 0, 0, 0}));
+  });
+}
+
+TEST_F(RecoveryTest, ReclaimRespectsActiveTransactions) {
+  ObjectId a{kSeg, 0, 4}, b{kSeg, 4, 4};
+  TransactionId active{1, 1}, done{1, 2};
+  RunInTask([&] {
+    Epoch e(node_);
+    e.seg.Pin(a);
+    Lsn first = e.rm.LogValue(active, active, kServer, a, e.seg.Read(a), {1, 1, 1, 1});
+    e.seg.Unpin(a);
+    WriteValue(e, done, b, {2, 2, 2, 2});
+    Commit(e, done);
+    RecoveryManager::ActiveTxn at;
+    at.owner = active;
+    at.top = active;
+    at.first_lsn = first;
+    e.rm.Reclaim({at});
+    // The active transaction's first record must still be readable (it may
+    // need to be undone).
+    EXPECT_TRUE(e.rm.log().ReadRecord(first).has_value());
+    e.rm.UndoTransaction(active, active);
+    EXPECT_EQ(e.seg.Read(a), (Bytes{0, 0, 0, 0}));
+  });
+}
+
+}  // namespace
+}  // namespace tabs::recovery

@@ -1,0 +1,163 @@
+// Server-library (Table 3-1) unit tests exercised through a bare DataServer:
+// address arithmetic, the PinAndBuffer / Staged / LogAndUnPin protocol, the
+// LockAndMark marked-object flow, ExecuteTransaction, and the automatic
+// commit/abort participation.
+
+#include "src/server/data_server.h"
+
+#include <gtest/gtest.h>
+
+#include "src/tabs/world.h"
+
+namespace tabs {
+namespace {
+
+// A minimal concrete server exposing the library verbatim.
+class RawServer : public server::DataServer {
+ public:
+  explicit RawServer(const server::ServerContext& ctx)
+      : DataServer(ctx, Options{.pages = 8}) {}
+};
+
+class ServerLibraryTest : public ::testing::Test {
+ protected:
+  ServerLibraryTest() : world_(1) {
+    srv_ = static_cast<RawServer*>(world_.AddServer(
+        1, "raw", [](const server::ServerContext& ctx) {
+          return std::make_unique<RawServer>(ctx);
+        }));
+  }
+
+  World world_;
+  RawServer* srv_;
+};
+
+TEST_F(ServerLibraryTest, CreateObjectIdAddressArithmetic) {
+  ObjectId oid = srv_->CreateObjectId(1000, 16);
+  EXPECT_EQ(oid.offset, 1000u);
+  EXPECT_EQ(oid.length, 16u);
+  EXPECT_EQ(oid.FirstPage(), 1u);   // 1000 / 512
+  EXPECT_EQ(oid.LastPage(), 1u);    // 1015 / 512
+  ObjectId spanning = srv_->CreateObjectId(510, 8);
+  EXPECT_EQ(spanning.FirstPage(), 0u);
+  EXPECT_EQ(spanning.LastPage(), 1u);
+}
+
+TEST_F(ServerLibraryTest, PinBufferStageLogRoundTrip) {
+  world_.RunApp(1, [&](Application& app) {
+    TransactionId t = app.Begin();
+    server::Tx tx = app.MakeTx(t);
+    ObjectId oid = srv_->CreateObjectId(0, 4);
+    ASSERT_EQ(srv_->LockObject(tx, oid, lock::kExclusive), Status::kOk);
+    srv_->PinAndBuffer(tx, oid);
+    EXPECT_TRUE(srv_->segment().IsPinned(0));
+    srv_->Staged(tx, oid) = Bytes{9, 9, 9, 9};
+    // Until LogAndUnPin, volatile storage still holds the old value.
+    EXPECT_EQ(srv_->ReadObject(oid), (Bytes{0, 0, 0, 0}));
+    srv_->LogAndUnPin(tx, oid);
+    EXPECT_FALSE(srv_->segment().IsPinned(0));
+    EXPECT_EQ(srv_->ReadObject(oid), (Bytes{9, 9, 9, 9}));
+    EXPECT_TRUE(srv_->HasUpdates(t));
+    app.End(t);
+    EXPECT_FALSE(srv_->HasUpdates(t));
+  });
+}
+
+TEST_F(ServerLibraryTest, AbandonedStagedWriteVanishesAtCommit) {
+  world_.RunApp(1, [&](Application& app) {
+    TransactionId t = app.Begin();
+    server::Tx tx = app.MakeTx(t);
+    ObjectId oid = srv_->CreateObjectId(0, 4);
+    srv_->LockObject(tx, oid, lock::kExclusive);
+    srv_->PinAndBuffer(tx, oid);
+    srv_->Staged(tx, oid) = Bytes{1, 1, 1, 1};
+    // The operation never called LogAndUnPin (say, it hit an error path).
+    app.End(t);
+    EXPECT_EQ(srv_->ReadObject(oid), (Bytes{0, 0, 0, 0}));
+    EXPECT_FALSE(srv_->segment().IsPinned(0));  // pin was released by cleanup
+  });
+}
+
+TEST_F(ServerLibraryTest, LockAndMarkFlowPinsAndLogsInBulk) {
+  // The B-tree port pattern: set every lock first, then pin, modify, log.
+  world_.RunApp(1, [&](Application& app) {
+    TransactionId t = app.Begin();
+    server::Tx tx = app.MakeTx(t);
+    std::vector<ObjectId> oids;
+    for (std::uint32_t i = 0; i < 4; ++i) {
+      ObjectId oid = srv_->CreateObjectId(i * 8, 4);
+      oids.push_back(oid);
+      ASSERT_EQ(srv_->LockAndMark(tx, oid, lock::kExclusive), Status::kOk);
+    }
+    srv_->PinAndBufferMarkedObjects(tx);
+    for (std::uint32_t i = 0; i < 4; ++i) {
+      srv_->Staged(tx, oids[i]) = Bytes{std::uint8_t(i + 1), 0, 0, 0};
+    }
+    srv_->LogAndUnPinMarkedObjects(tx);
+    app.End(t);
+    app.Transaction([&](const server::Tx& tx2) {
+      for (std::uint32_t i = 0; i < 4; ++i) {
+        EXPECT_EQ(srv_->ReadObject(oids[i])[0], i + 1);
+      }
+      return Status::kOk;
+    });
+  });
+}
+
+TEST_F(ServerLibraryTest, WriteValueConvenienceIsAtomicWithAbort) {
+  world_.RunApp(1, [&](Application& app) {
+    ObjectId oid = srv_->CreateObjectId(0, 4);
+    TransactionId t = app.Begin();
+    server::Tx tx = app.MakeTx(t);
+    srv_->LockObject(tx, oid, lock::kExclusive);
+    srv_->WriteValue(tx, oid, Bytes{5, 5, 5, 5});
+    EXPECT_EQ(srv_->ReadObject(oid), (Bytes{5, 5, 5, 5}));
+    app.Abort(t);
+    EXPECT_EQ(srv_->ReadObject(oid), (Bytes{0, 0, 0, 0}));
+    EXPECT_FALSE(srv_->IsObjectLocked(oid));
+  });
+}
+
+TEST_F(ServerLibraryTest, ExecuteTransactionCommitsIndependently) {
+  world_.RunApp(1, [&](Application& app) {
+    ObjectId oid = srv_->CreateObjectId(0, 4);
+    // The IO-server pattern: a client transaction aborts, but data written
+    // through ExecuteTransaction stays.
+    TransactionId client = app.Begin();
+    Status s = srv_->ExecuteTransaction([&](const server::Tx& io_tx) {
+      srv_->LockObject(io_tx, oid, lock::kExclusive);
+      srv_->WriteValue(io_tx, oid, Bytes{7, 7, 7, 7});
+      return Status::kOk;
+    });
+    EXPECT_EQ(s, Status::kOk);
+    app.Abort(client);
+    EXPECT_EQ(srv_->ReadObject(oid), (Bytes{7, 7, 7, 7}));
+  });
+}
+
+TEST_F(ServerLibraryTest, ExecuteTransactionAbortsOnBodyFailure) {
+  world_.RunApp(1, [&](Application& app) {
+    ObjectId oid = srv_->CreateObjectId(0, 4);
+    Status s = srv_->ExecuteTransaction([&](const server::Tx& io_tx) {
+      srv_->LockObject(io_tx, oid, lock::kExclusive);
+      srv_->WriteValue(io_tx, oid, Bytes{3, 3, 3, 3});
+      return Status::kConflict;  // the body reports failure
+    });
+    EXPECT_EQ(s, Status::kConflict);
+    EXPECT_EQ(srv_->ReadObject(oid), (Bytes{0, 0, 0, 0}));
+  });
+}
+
+TEST_F(ServerLibraryTest, CallChargesLocalPrimitive) {
+  world_.RunApp(1, [&](Application& app) {
+    TransactionId t = app.Begin();
+    server::Tx tx = app.MakeTx(t);
+    world_.metrics().Reset();
+    srv_->Call<bool>(tx, "nop", []() -> Result<bool> { return true; });
+    EXPECT_EQ(world_.metrics().Total().Of(sim::Primitive::kDataServerCall), 1.0);
+    app.Abort(t);
+  });
+}
+
+}  // namespace
+}  // namespace tabs

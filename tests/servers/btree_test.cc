@@ -1,0 +1,264 @@
+// B-tree server tests (paper Section 4.4), including parameterized property
+// sweeps over insertion orders and sizes, recoverable-allocator behaviour,
+// and crash recovery of multi-level trees.
+
+#include "src/servers/btree_server.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <random>
+
+#include "src/tabs/world.h"
+
+namespace tabs {
+namespace {
+
+using servers::BTreeServer;
+
+std::string Key(int i) {
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "key%05d", i);
+  return buf;
+}
+std::string Val(int i) {
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "val%05d", i);
+  return buf;
+}
+
+class BTreeTest : public ::testing::Test {
+ protected:
+  BTreeTest() : world_(2) { bt_ = world_.AddServerOf<BTreeServer>(1, "btree", 400u); }
+  void Refresh() { bt_ = world_.Server<BTreeServer>(1, "btree"); }
+
+  World world_;
+  BTreeServer* bt_;
+};
+
+TEST_F(BTreeTest, InsertLookupSingle) {
+  world_.RunApp(1, [&](Application& app) {
+    app.Transaction([&](const server::Tx& tx) {
+      EXPECT_EQ(bt_->Insert(tx, "alpha", "1"), Status::kOk);
+      EXPECT_EQ(bt_->Lookup(tx, "alpha").value(), "1");
+      EXPECT_EQ(bt_->Lookup(tx, "beta").status(), Status::kNotFound);
+      return Status::kOk;
+    });
+  });
+}
+
+TEST_F(BTreeTest, DuplicateInsertConflicts) {
+  world_.RunApp(1, [&](Application& app) {
+    app.Transaction([&](const server::Tx& tx) {
+      EXPECT_EQ(bt_->Insert(tx, "k", "1"), Status::kOk);
+      EXPECT_EQ(bt_->Insert(tx, "k", "2"), Status::kConflict);
+      EXPECT_EQ(bt_->Lookup(tx, "k").value(), "1");
+      return Status::kOk;
+    });
+  });
+}
+
+TEST_F(BTreeTest, UpdateRequiresExistence) {
+  world_.RunApp(1, [&](Application& app) {
+    app.Transaction([&](const server::Tx& tx) {
+      EXPECT_EQ(bt_->Update(tx, "nope", "x"), Status::kNotFound);
+      bt_->Insert(tx, "yes", "1");
+      EXPECT_EQ(bt_->Update(tx, "yes", "2"), Status::kOk);
+      EXPECT_EQ(bt_->Lookup(tx, "yes").value(), "2");
+      return Status::kOk;
+    });
+  });
+}
+
+TEST_F(BTreeTest, RemoveAndLazyCleanup) {
+  world_.RunApp(1, [&](Application& app) {
+    app.Transaction([&](const server::Tx& tx) {
+      for (int i = 0; i < 30; ++i) {
+        EXPECT_EQ(bt_->Insert(tx, Key(i), Val(i)), Status::kOk);
+      }
+      for (int i = 0; i < 30; i += 2) {
+        EXPECT_EQ(bt_->Remove(tx, Key(i)), Status::kOk);
+      }
+      for (int i = 0; i < 30; ++i) {
+        if (i % 2 == 0) {
+          EXPECT_EQ(bt_->Lookup(tx, Key(i)).status(), Status::kNotFound);
+        } else {
+          EXPECT_EQ(bt_->Lookup(tx, Key(i)).value(), Val(i));
+        }
+      }
+      EXPECT_EQ(bt_->Remove(tx, Key(0)), Status::kNotFound);
+      return Status::kOk;
+    });
+    EXPECT_TRUE(bt_->CheckInvariants());
+  });
+}
+
+TEST_F(BTreeTest, ScanReturnsSortedRange) {
+  world_.RunApp(1, [&](Application& app) {
+    app.Transaction([&](const server::Tx& tx) {
+      for (int i : {5, 1, 9, 3, 7, 2, 8}) {
+        bt_->Insert(tx, Key(i), Val(i));
+      }
+      auto scan = bt_->Scan(tx, Key(2), Key(8));
+      EXPECT_TRUE(scan.ok());
+      if (!scan.ok()) {
+        return Status::kInternal;
+      }
+      std::vector<std::string> keys;
+      for (auto& [k, v] : scan.value()) {
+        keys.push_back(k);
+      }
+      EXPECT_EQ(keys, (std::vector<std::string>{Key(2), Key(3), Key(5), Key(7), Key(8)}));
+      EXPECT_TRUE(std::is_sorted(keys.begin(), keys.end()));
+      return Status::kOk;
+    });
+  });
+}
+
+TEST_F(BTreeTest, AbortRollsBackSplitsAndAllocations) {
+  world_.RunApp(1, [&](Application& app) {
+    std::uint32_t before = bt_->AllocatedPages();
+    TransactionId t = app.Begin();
+    server::Tx tx = app.MakeTx(t);
+    for (int i = 0; i < 100; ++i) {  // forces multiple splits
+      ASSERT_EQ(bt_->Insert(tx, Key(i), Val(i)), Status::kOk);
+    }
+    app.Abort(t);
+    // The recoverable storage allocator returned every page.
+    EXPECT_EQ(bt_->AllocatedPages(), before);
+    EXPECT_TRUE(bt_->CheckInvariants());
+    app.Transaction([&](const server::Tx& tx2) {
+      EXPECT_EQ(bt_->Lookup(tx2, Key(50)).status(), Status::kNotFound);
+      EXPECT_EQ(bt_->Size(tx2).value(), 0u);
+      return Status::kOk;
+    });
+  });
+}
+
+TEST_F(BTreeTest, MultiLevelTreeSurvivesCrash) {
+  world_.RunApp(1, [&](Application& app) {
+    app.Transaction([&](const server::Tx& tx) {
+      for (int i = 0; i < 200; ++i) {
+        EXPECT_EQ(bt_->Insert(tx, Key(i), Val(i)), Status::kOk);
+      }
+      return Status::kOk;
+    });
+    world_.CrashNode(1);
+  });
+  world_.RunApp(2, [&](Application& app) {
+    world_.RecoverNode(1);
+    Refresh();
+    EXPECT_TRUE(bt_->CheckInvariants());
+  });
+  world_.RunApp(1, [&](Application& app) {
+    app.Transaction([&](const server::Tx& tx) {
+      for (int i = 0; i < 200; ++i) {
+        EXPECT_EQ(bt_->Lookup(tx, Key(i)).value(), Val(i));
+      }
+      EXPECT_EQ(bt_->Size(tx).value(), 200u);
+      return Status::kOk;
+    });
+  });
+}
+
+TEST_F(BTreeTest, OversizeKeysRejected) {
+  world_.RunApp(1, [&](Application& app) {
+    app.Transaction([&](const server::Tx& tx) {
+      EXPECT_EQ(bt_->Insert(tx, std::string(40, 'x'), "v"), Status::kOutOfRange);
+      EXPECT_EQ(bt_->Insert(tx, "k", std::string(70, 'v')), Status::kOutOfRange);
+      EXPECT_EQ(bt_->Insert(tx, "", "v"), Status::kOutOfRange);
+      return Status::kOk;
+    });
+  });
+}
+
+// ---- property sweep: random workloads vs a std::map model -------------------
+
+struct SweepParam {
+  int operations;
+  unsigned seed;
+  int key_space;
+};
+
+class BTreePropertyTest : public ::testing::TestWithParam<SweepParam> {
+ protected:
+  // ASSERT_* macros need a void function; the transaction lambda calls this.
+  static void RunModelWorkload(BTreeServer* bt, const server::Tx& tx,
+                               const SweepParam& param) {
+    std::map<std::string, std::string> model;
+    std::mt19937 rng(param.seed);
+    for (int i = 0; i < param.operations; ++i) {
+      int k = static_cast<int>(rng() % param.key_space);
+      std::string key = Key(k);
+      switch (rng() % 4) {
+        case 0: {  // insert
+          Status s = bt->Insert(tx, key, Val(i));
+          Status expect = model.contains(key) ? Status::kConflict : Status::kOk;
+          ASSERT_EQ(s, expect) << "insert " << key;
+          if (s == Status::kOk) {
+            model[key] = Val(i);
+          }
+          break;
+        }
+        case 1: {  // remove
+          Status s = bt->Remove(tx, key);
+          Status expect = model.contains(key) ? Status::kOk : Status::kNotFound;
+          ASSERT_EQ(s, expect) << "remove " << key;
+          model.erase(key);
+          break;
+        }
+        case 2: {  // upsert
+          ASSERT_EQ(bt->Upsert(tx, key, Val(i)), Status::kOk);
+          model[key] = Val(i);
+          break;
+        }
+        default: {  // lookup
+          auto v = bt->Lookup(tx, key);
+          if (model.contains(key)) {
+            ASSERT_TRUE(v.ok());
+            ASSERT_EQ(v.value(), model[key]);
+          } else {
+            ASSERT_EQ(v.status(), Status::kNotFound);
+          }
+        }
+      }
+    }
+    // Full scan equals the model.
+    auto scan = bt->Scan(tx, "", "~");
+    ASSERT_TRUE(scan.ok());
+    ASSERT_EQ(scan.value().size(), model.size());
+    auto it = model.begin();
+    for (auto& [k, v] : scan.value()) {
+      ASSERT_EQ(k, it->first);
+      ASSERT_EQ(v, it->second);
+      ++it;
+    }
+  }
+};
+
+TEST_P(BTreePropertyTest, MatchesMapModel) {
+  const SweepParam param = GetParam();
+  World world(1);
+  auto* bt = world.AddServerOf<BTreeServer>(1, "btree", 390u);
+  world.RunApp(1, [&](Application& app) {
+    app.Transaction([&](const server::Tx& tx) {
+      RunModelWorkload(bt, tx, param);
+      return ::testing::Test::HasFatalFailure() ? Status::kInternal : Status::kOk;
+    });
+    EXPECT_TRUE(bt->CheckInvariants());
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomWorkloads, BTreePropertyTest,
+    ::testing::Values(SweepParam{100, 1, 20}, SweepParam{200, 2, 50},
+                      SweepParam{300, 3, 10}, SweepParam{400, 4, 200},
+                      SweepParam{250, 5, 5}, SweepParam{500, 6, 64}),
+    [](const ::testing::TestParamInfo<SweepParam>& info) {
+      return "ops" + std::to_string(info.param.operations) + "_seed" +
+             std::to_string(info.param.seed) + "_keys" + std::to_string(info.param.key_space);
+    });
+
+}  // namespace
+}  // namespace tabs

@@ -1,0 +1,243 @@
+// Transactional file server tests: create/write/read/remove semantics,
+// failure atomicity of multi-page writes, allocator reclamation on abort,
+// per-file concurrency, and crash recovery.
+
+#include "src/servers/file_server.h"
+
+#include <gtest/gtest.h>
+
+#include "src/tabs/world.h"
+
+namespace tabs {
+namespace {
+
+using servers::FileServer;
+
+Bytes Blob(size_t n, std::uint8_t fill) { return Bytes(n, fill); }
+
+class FileServerTest : public ::testing::Test {
+ protected:
+  FileServerTest() : world_(2) {
+    fs_ = world_.AddServerOf<FileServer>(1, "fs", PageNumber{128});
+  }
+  void Refresh() { fs_ = world_.Server<FileServer>(1, "fs"); }
+
+  World world_;
+  FileServer* fs_;
+};
+
+TEST_F(FileServerTest, CreateWriteReadRoundTrip) {
+  world_.RunApp(1, [&](Application& app) {
+    app.Transaction([&](const server::Tx& tx) {
+      EXPECT_EQ(fs_->Create(tx, "notes.txt"), Status::kOk);
+      EXPECT_EQ(fs_->Write(tx, "notes.txt", 0, Bytes{'h', 'i'}), Status::kOk);
+      auto data = fs_->Read(tx, "notes.txt", 0, 100);
+      EXPECT_EQ(data.value(), (Bytes{'h', 'i'}));
+      EXPECT_EQ(fs_->Size(tx, "notes.txt").value(), 2u);
+      return Status::kOk;
+    });
+  });
+}
+
+TEST_F(FileServerTest, DuplicateCreateConflicts) {
+  world_.RunApp(1, [&](Application& app) {
+    app.Transaction([&](const server::Tx& tx) {
+      fs_->Create(tx, "f");
+      EXPECT_EQ(fs_->Create(tx, "f"), Status::kConflict);
+      return Status::kOk;
+    });
+  });
+}
+
+TEST_F(FileServerTest, MultiPageWriteSpansPages) {
+  world_.RunApp(1, [&](Application& app) {
+    app.Transaction([&](const server::Tx& tx) {
+      fs_->Create(tx, "big");
+      Bytes data(3 * kPageSize + 100);
+      for (size_t i = 0; i < data.size(); ++i) {
+        data[i] = static_cast<std::uint8_t>(i % 251);
+      }
+      EXPECT_EQ(fs_->Write(tx, "big", 0, data), Status::kOk);
+      auto back = fs_->Read(tx, "big", 0, static_cast<std::uint32_t>(data.size()));
+      EXPECT_EQ(back.value(), data);
+      // Partial read across a page boundary.
+      auto middle = fs_->Read(tx, "big", kPageSize - 10, 20);
+      Bytes expect(data.begin() + kPageSize - 10, data.begin() + kPageSize + 10);
+      EXPECT_EQ(middle.value(), expect);
+      return Status::kOk;
+    });
+  });
+}
+
+TEST_F(FileServerTest, AppendGrowsFile) {
+  world_.RunApp(1, [&](Application& app) {
+    app.Transaction([&](const server::Tx& tx) {
+      fs_->Create(tx, "log");
+      fs_->Append(tx, "log", Blob(300, 1));
+      fs_->Append(tx, "log", Blob(300, 2));
+      EXPECT_EQ(fs_->Size(tx, "log").value(), 600u);
+      auto tail = fs_->Read(tx, "log", 300, 300);
+      EXPECT_EQ(tail.value(), Blob(300, 2));
+      return Status::kOk;
+    });
+  });
+}
+
+TEST_F(FileServerTest, AbortReclaimsPagesAndUnwindsContent) {
+  world_.RunApp(1, [&](Application& app) {
+    app.Transaction([&](const server::Tx& tx) {
+      fs_->Create(tx, "keep");
+      return fs_->Write(tx, "keep", 0, Blob(100, 7));
+    });
+    std::uint32_t before = fs_->AllocatedPages();
+    TransactionId t = app.Begin();
+    server::Tx tx = app.MakeTx(t);
+    fs_->Create(tx, "doomed");
+    fs_->Write(tx, "doomed", 0, Blob(4 * kPageSize, 9));
+    fs_->Write(tx, "keep", 0, Blob(100, 8));
+    app.Abort(t);
+    EXPECT_EQ(fs_->AllocatedPages(), before);  // allocator rolled back
+    app.Transaction([&](const server::Tx& tx2) {
+      EXPECT_EQ(fs_->Read(tx2, "doomed", 0, 10).status(), Status::kNotFound);
+      EXPECT_EQ(fs_->Read(tx2, "keep", 0, 100).value(), Blob(100, 7));
+      return Status::kOk;
+    });
+  });
+}
+
+TEST_F(FileServerTest, RemoveFreesPagesAndNameReusable) {
+  world_.RunApp(1, [&](Application& app) {
+    app.Transaction([&](const server::Tx& tx) {
+      fs_->Create(tx, "tmp");
+      return fs_->Write(tx, "tmp", 0, Blob(2 * kPageSize, 3));
+    });
+    std::uint32_t with_file = fs_->AllocatedPages();
+    app.Transaction([&](const server::Tx& tx) { return fs_->Remove(tx, "tmp"); });
+    EXPECT_LT(fs_->AllocatedPages(), with_file);
+    app.Transaction([&](const server::Tx& tx) {
+      EXPECT_EQ(fs_->Create(tx, "tmp"), Status::kOk);  // name free again
+      EXPECT_EQ(fs_->Size(tx, "tmp").value(), 0u);     // and empty
+      return Status::kOk;
+    });
+  });
+}
+
+TEST_F(FileServerTest, ListReturnsSortedNames) {
+  world_.RunApp(1, [&](Application& app) {
+    app.Transaction([&](const server::Tx& tx) {
+      fs_->Create(tx, "zeta");
+      fs_->Create(tx, "alpha");
+      fs_->Create(tx, "mu");
+      auto names = fs_->List(tx);
+      EXPECT_EQ(names.value(), (std::vector<std::string>{"alpha", "mu", "zeta"}));
+      return Status::kOk;
+    });
+  });
+}
+
+TEST_F(FileServerTest, IndependentFilesAllowConcurrentWriters) {
+  world_.RunApp(1, [&](Application& app) {
+    app.Transaction([&](const server::Tx& tx) {
+      fs_->Create(tx, "a");
+      fs_->Create(tx, "b");
+      return Status::kOk;
+    });
+    TransactionId t1 = app.Begin();
+    TransactionId t2 = app.Begin();
+    EXPECT_EQ(fs_->Write(app.MakeTx(t1), "a", 0, Blob(10, 1)), Status::kOk);
+    // A different file: no slot-lock conflict with t1.
+    EXPECT_EQ(fs_->Write(app.MakeTx(t2), "b", 0, Blob(10, 2)), Status::kOk);
+    // The same file: conflicts with t1's exclusive slot lock.
+    TransactionId t3 = app.Begin();
+    EXPECT_EQ(fs_->Read(app.MakeTx(t3), "a", 0, 4).status(), Status::kTimeout);
+    app.Abort(t3);
+    app.End(t1);
+    app.End(t2);
+  });
+}
+
+TEST_F(FileServerTest, CommittedFilesSurviveCrash) {
+  world_.RunApp(1, [&](Application& app) {
+    app.Transaction([&](const server::Tx& tx) {
+      fs_->Create(tx, "persistent");
+      return fs_->Write(tx, "persistent", 0, Blob(700, 5));  // spans two pages
+    });
+    // An uncommitted file is in flight at the crash.
+    TransactionId t = app.Begin();
+    fs_->Create(app.MakeTx(t), "ghost");
+    fs_->Write(app.MakeTx(t), "ghost", 0, Blob(100, 6));
+    world_.rm(1).log().ForceAll();
+    world_.CrashNode(1);
+  });
+  world_.RunApp(2, [&](Application&) {
+    world_.RecoverNode(1);
+    Refresh();
+  });
+  world_.RunApp(1, [&](Application& app) {
+    app.Transaction([&](const server::Tx& tx) {
+      EXPECT_EQ(fs_->Read(tx, "persistent", 0, 700).value(), Blob(700, 5));
+      EXPECT_EQ(fs_->Read(tx, "ghost", 0, 10).status(), Status::kNotFound);
+      auto names = fs_->List(tx);
+      EXPECT_EQ(names.value(), (std::vector<std::string>{"persistent"}));
+      return Status::kOk;
+    });
+  });
+}
+
+TEST_F(FileServerTest, ReusedPagesDoNotAliasAcrossCrashRecovery) {
+  // Regression: a freed page reused by a new file, with the whole history in
+  // the log, must recover to the NEW file's contents — logged objects have
+  // stable whole-page identities, so the old file's records cannot bleed
+  // through during the backward pass.
+  world_.RunApp(1, [&](Application& app) {
+    app.Transaction([&](const server::Tx& tx) {
+      fs_->Create(tx, "old");
+      return fs_->Write(tx, "old", 0, Blob(100, 0xAA));
+    });
+    app.Transaction([&](const server::Tx& tx) { return fs_->Remove(tx, "old"); });
+    app.Transaction([&](const server::Tx& tx) {
+      fs_->Create(tx, "new");
+      Bytes data(30);
+      for (size_t i = 0; i < data.size(); ++i) {
+        data[i] = static_cast<std::uint8_t>(i);
+      }
+      return fs_->Write(tx, "new", 0, data);  // most likely reuses old's page
+    });
+    world_.CrashNode(1);
+  });
+  world_.RunApp(2, [&](Application&) {
+    world_.RecoverNode(1);
+    Refresh();
+  });
+  world_.RunApp(1, [&](Application& app) {
+    app.Transaction([&](const server::Tx& tx) {
+      auto data = fs_->Read(tx, "new", 0, 30);
+      EXPECT_TRUE(data.ok());
+      if (!data.ok()) {
+        return data.status();
+      }
+      for (size_t i = 0; i < 30; ++i) {
+        EXPECT_EQ(data.value()[i], static_cast<std::uint8_t>(i)) << "byte " << i;
+      }
+      return Status::kOk;
+    });
+  });
+}
+
+TEST_F(FileServerTest, LimitsEnforced) {
+  world_.RunApp(1, [&](Application& app) {
+    app.Transaction([&](const server::Tx& tx) {
+      EXPECT_EQ(fs_->Create(tx, ""), Status::kOutOfRange);
+      EXPECT_EQ(fs_->Create(tx, std::string(40, 'x')), Status::kOutOfRange);
+      fs_->Create(tx, "f");
+      EXPECT_EQ(fs_->Write(tx, "f", FileServer::kMaxFileBytes - 1, Blob(2, 1)),
+                Status::kOutOfRange);
+      EXPECT_EQ(fs_->Read(tx, "missing", 0, 1).status(), Status::kNotFound);
+      EXPECT_EQ(fs_->Remove(tx, "missing"), Status::kNotFound);
+      return Status::kOk;
+    });
+  });
+}
+
+}  // namespace
+}  // namespace tabs

@@ -1,0 +1,241 @@
+// IO server tests (paper Section 4.3): transaction-revealing display
+// states, permanence of output across client aborts and node crashes.
+
+#include "src/servers/io_server.h"
+
+#include <gtest/gtest.h>
+
+#include "src/tabs/world.h"
+
+namespace tabs {
+namespace {
+
+using servers::DisplayState;
+using servers::IoAreaId;
+using servers::IoServer;
+
+class IoServerTest : public ::testing::Test {
+ protected:
+  IoServerTest() : world_(2) { io_ = world_.AddServerOf<IoServer>(1, "io", 4u); }
+  void Refresh() { io_ = world_.Server<IoServer>(1, "io"); }
+
+  World world_;
+  IoServer* io_;
+};
+
+TEST_F(IoServerTest, OutputIsGrayWhileInProgressThenBlack) {
+  world_.RunApp(1, [&](Application& app) {
+    TransactionId t = app.Begin();
+    server::Tx tx = app.MakeTx(t);
+    auto area = io_->ObtainIOArea(tx);
+    ASSERT_TRUE(area.ok());
+    io_->WriteLnToArea(tx, area.value(), "deposited 35 dollars");
+    auto lines = io_->Render(area.value());
+    ASSERT_EQ(lines.size(), 1u);
+    EXPECT_EQ(lines[0].state, DisplayState::kInProgress);  // gray
+    EXPECT_EQ(lines[0].text, "deposited 35 dollars");
+    EXPECT_EQ(app.End(t), Status::kOk);
+    lines = io_->Render(area.value());
+    ASSERT_EQ(lines.size(), 1u);
+    EXPECT_EQ(lines[0].state, DisplayState::kCommitted);  // redrawn in black
+  });
+}
+
+TEST_F(IoServerTest, AbortedTransactionOutputIsStruckThrough) {
+  world_.RunApp(1, [&](Application& app) {
+    TransactionId t = app.Begin();
+    server::Tx tx = app.MakeTx(t);
+    auto area = io_->ObtainIOArea(tx);
+    ASSERT_TRUE(area.ok());
+    io_->WriteLnToArea(tx, area.value(), "withdraw 80 dollars");
+    app.Abort(t);
+    auto lines = io_->Render(area.value());
+    ASSERT_EQ(lines.size(), 1u);
+    // "If the transaction aborts, lines are drawn through the output. This
+    // is preferable to making the output disappear."
+    EXPECT_EQ(lines[0].state, DisplayState::kAborted);
+    EXPECT_EQ(lines[0].text, "withdraw 80 dollars");
+  });
+}
+
+TEST_F(IoServerTest, ReadLineEchoesInputMarked) {
+  world_.RunApp(1, [&](Application& app) {
+    io_->TypeInput(0, "checking");
+    TransactionId t = app.Begin();
+    server::Tx tx = app.MakeTx(t);
+    auto area = io_->ObtainIOArea(tx);
+    ASSERT_TRUE(area.ok());
+    auto line = io_->ReadLineFromArea(tx, area.value());
+    ASSERT_TRUE(line.ok());
+    EXPECT_EQ(line.value(), "checking");
+    auto lines = io_->Render(area.value());
+    ASSERT_EQ(lines.size(), 1u);
+    EXPECT_TRUE(lines[0].is_input);  // boxed in the paper
+    app.End(t);
+  });
+}
+
+TEST_F(IoServerTest, ReadLineBlocksUntilInputTyped) {
+  std::string got;
+  world_.SpawnApp(1, "reader", [&](Application& app) {
+    TransactionId t = app.Begin();
+    server::Tx tx = app.MakeTx(t);
+    auto area = io_->ObtainIOArea(tx);
+    auto line = io_->ReadLineFromArea(tx, area.value());
+    if (line.ok()) {
+      got = line.value();
+    }
+    app.End(t);
+  });
+  world_.SpawnApp(1, "typist", [&](Application& app) {
+    world_.scheduler().Charge(1'000'000);
+    io_->TypeInput(0, "hello");
+  }, 10);
+  EXPECT_EQ(world_.Drain(), 0);
+  EXPECT_EQ(got, "hello");
+}
+
+TEST_F(IoServerTest, ScreenRestoredAfterCrashShowsAbortedOutput) {
+  // The Figure 4-1 area-two scenario: the node fails during a withdrawal;
+  // after restart the output is there, struck through.
+  IoAreaId area = 0;
+  world_.RunApp(1, [&](Application& app) {
+    TransactionId t = app.Begin();
+    server::Tx tx = app.MakeTx(t);
+    auto a = io_->ObtainIOArea(tx);
+    ASSERT_TRUE(a.ok());
+    area = a.value();
+    io_->WriteLnToArea(tx, area, "withdraw 80 dollars from checking");
+    world_.rm(1).log().ForceAll();
+    world_.CrashNode(1);  // mid-transaction
+  });
+  world_.RunApp(2, [&](Application& app) {
+    world_.RecoverNode(1);
+    Refresh();
+    auto lines = io_->Render(area);
+    ASSERT_EQ(lines.size(), 1u);
+    EXPECT_EQ(lines[0].text, "withdraw 80 dollars from checking");
+    EXPECT_EQ(lines[0].state, DisplayState::kAborted);
+  });
+}
+
+TEST_F(IoServerTest, CommittedOutputSurvivesCrashAsCommitted) {
+  IoAreaId area = 0;
+  world_.RunApp(1, [&](Application& app) {
+    app.Transaction([&](const server::Tx& tx) {
+      auto a = io_->ObtainIOArea(tx);
+      area = a.value();
+      io_->WriteLnToArea(tx, area, "deposited 35 dollars");
+      return Status::kOk;
+    });
+    world_.CrashNode(1);
+  });
+  world_.RunApp(2, [&](Application& app) {
+    world_.RecoverNode(1);
+    Refresh();
+    auto lines = io_->Render(area);
+    ASSERT_EQ(lines.size(), 1u);
+    EXPECT_EQ(lines[0].state, DisplayState::kCommitted);
+  });
+}
+
+TEST_F(IoServerTest, MultipleAreasIndependentStates) {
+  world_.RunApp(1, [&](Application& app) {
+    TransactionId t1 = app.Begin();
+    auto a1 = io_->ObtainIOArea(app.MakeTx(t1));
+    io_->WriteLnToArea(app.MakeTx(t1), a1.value(), "one");
+    TransactionId t2 = app.Begin();
+    auto a2 = io_->ObtainIOArea(app.MakeTx(t2));
+    io_->WriteLnToArea(app.MakeTx(t2), a2.value(), "two");
+    EXPECT_NE(a1.value(), a2.value());
+    app.End(t1);
+    app.Abort(t2);
+    EXPECT_EQ(io_->Render(a1.value())[0].state, DisplayState::kCommitted);
+    EXPECT_EQ(io_->Render(a2.value())[0].state, DisplayState::kAborted);
+  });
+}
+
+TEST_F(IoServerTest, WriteToAreaAccumulatesUntilLineEnds) {
+  world_.RunApp(1, [&](Application& app) {
+    app.Transaction([&](const server::Tx& tx) {
+      auto a = io_->ObtainIOArea(tx);
+      io_->WriteToArea(tx, a.value(), "balance: ");
+      io_->WriteToArea(tx, a.value(), "$35");
+      io_->WriteLnToArea(tx, a.value(), " (checking)");
+      auto lines = io_->Render(a.value());
+      EXPECT_EQ(lines.size(), 1u);
+      EXPECT_EQ(lines[0].text, "balance: $35 (checking)");
+      return Status::kOk;
+    });
+  });
+}
+
+TEST_F(IoServerTest, ReadCharConsumesInputCharacterwise) {
+  world_.RunApp(1, [&](Application& app) {
+    io_->TypeInput(0, "yes");
+    TransactionId t = app.Begin();
+    server::Tx tx = app.MakeTx(t);
+    auto area = io_->ObtainIOArea(tx);
+    EXPECT_EQ(io_->ReadCharFromArea(tx, area.value()).value(), 'y');
+    EXPECT_EQ(io_->ReadCharFromArea(tx, area.value()).value(), 'e');
+    EXPECT_EQ(io_->ReadCharFromArea(tx, area.value()).value(), 's');
+    app.End(t);
+    // Each echoed character is marked as input on the display.
+    auto lines = io_->Render(area.value());
+    EXPECT_EQ(lines.size(), 3u);
+    for (const auto& l : lines) {
+      EXPECT_TRUE(l.is_input);
+    }
+  });
+}
+
+TEST_F(IoServerTest, DestroyedAreaIsReusable) {
+  world_.RunApp(1, [&](Application& app) {
+    servers::IoAreaId first = 0;
+    app.Transaction([&](const server::Tx& tx) {
+      auto a = io_->ObtainIOArea(tx);
+      first = a.value();
+      io_->WriteLnToArea(tx, a.value(), "old content");
+      return Status::kOk;
+    });
+    app.Transaction([&](const server::Tx& tx) { return io_->DestroyIOArea(tx, first); });
+    app.Transaction([&](const server::Tx& tx) {
+      auto a = io_->ObtainIOArea(tx);
+      EXPECT_EQ(a.value(), first);  // freed area reused
+      EXPECT_TRUE(io_->Render(a.value()).empty());  // and cleared
+      return Status::kOk;
+    });
+  });
+}
+
+TEST_F(IoServerTest, AreasExhaustedReportsConflict) {
+  world_.RunApp(1, [&](Application& app) {
+    std::vector<TransactionId> holders;
+    for (int i = 0; i < 4; ++i) {  // the fixture's IoServer has 4 areas
+      TransactionId t = app.Begin();
+      EXPECT_TRUE(io_->ObtainIOArea(app.MakeTx(t)).ok());
+      holders.push_back(t);
+    }
+    TransactionId extra = app.Begin();
+    EXPECT_EQ(io_->ObtainIOArea(app.MakeTx(extra)).status(), Status::kConflict);
+    app.Abort(extra);
+    for (TransactionId t : holders) {
+      app.Abort(t);
+    }
+  });
+}
+
+TEST_F(IoServerTest, RenderScreenShowsMarkup) {
+  world_.RunApp(1, [&](Application& app) {
+    app.Transaction([&](const server::Tx& tx) {
+      auto a = io_->ObtainIOArea(tx);
+      io_->WriteLnToArea(tx, a.value(), "hello world");
+      return Status::kOk;
+    });
+    std::string screen = io_->RenderScreen();
+    EXPECT_NE(screen.find("[black] hello world"), std::string::npos);
+  });
+}
+
+}  // namespace
+}  // namespace tabs

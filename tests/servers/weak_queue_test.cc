@@ -1,0 +1,233 @@
+// Weak queue server tests (paper Section 4.2): failure atomicity without
+// serializability, gaps from aborted enqueues, garbage collection, tail
+// recomputation after crashes.
+
+#include "src/servers/weak_queue_server.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/tabs/world.h"
+
+namespace tabs {
+namespace {
+
+using servers::WeakQueueServer;
+
+class WeakQueueTest : public ::testing::Test {
+ protected:
+  WeakQueueTest() : world_(2) {
+    q_ = world_.AddServerOf<WeakQueueServer>(1, "queue", 32u);
+  }
+  void Refresh() { q_ = world_.Server<WeakQueueServer>(1, "queue"); }
+
+  World world_;
+  WeakQueueServer* q_;
+};
+
+TEST_F(WeakQueueTest, EnqueueDequeueRoundTrip) {
+  world_.RunApp(1, [&](Application& app) {
+    app.Transaction([&](const server::Tx& tx) {
+      EXPECT_EQ(q_->Enqueue(tx, 10), Status::kOk);
+      EXPECT_EQ(q_->Enqueue(tx, 20), Status::kOk);
+      return Status::kOk;
+    });
+    app.Transaction([&](const server::Tx& tx) {
+      EXPECT_EQ(q_->Dequeue(tx).value(), 10);
+      EXPECT_EQ(q_->Dequeue(tx).value(), 20);
+      EXPECT_EQ(q_->Dequeue(tx).status(), Status::kNotFound);
+      return Status::kOk;
+    });
+  });
+}
+
+TEST_F(WeakQueueTest, IsQueueEmptyObservesState) {
+  world_.RunApp(1, [&](Application& app) {
+    app.Transaction([&](const server::Tx& tx) {
+      EXPECT_TRUE(q_->IsQueueEmpty(tx).value());
+      q_->Enqueue(tx, 1);
+      EXPECT_FALSE(q_->IsQueueEmpty(tx).value());
+      return Status::kOk;
+    });
+  });
+}
+
+TEST_F(WeakQueueTest, AbortedEnqueueLeavesInvisibleGap) {
+  world_.RunApp(1, [&](Application& app) {
+    TransactionId t = app.Begin();
+    q_->Enqueue(app.MakeTx(t), 99);
+    app.Abort(t);
+    app.Transaction([&](const server::Tx& tx) {
+      EXPECT_TRUE(q_->IsQueueEmpty(tx).value());
+      EXPECT_EQ(q_->Dequeue(tx).status(), Status::kNotFound);
+      // The gap is real: the tail advanced past the aborted slot.
+      EXPECT_GT(q_->tail(), q_->head());
+      return Status::kOk;
+    });
+  });
+}
+
+TEST_F(WeakQueueTest, AbortedDequeueRestoresElement) {
+  world_.RunApp(1, [&](Application& app) {
+    app.Transaction([&](const server::Tx& tx) {
+      q_->Enqueue(tx, 7);
+      return Status::kOk;
+    });
+    TransactionId t = app.Begin();
+    EXPECT_EQ(q_->Dequeue(app.MakeTx(t)).value(), 7);
+    app.Abort(t);
+    app.Transaction([&](const server::Tx& tx) {
+      EXPECT_EQ(q_->Dequeue(tx).value(), 7);  // back in the queue
+      return Status::kOk;
+    });
+  });
+}
+
+TEST_F(WeakQueueTest, DequeueSkipsElementsLockedByOthers) {
+  // Weak-queue semantics: a dequeuer skips an element another transaction
+  // is still enqueueing and takes the next one — out of FIFO order.
+  world_.RunApp(1, [&](Application& app) {
+    TransactionId t1 = app.Begin();
+    q_->Enqueue(app.MakeTx(t1), 100);  // slot 0, still locked by t1
+    app.Transaction([&](const server::Tx& tx) {
+      q_->Enqueue(tx, 200);  // slot 1, committed
+      return Status::kOk;
+    });
+    app.Transaction([&](const server::Tx& tx) {
+      EXPECT_EQ(q_->Dequeue(tx).value(), 200);  // skipped the in-flight 100
+      return Status::kOk;
+    });
+    app.End(t1);
+    app.Transaction([&](const server::Tx& tx) {
+      EXPECT_EQ(q_->Dequeue(tx).value(), 100);
+      return Status::kOk;
+    });
+  });
+}
+
+TEST_F(WeakQueueTest, GarbageCollectionReclaimsSpace) {
+  world_.RunApp(1, [&](Application& app) {
+    // Fill and drain the queue repeatedly past its capacity: without the
+    // enqueue-side garbage collection the head would never move and the
+    // queue would report full.
+    for (int round = 0; round < 5; ++round) {
+      app.Transaction([&](const server::Tx& tx) {
+        for (int i = 0; i < 16; ++i) {
+          EXPECT_EQ(q_->Enqueue(tx, round * 100 + i), Status::kOk);
+        }
+        return Status::kOk;
+      });
+      app.Transaction([&](const server::Tx& tx) {
+        for (int i = 0; i < 16; ++i) {
+          EXPECT_TRUE(q_->Dequeue(tx).ok());
+        }
+        return Status::kOk;
+      });
+    }
+  });
+}
+
+TEST_F(WeakQueueTest, FullQueueReportsConflict) {
+  world_.RunApp(1, [&](Application& app) {
+    app.Transaction([&](const server::Tx& tx) {
+      for (std::uint32_t i = 0; i < q_->capacity(); ++i) {
+        EXPECT_EQ(q_->Enqueue(tx, static_cast<std::int32_t>(i)), Status::kOk);
+      }
+      EXPECT_EQ(q_->Enqueue(tx, -1), Status::kConflict);
+      return Status::kOk;
+    });
+  });
+}
+
+TEST_F(WeakQueueTest, TailRecomputedAfterCrash) {
+  world_.RunApp(1, [&](Application& app) {
+    app.Transaction([&](const server::Tx& tx) {
+      q_->Enqueue(tx, 1);
+      q_->Enqueue(tx, 2);
+      q_->Enqueue(tx, 3);
+      return Status::kOk;
+    });
+    app.Transaction([&](const server::Tx& tx) {
+      q_->Dequeue(tx);
+      return Status::kOk;
+    });
+    world_.CrashNode(1);
+  });
+  world_.RunApp(2, [&](Application& app) {
+    world_.RecoverNode(1);
+    Refresh();
+    EXPECT_EQ(q_->tail(), 3u);  // recomputed from head + InUse bits
+  });
+  world_.RunApp(1, [&](Application& app) {
+    app.Transaction([&](const server::Tx& tx) {
+      std::set<std::int32_t> got;
+      got.insert(q_->Dequeue(tx).value());
+      got.insert(q_->Dequeue(tx).value());
+      EXPECT_EQ(got, (std::set<std::int32_t>{2, 3}));
+      return Status::kOk;
+    });
+  });
+}
+
+TEST_F(WeakQueueTest, InFlightEnqueueDiesWithCrashAndLeavesGap) {
+  world_.RunApp(1, [&](Application& app) {
+    TransactionId t = app.Begin();
+    q_->Enqueue(app.MakeTx(t), 555);
+    world_.rm(1).log().ForceAll();
+    world_.CrashNode(1);
+  });
+  world_.RunApp(2, [&](Application& app) {
+    auto stats = world_.RecoverNode(1);
+    EXPECT_EQ(stats.losers.size(), 1u);
+    Refresh();
+  });
+  world_.RunApp(1, [&](Application& app) {
+    app.Transaction([&](const server::Tx& tx) {
+      EXPECT_TRUE(q_->IsQueueEmpty(tx).value());
+      return Status::kOk;
+    });
+  });
+}
+
+TEST_F(WeakQueueTest, ConcurrentProducersAndConsumersConserveItems) {
+  constexpr int kPerProducer = 10;
+  std::multiset<std::int32_t> consumed;
+  for (int p = 0; p < 3; ++p) {
+    world_.SpawnApp(1, "producer", [&, p](Application& app) {
+      for (int i = 0; i < kPerProducer; ++i) {
+        app.Transaction([&](const server::Tx& tx) {
+          return q_->Enqueue(tx, p * 1000 + i) == Status::kOk ? Status::kOk
+                                                              : Status::kConflict;
+        });
+      }
+    }, p * 1000);
+  }
+  world_.SpawnApp(1, "consumer", [&](Application& app) {
+    int drained = 0;
+    int idle_rounds = 0;
+    while (drained < 3 * kPerProducer && idle_rounds < 100) {
+      Status s = app.Transaction([&](const server::Tx& tx) {
+        auto v = q_->Dequeue(tx);
+        if (!v.ok()) {
+          return v.status();
+        }
+        consumed.insert(v.value());
+        return Status::kOk;
+      });
+      if (s == Status::kOk) {
+        ++drained;
+        idle_rounds = 0;
+      } else {
+        ++idle_rounds;
+        world_.scheduler().Charge(50'000);
+        world_.scheduler().Yield();
+      }
+    }
+  }, 500);
+  EXPECT_EQ(world_.Drain(), 0);
+  EXPECT_EQ(consumed.size(), 3u * kPerProducer);
+}
+
+}  // namespace
+}  // namespace tabs

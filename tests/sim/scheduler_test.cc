@@ -1,0 +1,225 @@
+// Tests for the cooperative virtual-time scheduler — the execution model
+// everything else in TABS stands on.
+
+#include "src/sim/scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace tabs::sim {
+namespace {
+
+TEST(SchedulerTest, RunsSingleTask) {
+  Scheduler sched;
+  bool ran = false;
+  sched.Spawn("t", 1, 0, [&] {
+    ran = true;
+    EXPECT_EQ(sched.Now(), 0);
+    sched.Charge(100);
+    EXPECT_EQ(sched.Now(), 100);
+  });
+  EXPECT_EQ(sched.Run(), 0);
+  EXPECT_TRUE(ran);
+}
+
+TEST(SchedulerTest, OrdersTasksByVirtualTime) {
+  Scheduler sched;
+  std::vector<int> order;
+  sched.Spawn("late", 1, 500, [&] { order.push_back(2); });
+  sched.Spawn("early", 1, 10, [&] { order.push_back(1); });
+  sched.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(SchedulerTest, TieBrokenBySpawnOrder) {
+  Scheduler sched;
+  std::vector<int> order;
+  sched.Spawn("a", 1, 0, [&] { order.push_back(1); });
+  sched.Spawn("b", 1, 0, [&] { order.push_back(2); });
+  sched.Spawn("c", 1, 0, [&] { order.push_back(3); });
+  sched.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(SchedulerTest, YieldInterleavesByTime) {
+  Scheduler sched;
+  std::vector<std::string> trace;
+  sched.Spawn("a", 1, 0, [&] {
+    trace.push_back("a1");
+    sched.Charge(100);
+    sched.Yield();
+    trace.push_back("a2");
+  });
+  sched.Spawn("b", 1, 50, [&] { trace.push_back("b"); });
+  sched.Run();
+  // a runs first (t=0), charges to 100, yields; b (t=50) precedes a's resume.
+  EXPECT_EQ(trace, (std::vector<std::string>{"a1", "b", "a2"}));
+}
+
+TEST(SchedulerTest, WaitAndNotifyTransfersTime) {
+  Scheduler sched;
+  WaitQueue q;
+  SimTime waiter_resumed_at = -1;
+  sched.Spawn("waiter", 1, 0, [&] {
+    EXPECT_TRUE(sched.Wait(q));
+    waiter_resumed_at = sched.Now();
+  });
+  sched.Spawn("notifier", 1, 0, [&] {
+    sched.Charge(777);
+    sched.NotifyOne(q);
+  });
+  EXPECT_EQ(sched.Run(), 0);
+  // The waiter resumes at the notifier's clock: the wake-up is an event.
+  EXPECT_EQ(waiter_resumed_at, 777);
+}
+
+TEST(SchedulerTest, WaitTimeoutFires) {
+  Scheduler sched;
+  WaitQueue q;
+  bool notified = true;
+  SimTime woke_at = -1;
+  sched.Spawn("waiter", 1, 100, [&] {
+    notified = sched.Wait(q, 250);
+    woke_at = sched.Now();
+  });
+  EXPECT_EQ(sched.Run(), 0);
+  EXPECT_FALSE(notified);
+  EXPECT_EQ(woke_at, 350);  // blocked at t=100, timeout after 250
+}
+
+TEST(SchedulerTest, NotifyBeatsTimeout) {
+  Scheduler sched;
+  WaitQueue q;
+  bool notified = false;
+  sched.Spawn("waiter", 1, 0, [&] { notified = sched.Wait(q, 1000); });
+  sched.Spawn("notifier", 1, 0, [&] {
+    sched.Charge(10);
+    sched.NotifyOne(q);
+  });
+  EXPECT_EQ(sched.Run(), 0);
+  EXPECT_TRUE(notified);
+}
+
+TEST(SchedulerTest, NotifyAllWakesEveryWaiter) {
+  Scheduler sched;
+  WaitQueue q;
+  int woken = 0;
+  for (int i = 0; i < 5; ++i) {
+    sched.Spawn("w", 1, 0, [&] {
+      sched.Wait(q);
+      ++woken;
+    });
+  }
+  sched.Spawn("n", 1, 10, [&] { sched.NotifyAll(q); });
+  EXPECT_EQ(sched.Run(), 0);
+  EXPECT_EQ(woken, 5);
+}
+
+TEST(SchedulerTest, UnnotifiedWaiterReportedAsBlocked) {
+  Scheduler sched;
+  WaitQueue q;
+  sched.Spawn("stuck", 1, 0, [&] { sched.Wait(q); });
+  EXPECT_EQ(sched.Run(), 1);
+}
+
+TEST(SchedulerTest, SpawnFromInsideTask) {
+  Scheduler sched;
+  std::vector<int> order;
+  sched.Spawn("parent", 1, 0, [&] {
+    order.push_back(1);
+    sched.Charge(100);
+    sched.Spawn("child", 1, sched.Now() + 50, [&] { order.push_back(2); });
+  });
+  sched.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(SchedulerTest, ChannelRoundTrip) {
+  Scheduler sched;
+  Channel<int> ch(sched);
+  int got = 0;
+  SimTime got_at = 0;
+  sched.Spawn("consumer", 1, 0, [&] {
+    got = ch.Pop();
+    got_at = sched.Now();
+  });
+  sched.Spawn("producer", 2, 40, [&] {
+    sched.Charge(60);
+    ch.Push(42);
+  });
+  EXPECT_EQ(sched.Run(), 0);
+  EXPECT_EQ(got, 42);
+  EXPECT_EQ(got_at, 100);
+}
+
+TEST(SchedulerTest, ChannelPopTimeout) {
+  Scheduler sched;
+  Channel<int> ch(sched);
+  bool got = true;
+  sched.Spawn("consumer", 1, 0, [&] {
+    int v = 0;
+    got = ch.PopWithTimeout(500, &v);
+  });
+  EXPECT_EQ(sched.Run(), 0);
+  EXPECT_FALSE(got);
+}
+
+TEST(SchedulerTest, KillWhereUnblocksVictim) {
+  Scheduler sched;
+  WaitQueue q;
+  bool reached_after_wait = false;
+  sched.Spawn("victim", 7, 0, [&] {
+    sched.Wait(q);
+    reached_after_wait = true;  // must never run: Wait throws TaskKilled
+  });
+  sched.Spawn("killer", 1, 10, [&] {
+    sched.KillWhere([](const Task& t) { return t.node == 7; });
+  });
+  EXPECT_EQ(sched.Run(), 0);
+  EXPECT_FALSE(reached_after_wait);
+}
+
+TEST(SchedulerTest, KillSelfThrows) {
+  Scheduler sched;
+  bool after = false;
+  sched.Spawn("self", 9, 0, [&] {
+    sched.KillWhere([](const Task& t) { return t.node == 9; });
+    after = true;  // unreachable
+  });
+  EXPECT_EQ(sched.Run(), 0);
+  EXPECT_FALSE(after);
+}
+
+TEST(SchedulerTest, AdvanceToOnlyMovesForward) {
+  Scheduler sched;
+  sched.Spawn("t", 1, 100, [&] {
+    sched.AdvanceTo(50);
+    EXPECT_EQ(sched.Now(), 100);
+    sched.AdvanceTo(200);
+    EXPECT_EQ(sched.Now(), 200);
+  });
+  sched.Run();
+}
+
+TEST(SchedulerTest, ManySequentialTasks) {
+  Scheduler sched;
+  int count = 0;
+  for (int i = 0; i < 200; ++i) {
+    sched.Spawn("t", 1, i, [&] { ++count; });
+  }
+  EXPECT_EQ(sched.Run(), 0);
+  EXPECT_EQ(count, 200);
+}
+
+TEST(SchedulerTest, DestructorUnwindsBlockedTasks) {
+  auto sched = std::make_unique<Scheduler>();
+  WaitQueue q;
+  sched->Spawn("stuck", 1, 0, [&] { sched->Wait(q); });
+  EXPECT_EQ(sched->Run(), 1);
+  sched.reset();  // must not hang or leak threads
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace tabs::sim

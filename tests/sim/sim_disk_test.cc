@@ -1,0 +1,95 @@
+#include "src/sim/sim_disk.h"
+
+#include <gtest/gtest.h>
+
+#include "src/sim/substrate.h"
+
+namespace tabs::sim {
+namespace {
+
+class SimDiskTest : public ::testing::Test {
+ protected:
+  SimDiskTest()
+      : substrate_(sched_, CostModel::Baseline(), ArchitectureModel::Prototype()),
+        disk_(substrate_) {}
+
+  void RunInTask(std::function<void()> fn) {
+    sched_.Spawn("test", 1, 0, std::move(fn));
+    ASSERT_EQ(sched_.Run(), 0);
+  }
+
+  Scheduler sched_;
+  Substrate substrate_;
+  SimDisk disk_;
+};
+
+TEST_F(SimDiskTest, NewPagesAreZeroFilled) {
+  disk_.EnsureSegment(1, 4);
+  RunInTask([&] {
+    std::uint8_t buf[kPageSize];
+    std::uint64_t seq = disk_.ReadPage({1, 2}, buf, false);
+    EXPECT_EQ(seq, 0u);
+    for (auto b : buf) {
+      EXPECT_EQ(b, 0);
+    }
+  });
+}
+
+TEST_F(SimDiskTest, WriteReadRoundTripWithSequenceNumber) {
+  disk_.EnsureSegment(1, 2);
+  RunInTask([&] {
+    std::uint8_t page[kPageSize];
+    for (size_t i = 0; i < kPageSize; ++i) {
+      page[i] = static_cast<std::uint8_t>(i & 0xff);
+    }
+    disk_.WritePage({1, 0}, page, 77);
+    std::uint8_t buf[kPageSize];
+    EXPECT_EQ(disk_.ReadPage({1, 0}, buf, false), 77u);
+    EXPECT_EQ(0, memcmp(page, buf, kPageSize));
+    EXPECT_EQ(disk_.ReadSequenceNumber({1, 0}), 77u);
+  });
+}
+
+TEST_F(SimDiskTest, ChargesRandomVsSequentialCosts) {
+  disk_.EnsureSegment(1, 2);
+  RunInTask([&] {
+    std::uint8_t buf[kPageSize];
+    SimTime t0 = sched_.Now();
+    disk_.ReadPage({1, 0}, buf, /*sequential=*/false);
+    SimTime random_cost = sched_.Now() - t0;
+    t0 = sched_.Now();
+    disk_.ReadPage({1, 1}, buf, /*sequential=*/true);
+    SimTime seq_cost = sched_.Now() - t0;
+    EXPECT_EQ(random_cost, CostModel::Baseline().Of(Primitive::kRandomPageIo));
+    EXPECT_EQ(seq_cost, CostModel::Baseline().Of(Primitive::kSequentialRead));
+  });
+}
+
+TEST_F(SimDiskTest, CountsPrimitives) {
+  disk_.EnsureSegment(1, 2);
+  RunInTask([&] {
+    std::uint8_t buf[kPageSize] = {};
+    disk_.ReadPage({1, 0}, buf, false);
+    disk_.WritePage({1, 0}, buf, 1);
+    disk_.ReadPage({1, 1}, buf, true);
+  });
+  const auto& counts = substrate_.metrics().Bucket(Phase::kPreCommit);
+  EXPECT_EQ(counts.Of(Primitive::kRandomPageIo), 2.0);
+  EXPECT_EQ(counts.Of(Primitive::kSequentialRead), 1.0);
+}
+
+TEST_F(SimDiskTest, SegmentGrowsButKeepsData) {
+  disk_.EnsureSegment(3, 1);
+  RunInTask([&] {
+    std::uint8_t page[kPageSize] = {42};
+    disk_.WritePage({3, 0}, page, 5);
+    disk_.EnsureSegment(3, 10);
+    EXPECT_EQ(disk_.SegmentPages(3), 10u);
+    std::uint8_t buf[kPageSize];
+    disk_.ReadPage({3, 0}, buf, false);
+    EXPECT_EQ(buf[0], 42);
+  });
+}
+
+}  // namespace
+}  // namespace tabs::sim
