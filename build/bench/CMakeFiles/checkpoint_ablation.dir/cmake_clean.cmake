@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/checkpoint_ablation.dir/checkpoint_ablation.cc.o"
+  "CMakeFiles/checkpoint_ablation.dir/checkpoint_ablation.cc.o.d"
+  "checkpoint_ablation"
+  "checkpoint_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/checkpoint_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

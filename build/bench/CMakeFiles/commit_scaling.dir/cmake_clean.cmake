@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/commit_scaling.dir/commit_scaling.cc.o"
+  "CMakeFiles/commit_scaling.dir/commit_scaling.cc.o.d"
+  "commit_scaling"
+  "commit_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/commit_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/debitcredit.dir/debitcredit.cc.o"
+  "CMakeFiles/debitcredit.dir/debitcredit.cc.o.d"
+  "debitcredit"
+  "debitcredit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/debitcredit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

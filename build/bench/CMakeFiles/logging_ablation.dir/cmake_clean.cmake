@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/logging_ablation.dir/logging_ablation.cc.o"
+  "CMakeFiles/logging_ablation.dir/logging_ablation.cc.o.d"
+  "logging_ablation"
+  "logging_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/logging_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

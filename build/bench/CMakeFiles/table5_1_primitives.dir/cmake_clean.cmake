@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_1_primitives.dir/table5_1_primitives.cc.o"
+  "CMakeFiles/table5_1_primitives.dir/table5_1_primitives.cc.o.d"
+  "table5_1_primitives"
+  "table5_1_primitives.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_1_primitives.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_3_commit_counts.dir/table5_3_commit_counts.cc.o"
+  "CMakeFiles/table5_3_commit_counts.dir/table5_3_commit_counts.cc.o.d"
+  "table5_3_commit_counts"
+  "table5_3_commit_counts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_3_commit_counts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

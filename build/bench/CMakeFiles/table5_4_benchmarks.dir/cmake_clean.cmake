@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_4_benchmarks.dir/table5_4_benchmarks.cc.o"
+  "CMakeFiles/table5_4_benchmarks.dir/table5_4_benchmarks.cc.o.d"
+  "table5_4_benchmarks"
+  "table5_4_benchmarks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_4_benchmarks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_5_projections.dir/table5_5_projections.cc.o"
+  "CMakeFiles/table5_5_projections.dir/table5_5_projections.cc.o.d"
+  "table5_5_projections"
+  "table5_5_projections.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_5_projections.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

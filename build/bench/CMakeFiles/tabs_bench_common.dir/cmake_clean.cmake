@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tabs_bench_common.dir/workloads.cc.o"
+  "CMakeFiles/tabs_bench_common.dir/workloads.cc.o.d"
+  "libtabs_bench_common.a"
+  "libtabs_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tabs_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/typed_locking_ablation.dir/typed_locking_ablation.cc.o"
+  "CMakeFiles/typed_locking_ablation.dir/typed_locking_ablation.cc.o.d"
+  "typed_locking_ablation"
+  "typed_locking_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/typed_locking_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

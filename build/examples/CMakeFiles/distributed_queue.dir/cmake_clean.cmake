@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distributed_queue.dir/distributed_queue.cpp.o"
+  "CMakeFiles/distributed_queue.dir/distributed_queue.cpp.o.d"
+  "distributed_queue"
+  "distributed_queue.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distributed_queue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

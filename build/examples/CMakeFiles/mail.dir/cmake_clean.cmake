@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mail.dir/mail.cpp.o"
+  "CMakeFiles/mail.dir/mail.cpp.o.d"
+  "mail"
+  "mail.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mail.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

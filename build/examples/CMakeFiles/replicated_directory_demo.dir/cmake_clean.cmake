@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/replicated_directory_demo.dir/replicated_directory_demo.cpp.o"
+  "CMakeFiles/replicated_directory_demo.dir/replicated_directory_demo.cpp.o.d"
+  "replicated_directory_demo"
+  "replicated_directory_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/replicated_directory_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

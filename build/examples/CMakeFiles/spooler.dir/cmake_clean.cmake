@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spooler.dir/spooler.cpp.o"
+  "CMakeFiles/spooler.dir/spooler.cpp.o.d"
+  "spooler"
+  "spooler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spooler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for spooler.
+# This may be replaced when dependencies are built.

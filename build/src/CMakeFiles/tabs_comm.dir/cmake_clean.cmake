@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tabs_comm.dir/comm/comm_manager.cc.o"
+  "CMakeFiles/tabs_comm.dir/comm/comm_manager.cc.o.d"
+  "CMakeFiles/tabs_comm.dir/comm/network.cc.o"
+  "CMakeFiles/tabs_comm.dir/comm/network.cc.o.d"
+  "libtabs_comm.a"
+  "libtabs_comm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tabs_comm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

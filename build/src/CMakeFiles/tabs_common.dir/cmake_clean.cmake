@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tabs_common.dir/common/bytes.cc.o"
+  "CMakeFiles/tabs_common.dir/common/bytes.cc.o.d"
+  "CMakeFiles/tabs_common.dir/common/result.cc.o"
+  "CMakeFiles/tabs_common.dir/common/result.cc.o.d"
+  "CMakeFiles/tabs_common.dir/common/types.cc.o"
+  "CMakeFiles/tabs_common.dir/common/types.cc.o.d"
+  "libtabs_common.a"
+  "libtabs_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tabs_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tabs_facade.dir/tabs/application.cc.o"
+  "CMakeFiles/tabs_facade.dir/tabs/application.cc.o.d"
+  "CMakeFiles/tabs_facade.dir/tabs/world.cc.o"
+  "CMakeFiles/tabs_facade.dir/tabs/world.cc.o.d"
+  "libtabs_facade.a"
+  "libtabs_facade.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tabs_facade.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kernel/node.cc" "src/CMakeFiles/tabs_kernel.dir/kernel/node.cc.o" "gcc" "src/CMakeFiles/tabs_kernel.dir/kernel/node.cc.o.d"
+  "/root/repo/src/kernel/recoverable_segment.cc" "src/CMakeFiles/tabs_kernel.dir/kernel/recoverable_segment.cc.o" "gcc" "src/CMakeFiles/tabs_kernel.dir/kernel/recoverable_segment.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tabs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tabs_log.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tabs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tabs_kernel.dir/kernel/node.cc.o"
+  "CMakeFiles/tabs_kernel.dir/kernel/node.cc.o.d"
+  "CMakeFiles/tabs_kernel.dir/kernel/recoverable_segment.cc.o"
+  "CMakeFiles/tabs_kernel.dir/kernel/recoverable_segment.cc.o.d"
+  "libtabs_kernel.a"
+  "libtabs_kernel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tabs_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lock/deadlock_detector.cc" "src/CMakeFiles/tabs_lock.dir/lock/deadlock_detector.cc.o" "gcc" "src/CMakeFiles/tabs_lock.dir/lock/deadlock_detector.cc.o.d"
+  "/root/repo/src/lock/lock_manager.cc" "src/CMakeFiles/tabs_lock.dir/lock/lock_manager.cc.o" "gcc" "src/CMakeFiles/tabs_lock.dir/lock/lock_manager.cc.o.d"
+  "/root/repo/src/lock/lock_mode.cc" "src/CMakeFiles/tabs_lock.dir/lock/lock_mode.cc.o" "gcc" "src/CMakeFiles/tabs_lock.dir/lock/lock_mode.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tabs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tabs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

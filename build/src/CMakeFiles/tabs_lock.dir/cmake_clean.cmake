@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tabs_lock.dir/lock/deadlock_detector.cc.o"
+  "CMakeFiles/tabs_lock.dir/lock/deadlock_detector.cc.o.d"
+  "CMakeFiles/tabs_lock.dir/lock/lock_manager.cc.o"
+  "CMakeFiles/tabs_lock.dir/lock/lock_manager.cc.o.d"
+  "CMakeFiles/tabs_lock.dir/lock/lock_mode.cc.o"
+  "CMakeFiles/tabs_lock.dir/lock/lock_mode.cc.o.d"
+  "libtabs_lock.a"
+  "libtabs_lock.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tabs_lock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tabs_log.dir/log/log_manager.cc.o"
+  "CMakeFiles/tabs_log.dir/log/log_manager.cc.o.d"
+  "CMakeFiles/tabs_log.dir/log/log_record.cc.o"
+  "CMakeFiles/tabs_log.dir/log/log_record.cc.o.d"
+  "libtabs_log.a"
+  "libtabs_log.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tabs_log.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

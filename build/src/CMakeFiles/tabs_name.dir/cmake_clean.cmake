@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tabs_name.dir/name/name_server.cc.o"
+  "CMakeFiles/tabs_name.dir/name/name_server.cc.o.d"
+  "libtabs_name.a"
+  "libtabs_name.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tabs_name.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tabs_recovery.dir/recovery/checkpoint.cc.o"
+  "CMakeFiles/tabs_recovery.dir/recovery/checkpoint.cc.o.d"
+  "CMakeFiles/tabs_recovery.dir/recovery/operation_recovery.cc.o"
+  "CMakeFiles/tabs_recovery.dir/recovery/operation_recovery.cc.o.d"
+  "CMakeFiles/tabs_recovery.dir/recovery/recovery_manager.cc.o"
+  "CMakeFiles/tabs_recovery.dir/recovery/recovery_manager.cc.o.d"
+  "CMakeFiles/tabs_recovery.dir/recovery/value_recovery.cc.o"
+  "CMakeFiles/tabs_recovery.dir/recovery/value_recovery.cc.o.d"
+  "libtabs_recovery.a"
+  "libtabs_recovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tabs_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtabs_recovery.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tabs_server.dir/server/data_server.cc.o"
+  "CMakeFiles/tabs_server.dir/server/data_server.cc.o.d"
+  "libtabs_server.a"
+  "libtabs_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tabs_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

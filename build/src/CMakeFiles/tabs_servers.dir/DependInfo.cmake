@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/servers/account_server.cc" "src/CMakeFiles/tabs_servers.dir/servers/account_server.cc.o" "gcc" "src/CMakeFiles/tabs_servers.dir/servers/account_server.cc.o.d"
+  "/root/repo/src/servers/array_server.cc" "src/CMakeFiles/tabs_servers.dir/servers/array_server.cc.o" "gcc" "src/CMakeFiles/tabs_servers.dir/servers/array_server.cc.o.d"
+  "/root/repo/src/servers/btree_server.cc" "src/CMakeFiles/tabs_servers.dir/servers/btree_server.cc.o" "gcc" "src/CMakeFiles/tabs_servers.dir/servers/btree_server.cc.o.d"
+  "/root/repo/src/servers/file_server.cc" "src/CMakeFiles/tabs_servers.dir/servers/file_server.cc.o" "gcc" "src/CMakeFiles/tabs_servers.dir/servers/file_server.cc.o.d"
+  "/root/repo/src/servers/io_server.cc" "src/CMakeFiles/tabs_servers.dir/servers/io_server.cc.o" "gcc" "src/CMakeFiles/tabs_servers.dir/servers/io_server.cc.o.d"
+  "/root/repo/src/servers/replicated_directory.cc" "src/CMakeFiles/tabs_servers.dir/servers/replicated_directory.cc.o" "gcc" "src/CMakeFiles/tabs_servers.dir/servers/replicated_directory.cc.o.d"
+  "/root/repo/src/servers/weak_queue_server.cc" "src/CMakeFiles/tabs_servers.dir/servers/weak_queue_server.cc.o" "gcc" "src/CMakeFiles/tabs_servers.dir/servers/weak_queue_server.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tabs_server.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tabs_txn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tabs_recovery.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tabs_lock.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tabs_name.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tabs_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tabs_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tabs_log.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tabs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tabs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tabs_servers.dir/servers/account_server.cc.o"
+  "CMakeFiles/tabs_servers.dir/servers/account_server.cc.o.d"
+  "CMakeFiles/tabs_servers.dir/servers/array_server.cc.o"
+  "CMakeFiles/tabs_servers.dir/servers/array_server.cc.o.d"
+  "CMakeFiles/tabs_servers.dir/servers/btree_server.cc.o"
+  "CMakeFiles/tabs_servers.dir/servers/btree_server.cc.o.d"
+  "CMakeFiles/tabs_servers.dir/servers/file_server.cc.o"
+  "CMakeFiles/tabs_servers.dir/servers/file_server.cc.o.d"
+  "CMakeFiles/tabs_servers.dir/servers/io_server.cc.o"
+  "CMakeFiles/tabs_servers.dir/servers/io_server.cc.o.d"
+  "CMakeFiles/tabs_servers.dir/servers/replicated_directory.cc.o"
+  "CMakeFiles/tabs_servers.dir/servers/replicated_directory.cc.o.d"
+  "CMakeFiles/tabs_servers.dir/servers/weak_queue_server.cc.o"
+  "CMakeFiles/tabs_servers.dir/servers/weak_queue_server.cc.o.d"
+  "libtabs_servers.a"
+  "libtabs_servers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tabs_servers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/cost_model.cc" "src/CMakeFiles/tabs_sim.dir/sim/cost_model.cc.o" "gcc" "src/CMakeFiles/tabs_sim.dir/sim/cost_model.cc.o.d"
+  "/root/repo/src/sim/metrics.cc" "src/CMakeFiles/tabs_sim.dir/sim/metrics.cc.o" "gcc" "src/CMakeFiles/tabs_sim.dir/sim/metrics.cc.o.d"
+  "/root/repo/src/sim/scheduler.cc" "src/CMakeFiles/tabs_sim.dir/sim/scheduler.cc.o" "gcc" "src/CMakeFiles/tabs_sim.dir/sim/scheduler.cc.o.d"
+  "/root/repo/src/sim/sim_disk.cc" "src/CMakeFiles/tabs_sim.dir/sim/sim_disk.cc.o" "gcc" "src/CMakeFiles/tabs_sim.dir/sim/sim_disk.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tabs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

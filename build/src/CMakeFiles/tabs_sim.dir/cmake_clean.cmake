@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tabs_sim.dir/sim/cost_model.cc.o"
+  "CMakeFiles/tabs_sim.dir/sim/cost_model.cc.o.d"
+  "CMakeFiles/tabs_sim.dir/sim/metrics.cc.o"
+  "CMakeFiles/tabs_sim.dir/sim/metrics.cc.o.d"
+  "CMakeFiles/tabs_sim.dir/sim/scheduler.cc.o"
+  "CMakeFiles/tabs_sim.dir/sim/scheduler.cc.o.d"
+  "CMakeFiles/tabs_sim.dir/sim/sim_disk.cc.o"
+  "CMakeFiles/tabs_sim.dir/sim/sim_disk.cc.o.d"
+  "libtabs_sim.a"
+  "libtabs_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tabs_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

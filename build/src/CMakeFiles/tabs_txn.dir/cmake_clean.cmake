@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tabs_txn.dir/txn/transaction_manager.cc.o"
+  "CMakeFiles/tabs_txn.dir/txn/transaction_manager.cc.o.d"
+  "CMakeFiles/tabs_txn.dir/txn/two_phase_commit.cc.o"
+  "CMakeFiles/tabs_txn.dir/txn/two_phase_commit.cc.o.d"
+  "libtabs_txn.a"
+  "libtabs_txn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tabs_txn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

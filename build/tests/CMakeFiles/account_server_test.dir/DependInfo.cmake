@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/servers/account_server_test.cc" "tests/CMakeFiles/account_server_test.dir/servers/account_server_test.cc.o" "gcc" "tests/CMakeFiles/account_server_test.dir/servers/account_server_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tabs_facade.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tabs_servers.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tabs_server.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tabs_txn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tabs_recovery.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tabs_lock.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tabs_name.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tabs_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tabs_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tabs_log.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tabs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tabs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

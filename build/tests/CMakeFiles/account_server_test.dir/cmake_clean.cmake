@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/account_server_test.dir/servers/account_server_test.cc.o"
+  "CMakeFiles/account_server_test.dir/servers/account_server_test.cc.o.d"
+  "account_server_test"
+  "account_server_test.pdb"
+  "account_server_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/account_server_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cooperative_termination_test.dir/integration/cooperative_termination_test.cc.o"
+  "CMakeFiles/cooperative_termination_test.dir/integration/cooperative_termination_test.cc.o.d"
+  "cooperative_termination_test"
+  "cooperative_termination_test.pdb"
+  "cooperative_termination_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cooperative_termination_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

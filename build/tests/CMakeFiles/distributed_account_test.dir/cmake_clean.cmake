@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distributed_account_test.dir/integration/distributed_account_test.cc.o"
+  "CMakeFiles/distributed_account_test.dir/integration/distributed_account_test.cc.o.d"
+  "distributed_account_test"
+  "distributed_account_test.pdb"
+  "distributed_account_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distributed_account_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distributed_deadlock_test.dir/integration/distributed_deadlock_test.cc.o"
+  "CMakeFiles/distributed_deadlock_test.dir/integration/distributed_deadlock_test.cc.o.d"
+  "distributed_deadlock_test"
+  "distributed_deadlock_test.pdb"
+  "distributed_deadlock_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distributed_deadlock_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

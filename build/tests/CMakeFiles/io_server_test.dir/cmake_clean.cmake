@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/io_server_test.dir/servers/io_server_test.cc.o"
+  "CMakeFiles/io_server_test.dir/servers/io_server_test.cc.o.d"
+  "io_server_test"
+  "io_server_test.pdb"
+  "io_server_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/io_server_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/replicated_directory_test.dir/servers/replicated_directory_test.cc.o"
+  "CMakeFiles/replicated_directory_test.dir/servers/replicated_directory_test.cc.o.d"
+  "replicated_directory_test"
+  "replicated_directory_test.pdb"
+  "replicated_directory_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/replicated_directory_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/replication_fuzz_test.dir/integration/replication_fuzz_test.cc.o"
+  "CMakeFiles/replication_fuzz_test.dir/integration/replication_fuzz_test.cc.o.d"
+  "replication_fuzz_test"
+  "replication_fuzz_test.pdb"
+  "replication_fuzz_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/replication_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

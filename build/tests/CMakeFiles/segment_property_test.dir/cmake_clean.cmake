@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/segment_property_test.dir/kernel/segment_property_test.cc.o"
+  "CMakeFiles/segment_property_test.dir/kernel/segment_property_test.cc.o.d"
+  "segment_property_test"
+  "segment_property_test.pdb"
+  "segment_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/segment_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

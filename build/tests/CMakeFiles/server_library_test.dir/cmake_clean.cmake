@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/server_library_test.dir/server/server_library_test.cc.o"
+  "CMakeFiles/server_library_test.dir/server/server_library_test.cc.o.d"
+  "server_library_test"
+  "server_library_test.pdb"
+  "server_library_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/server_library_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

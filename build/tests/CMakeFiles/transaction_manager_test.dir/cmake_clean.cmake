@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transaction_manager_test.dir/txn/transaction_manager_test.cc.o"
+  "CMakeFiles/transaction_manager_test.dir/txn/transaction_manager_test.cc.o.d"
+  "transaction_manager_test"
+  "transaction_manager_test.pdb"
+  "transaction_manager_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transaction_manager_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/weak_queue_fuzz_test.dir/servers/weak_queue_fuzz_test.cc.o"
+  "CMakeFiles/weak_queue_fuzz_test.dir/servers/weak_queue_fuzz_test.cc.o.d"
+  "weak_queue_fuzz_test"
+  "weak_queue_fuzz_test.pdb"
+  "weak_queue_fuzz_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/weak_queue_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
