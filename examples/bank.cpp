@@ -54,14 +54,14 @@ int main() {
   // Area two: "the user attempted to withdraw 80 dollars... but the node
   // failed during the transaction, causing it to abort."
   world.RunApp(1, [&](Application& app) {
-    TransactionId t = app.Begin();
-    server::Tx tx = app.MakeTx(t);
+    TxnScope t(app);
+    server::Tx tx = t.tx();
     auto area = io->ObtainIOArea(tx);
     io->WriteLnToArea(tx, area.value(), "withdraw 80 dollars from checking");
     auto balance = accounts->GetCell(tx, kChecking);
     accounts->SetCell(tx, kChecking, balance.value() - 80);
     world.rm(1).log().ForceAll();
-    world.CrashNode(1);  // the node fails mid-transaction
+    world.CrashNode(1);  // the node fails mid-transaction (kills this task too)
   });
   world.RunApp(2, [&](Application& app) {
     // "The IO server restored the screen when the system became available."
@@ -74,8 +74,8 @@ int main() {
   // progress (displayed gray) while we snapshot the screen.
   world.RunApp(1, [&](Application& app) {
     io->TypeInput(2, "80");
-    TransactionId t = app.Begin();
-    server::Tx tx = app.MakeTx(t);
+    TxnScope t(app);  // auto-aborts the in-progress demo transaction at scope end
+    server::Tx tx = t.tx();
     auto area = io->ObtainIOArea(tx);
     io->WriteLnToArea(tx, area.value(), "withdraw how much from checking?");
     auto amount = io->ReadLineFromArea(tx, area.value());
@@ -90,7 +90,6 @@ int main() {
                   accounts->GetCell(tx2, kChecking).value());
       return Status::kOk;
     });
-    app.Abort(t);  // tidy up the in-progress demo transaction
-  });
+  });  // ~TxnScope tidies up the in-progress demo transaction
   return 0;
 }

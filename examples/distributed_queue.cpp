@@ -29,10 +29,12 @@ int main() {
           ++produced;
         }
       }
-      // One deliberately aborted enqueue: its slot becomes a gap.
-      TransactionId doomed = app.Begin();
-      queue->Enqueue(app.MakeTx(doomed), -1);
-      app.Abort(doomed);
+      // One deliberately aborted enqueue: its slot becomes a gap. (TxnScope
+      // auto-aborts at the end of the block.)
+      {
+        TxnScope doomed(app);
+        queue->Enqueue(doomed.tx(), -1);
+      }
     }, p * 10'000);
   }
   world.SpawnApp(1, "consumer", [&](Application& app) {

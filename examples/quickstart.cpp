@@ -35,10 +35,12 @@ int main() {
     });
     std::printf("transfer committed: %s\n", StatusName(s));
 
-    // An aborted transaction leaves no trace.
-    TransactionId doomed = app.Begin();
-    savings->SetCell(app.MakeTx(doomed), 0, -999999);
-    app.Abort(doomed);
+    // An aborted transaction leaves no trace. TxnScope is the RAII handle:
+    // going out of scope without Commit() aborts automatically.
+    {
+      TxnScope doomed(app);
+      savings->SetCell(doomed.tx(), 0, -999999);
+    }  // ~TxnScope aborts
     app.Transaction([&](const server::Tx& tx) {
       std::printf("after abort, savings = %d (unchanged)\n",
                   savings->GetCell(tx, 0).value());

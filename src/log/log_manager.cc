@@ -75,6 +75,15 @@ void LogManager::Force(Lsn upto) {
   if (upto == kNullLsn || upto < buffer_start_ || buffer_.empty()) {
     return;
   }
+  sim::Scheduler& sched = substrate_.scheduler();
+  bool in_task = sched.in_task();
+  // The log device is one spindle: a force that arrives while an earlier
+  // force's write is still spinning queues behind it in virtual time. (A
+  // single sequential task never queues — its clock is already past the
+  // previous write's completion.)
+  if (in_task) {
+    sched.AdvanceTo(device_busy_until_);
+  }
   // The buffer is forced as a unit (group force): TABS spools records and
   // writes them together, so one commit typically costs one stable write.
   std::uint64_t bytes = buffer_.size();
@@ -84,12 +93,26 @@ void LogManager::Force(Lsn upto) {
   buffer_.clear();
   buffer_start_ = next_lsn_;
   durable_lsn_ = LastDurableLsn();
+  substrate_.metrics().CountForceIssued();
   // A force is an I/O wait performed by the Recovery Manager process: other
   // processes (and server coroutines) run while the disk spins (Section
   // 2.1.1's wait-driven switching). Page faults, by contrast, suspend the
   // whole server and do NOT yield.
-  if (substrate_.scheduler().in_task()) {
-    substrate_.scheduler().Yield();
+  if (in_task) {
+    device_busy_until_ = sched.Now();
+    // Wake everything waiting on the durable frontier (group-commit batch
+    // members, or a bystander absorbed by a checkpoint's force). Woken
+    // tasks re-check their LSN and re-wait if this write missed them.
+    sched.NotifyAll(durable_waiters_);
+    sched.Yield();
+  }
+}
+
+void LogManager::WaitDurable(Lsn lsn) {
+  sim::Scheduler& sched = substrate_.scheduler();
+  assert(sched.in_task() && "WaitDurable outside a task");
+  while (durable_lsn_ < lsn) {
+    sched.Wait(durable_waiters_);
   }
 }
 

@@ -53,9 +53,17 @@ class LogManager {
 
   // Forces the buffer through `upto` to the stable device, charging one
   // stable-storage write per page of forced log data (grouped). No-op if
-  // already durable.
+  // already durable. The stable device is a single spindle: concurrent
+  // forces from different tasks queue behind each other in virtual time.
+  // Every force that advances the durable frontier wakes WaitDurable
+  // waiters whose LSN it covered.
   void Force(Lsn upto);
   void ForceAll() { Force(next_lsn_ - 1); }
+
+  // Blocks the calling task until durable_lsn() >= lsn. The caller (or the
+  // group-commit daemon on its behalf) must have arranged for a force to
+  // happen; this only waits. Callable only from inside a task.
+  void WaitDurable(Lsn lsn);
 
   Lsn durable_lsn() const { return durable_lsn_; }   // everything ≤ this is stable
   // LSN of the most recently appended record (durable or buffered).
@@ -87,6 +95,7 @@ class LogManager {
   }
 
   StableLogDevice& device() { return device_; }
+  sim::Substrate& substrate() { return substrate_; }
 
  private:
   sim::Substrate& substrate_;
@@ -97,6 +106,11 @@ class LogManager {
   Lsn last_record_lsn_ = kNullLsn;
   Lsn durable_lsn_ = kNullLsn;
   std::unordered_map<TransactionId, Lsn> chains_;
+  // Virtual time at which the stable device finishes its in-flight write;
+  // forces queue behind it (it is one spindle, not one per transaction).
+  SimTime device_busy_until_ = 0;
+  // Tasks blocked in WaitDurable until a force covers their LSN.
+  sim::WaitQueue durable_waiters_;
 };
 
 }  // namespace tabs::log

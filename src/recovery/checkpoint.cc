@@ -45,6 +45,11 @@ Lsn RecoveryManager::TakeCheckpoint(const std::vector<ActiveTxn>& active) {
   rec.type = RecordType::kCheckpoint;
   rec.checkpoint_data = w.Take();
   Lsn lsn = log_.Append(std::move(rec));
+  // This force also covers any commit records a group-commit batch has
+  // appended but not yet flushed: it advances the durable frontier and wakes
+  // their WaitDurable waiters, whose (now stale) batch flusher then no-ops.
+  // Blocked committers therefore never wait longer because a checkpoint
+  // intervened — they finish earlier, their forces absorbed by this one.
   log_.ForceAll();
   return lsn;
 }

@@ -60,15 +60,31 @@ class Metrics {
     t += buckets_[1];
     return t;
   }
+
+  // Log-force accounting for group commit. A force is *issued* when a
+  // LogManager::Force call actually writes the stable device; a stability
+  // request is *absorbed* when some other transaction's force (a shared
+  // group-commit flush, a checkpoint) already covered its LSN. These are
+  // deliberately not Primitives: adding enum values would change the shape
+  // of every regenerated paper table.
+  void CountForceIssued() { ++forces_issued_; }
+  void CountForceAbsorbed(double n = 1.0) { forces_absorbed_ += n; }
+  double forces_issued() const { return forces_issued_; }
+  double forces_absorbed() const { return forces_absorbed_; }
+
   void Reset() {
     buckets_[0] = {};
     buckets_[1] = {};
     phase_ = Phase::kPreCommit;
+    forces_issued_ = 0;
+    forces_absorbed_ = 0;
   }
 
  private:
   std::array<PrimitiveCounts, 2> buckets_{};
   Phase phase_ = Phase::kPreCommit;
+  double forces_issued_ = 0;
+  double forces_absorbed_ = 0;
 };
 
 // RAII phase scope used by the Transaction Manager around commit processing.

@@ -1,5 +1,36 @@
 #include "src/tabs/application.h"
 
-// Application is header-only; this translation unit anchors the library.
+#include <algorithm>
 
-namespace tabs {}
+namespace tabs {
+
+Application::RunResult Application::RunTransactional(
+    const std::function<Status(const server::Tx&)>& body, const RetryPolicy& policy) {
+  RunResult result;
+  SimTime backoff = policy.initial_backoff_us;
+  for (;;) {
+    result.status = Transaction(body);
+    ++result.attempts;
+    if (result.status == Status::kOk || !RetryPolicy::Retryable(result.status) ||
+        result.attempts >= policy.max_attempts) {
+      return result;
+    }
+    // Back off in virtual time before the next attempt, so colliding
+    // applications de-synchronize instead of re-deadlocking immediately.
+    sim::Scheduler& sched = tm_->substrate().scheduler();
+    if (sched.in_task() && backoff > 0) {
+      sched.Charge(backoff);
+      sched.Yield();
+    }
+    backoff = std::min(policy.max_backoff_us,
+                       static_cast<SimTime>(static_cast<double>(backoff) *
+                                            policy.backoff_multiplier));
+  }
+}
+
+Application::RunResult Application::RunTransactional(
+    const std::function<Status(const server::Tx&)>& body) {
+  return RunTransactional(body, RetryPolicy{});
+}
+
+}  // namespace tabs

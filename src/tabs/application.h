@@ -9,7 +9,9 @@
 #ifndef TABS_TABS_APPLICATION_H_
 #define TABS_TABS_APPLICATION_H_
 
+#include <exception>
 #include <functional>
+#include <utility>
 
 #include "src/comm/comm_manager.h"
 #include "src/common/result.h"
@@ -55,10 +57,89 @@ class Application {
     return s;
   }
 
+  struct RetryPolicy;
+  struct RunResult;
+  // Runs `body` as a transaction, retrying (fresh transaction, capped
+  // exponential virtual-time backoff) when it ends for a transient reason:
+  // a participant voting no, a lock-wait timeout (TABS's deadlock breaker,
+  // Section 2.1.2), or an abort — e.g. a deadlock-detector sacrifice.
+  // Non-retryable statuses (kNotFound, kNodeDown, ...) return immediately.
+  RunResult RunTransactional(const std::function<Status(const server::Tx&)>& body,
+                             const RetryPolicy& policy);
+  RunResult RunTransactional(const std::function<Status(const server::Tx&)>& body);
+
  private:
   NodeId node_;
   txn::TransactionManager* tm_;
   comm::CommManager* cm_;
+};
+
+// An RAII transaction handle: the constructor Begins (optionally as a
+// subtransaction), Commit()/Abort() finish it explicitly, and the destructor
+// aborts anything still live — so an early return or an exception can never
+// leak a transaction holding locks. The raw Begin/End/Abort trio on
+// Application remains the paper-faithful layer (Table 3-2) underneath.
+class TxnScope {
+ public:
+  explicit TxnScope(Application& app, const TransactionId& parent = kNullTransaction)
+      : app_(&app), tid_(app.Begin(parent)) {}
+  TxnScope(TxnScope&& o) noexcept
+      : app_(o.app_), tid_(o.tid_), live_(std::exchange(o.live_, false)) {}
+  TxnScope(const TxnScope&) = delete;
+  TxnScope& operator=(const TxnScope&) = delete;
+  TxnScope& operator=(TxnScope&&) = delete;
+
+  ~TxnScope() {
+    // Auto-abort a still-live transaction — but not while unwinding a
+    // TaskKilled (node crash): the dead node's TM is gone, and aborting
+    // charges virtual time, which a killed task must not do.
+    if (live_ && std::uncaught_exceptions() == 0) {
+      app_->Abort(tid_);
+    }
+  }
+
+  const TransactionId& id() const { return tid_; }
+  bool live() const { return live_; }
+  // The context handed to data-server operations.
+  server::Tx tx() const { return app_->MakeTx(tid_); }
+
+  // EndTransaction. The scope is finished regardless of the verdict (a
+  // failed commit already aborted server-side).
+  Status Commit() {
+    live_ = false;
+    return app_->End(tid_);
+  }
+  // AbortTransaction, explicitly.
+  void Abort() {
+    live_ = false;
+    app_->Abort(tid_);
+  }
+
+ private:
+  Application* app_;
+  TransactionId tid_;
+  bool live_ = true;
+};
+
+// Retry tuning for Application::RunTransactional.
+struct Application::RetryPolicy {
+  int max_attempts = 8;
+  SimTime initial_backoff_us = 10'000;   // 10 ms virtual
+  double backoff_multiplier = 2.0;
+  SimTime max_backoff_us = 1'280'000;    // cap: 1.28 s virtual
+
+  // Transient outcomes worth a fresh attempt. kAborted covers deadlock
+  // sacrifices (detector picks a victim) and peer-initiated aborts.
+  static bool Retryable(Status s) {
+    return s == Status::kVoteNo || s == Status::kTimeout || s == Status::kAborted;
+  }
+};
+
+struct Application::RunResult {
+  Status status = Status::kAborted;  // terminal status of the last attempt
+  int attempts = 0;                  // bodies run (>= 1)
+
+  bool ok() const { return status == Status::kOk; }
 };
 
 }  // namespace tabs

@@ -3,6 +3,8 @@
 #include <cassert>
 #include <sstream>
 
+#include "src/log/group_commit.h"
+
 namespace tabs {
 
 World::World(int node_count, WorldOptions options) : options_(options) {
@@ -34,6 +36,7 @@ recovery::RecoveryManager& World::rm(NodeId id) { return *runtime(id).rm; }
 txn::TransactionManager& World::tm(NodeId id) { return *runtime(id).tm; }
 comm::CommManager& World::cm(NodeId id) { return *runtime(id).cm; }
 name::NameServer& World::names(NodeId id) { return *runtime(id).ns; }
+log::GroupCommit& World::group_commit(NodeId id) { return *runtime(id).gc; }
 
 void World::BuildRuntime(NodeId id) {
   Runtime rt;
@@ -41,6 +44,10 @@ void World::BuildRuntime(NodeId id) {
   rt.cm = std::make_unique<comm::CommManager>(id, *network_);
   rt.tm = std::make_unique<txn::TransactionManager>(node(id), *rt.rm, *rt.cm);
   rt.ns = std::make_unique<name::NameServer>(*rt.cm);
+  rt.gc = std::make_unique<log::GroupCommit>(id, rt.rm->log(),
+                                            options_.group_commit_window_us,
+                                            options_.group_commit_max_batch);
+  rt.tm->SetGroupCommit(rt.gc.get());
   rt.tm->SetCheckpointInterval(options_.checkpoint_interval);
   if (options_.log_space_budget > 0) {
     txn::TransactionManager* tm = rt.tm.get();

@@ -30,6 +30,10 @@
 
 namespace tabs {
 
+namespace log {
+class GroupCommit;
+}
+
 struct WorldOptions {
   sim::CostModel costs = sim::CostModel::Baseline();
   sim::ArchitectureModel arch = sim::ArchitectureModel::Prototype();
@@ -38,6 +42,13 @@ struct WorldOptions {
   std::uint64_t log_space_budget = 0;
   // TM-driven periodic checkpoints, virtual time between them. 0 disables.
   SimTime checkpoint_interval = 0;
+  // Group commit: committing (and preparing) transactions batch their log
+  // forces through a per-node daemon that flushes once per window instead of
+  // once per transaction. 0 (the default) keeps the paper-faithful
+  // per-transaction force — every table_5_* number is unchanged.
+  SimTime group_commit_window_us = 0;
+  // A batch flushes early when it reaches this many members.
+  int group_commit_max_batch = 32;
 };
 
 class World {
@@ -62,6 +73,7 @@ class World {
   txn::TransactionManager& tm(NodeId id);
   comm::CommManager& cm(NodeId id);
   name::NameServer& names(NodeId id);
+  log::GroupCommit& group_commit(NodeId id);
   bool NodeAlive(NodeId id) const { return network_->IsAlive(id); }
 
   // --- data servers ---------------------------------------------------------------
@@ -151,6 +163,11 @@ class World {
     std::unique_ptr<txn::TransactionManager> tm;
     std::unique_ptr<name::NameServer> ns;
     std::map<std::string, std::unique_ptr<server::DataServer>> servers;
+    // Declared after rm: it references rm's LogManager, so it must be
+    // destroyed first. Dies with the runtime on CrashNode (pending waiters
+    // are killed tasks; a scheduled flusher for a dead incarnation is killed
+    // too and never runs).
+    std::unique_ptr<log::GroupCommit> gc;
     bool dead = false;
   };
   struct Blueprint {

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "src/log/group_commit.h"
+
 namespace tabs::txn {
 
 using log::LogRecord;
@@ -211,12 +213,24 @@ void TransactionManager::AppendTxnRecord(RecordType type, const Txn& txn, bool f
   for (CommitParticipant* s : txn.servers) {
     rec.local_servers.push_back(s->participant_name());
   }
-  rm_.log().Append(std::move(rec));
+  Lsn lsn = rm_.log().Append(std::move(rec));
   if (force) {
     // TM -> RM force request and completion (two small messages), then the
     // stable write itself (charged by the log manager).
     node_.substrate().ChargeSystemMessage(sim::Primitive::kSmallMessage, 2);
-    rm_.log().ForceAll();
+    if (group_commit_ != nullptr) {
+      // Group commit: block until a shared force covers this record. With
+      // the daemon disabled (window 0) this degenerates to ForceAll and the
+      // paper-faithful per-transaction force is preserved. Either way this
+      // call does not return until the record is stable, so every state
+      // transition that follows it (kPrepared, kCommitted, logged_outcomes_)
+      // happens only after durability — which is exactly the crash
+      // guarantee: a node killed mid-batch unwinds here via TaskKilled
+      // before anything claims the outcome.
+      group_commit_->WaitStable(lsn);
+    } else {
+      rm_.log().ForceAll();
+    }
   }
 }
 

@@ -28,6 +28,10 @@
 #include "src/common/types.h"
 #include "src/recovery/recovery_manager.h"
 
+namespace tabs::log {
+class GroupCommit;
+}
+
 namespace tabs::txn {
 
 // A local data server's participation hooks. DataServer implements this.
@@ -141,6 +145,11 @@ class TransactionManager : public comm::TransactionTreeListener,
 
   sim::Substrate& substrate() { return node_.substrate(); }
 
+  // Routes commit/prepare-record forces through the node's group-commit
+  // daemon instead of a per-transaction Force. Null (the default) or a
+  // disabled daemon preserves the paper-faithful per-transaction behaviour.
+  void SetGroupCommit(log::GroupCommit* gc) { group_commit_ = gc; }
+
  private:
   struct Txn {
     TransactionId tid;
@@ -176,6 +185,7 @@ class TransactionManager : public comm::TransactionTreeListener,
   recovery::RecoveryManager& rm_;
   comm::CommManager& cm_;
   const std::map<NodeId, TransactionManager*>* peers_ = nullptr;
+  log::GroupCommit* group_commit_ = nullptr;
 
   std::uint64_t next_sequence_ = 1;
   std::map<TransactionId, Txn> txns_;

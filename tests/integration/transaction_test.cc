@@ -51,10 +51,11 @@ TEST_F(TransactionTest, AbortRestoresOldValue) {
       a1_->SetCell(tx, 7, 100);
       return Status::kOk;
     });
-    TransactionId t = app.Begin();
-    a1_->SetCell(app.MakeTx(t), 7, 999);
-    app.Abort(t);
-    EXPECT_TRUE(app.TransactionIsAborted(t));
+    TxnScope t(app);
+    a1_->SetCell(t.tx(), 7, 999);
+    t.Abort();
+    EXPECT_FALSE(t.live());
+    EXPECT_TRUE(app.TransactionIsAborted(t.id()));
     app.Transaction([&](const server::Tx& tx) {
       EXPECT_EQ(a1_->GetCell(tx, 7).value(), 100);
       return Status::kOk;
@@ -108,11 +109,11 @@ TEST_F(TransactionTest, DistributedCommitThreeNodes) {
 
 TEST_F(TransactionTest, DistributedAbortUndoesRemoteWrites) {
   world_.RunApp(1, [&](Application& app) {
-    TransactionId t = app.Begin();
-    server::Tx tx = app.MakeTx(t);
+    TxnScope t(app);
+    server::Tx tx = t.tx();
     a1_->SetCell(tx, 3, 33);
     a2_->SetCell(tx, 3, 44);
-    app.Abort(t);
+    t.Abort();
     app.Transaction([&](const server::Tx& tx2) {
       EXPECT_EQ(a1_->GetCell(tx2, 3).value(), 0);
       EXPECT_EQ(a2_->GetCell(tx2, 3).value(), 0);
@@ -189,12 +190,12 @@ TEST_F(TransactionTest, SerializabilityUnderConflict) {
 TEST_F(TransactionTest, ConflictingWritersTimeOutAndAbort) {
   Status second = Status::kOk;
   world_.SpawnApp(1, "holder", [&](Application& app) {
-    TransactionId t = app.Begin();
-    a1_->SetCell(app.MakeTx(t), 0, 1);
+    TxnScope t(app);
+    a1_->SetCell(t.tx(), 0, 1);
     // Hold the lock "forever" (longer than the contender's timeout).
     world_.scheduler().Charge(20'000'000);
     world_.scheduler().Yield();
-    app.End(t);
+    t.Commit();
   });
   world_.SpawnApp(1, "contender", [&](Application& app) {
     second = app.Transaction([&](const server::Tx& tx) {
@@ -207,12 +208,12 @@ TEST_F(TransactionTest, ConflictingWritersTimeOutAndAbort) {
 
 TEST_F(TransactionTest, SubtransactionCommitsWithParent) {
   world_.RunApp(1, [&](Application& app) {
-    TransactionId parent = app.Begin();
-    a1_->SetCell(app.MakeTx(parent), 0, 1);
-    TransactionId child = app.Begin(parent);
-    a1_->SetCell(app.MakeTx(child), 1, 2);
-    EXPECT_EQ(app.End(child), Status::kOk);   // merges into parent
-    EXPECT_EQ(app.End(parent), Status::kOk);  // real commit
+    TxnScope parent(app);
+    a1_->SetCell(parent.tx(), 0, 1);
+    TxnScope child(app, parent.id());
+    a1_->SetCell(child.tx(), 1, 2);
+    EXPECT_EQ(child.Commit(), Status::kOk);   // merges into parent
+    EXPECT_EQ(parent.Commit(), Status::kOk);  // real commit
     app.Transaction([&](const server::Tx& tx) {
       EXPECT_EQ(a1_->GetCell(tx, 0).value(), 1);
       EXPECT_EQ(a1_->GetCell(tx, 1).value(), 2);
@@ -223,12 +224,13 @@ TEST_F(TransactionTest, SubtransactionCommitsWithParent) {
 
 TEST_F(TransactionTest, SubtransactionAbortsAlone) {
   world_.RunApp(1, [&](Application& app) {
-    TransactionId parent = app.Begin();
-    a1_->SetCell(app.MakeTx(parent), 0, 1);
-    TransactionId child = app.Begin(parent);
-    a1_->SetCell(app.MakeTx(child), 1, 2);
-    app.Abort(child);  // parent tolerates the failure
-    EXPECT_EQ(app.End(parent), Status::kOk);
+    TxnScope parent(app);
+    a1_->SetCell(parent.tx(), 0, 1);
+    {
+      TxnScope child(app, parent.id());
+      a1_->SetCell(child.tx(), 1, 2);
+    }  // auto-abort: parent tolerates the failure
+    EXPECT_EQ(parent.Commit(), Status::kOk);
     app.Transaction([&](const server::Tx& tx) {
       EXPECT_EQ(a1_->GetCell(tx, 0).value(), 1);
       EXPECT_EQ(a1_->GetCell(tx, 1).value(), 0);  // child's write undone
@@ -239,11 +241,11 @@ TEST_F(TransactionTest, SubtransactionAbortsAlone) {
 
 TEST_F(TransactionTest, ParentAbortKillsCommittedSubtransaction) {
   world_.RunApp(1, [&](Application& app) {
-    TransactionId parent = app.Begin();
-    TransactionId child = app.Begin(parent);
-    a1_->SetCell(app.MakeTx(child), 1, 2);
-    EXPECT_EQ(app.End(child), Status::kOk);
-    app.Abort(parent);
+    TxnScope parent(app);
+    TxnScope child(app, parent.id());
+    a1_->SetCell(child.tx(), 1, 2);
+    EXPECT_EQ(child.Commit(), Status::kOk);
+    parent.Abort();
     app.Transaction([&](const server::Tx& tx) {
       EXPECT_EQ(a1_->GetCell(tx, 1).value(), 0);
       return Status::kOk;
@@ -253,11 +255,11 @@ TEST_F(TransactionTest, ParentAbortKillsCommittedSubtransaction) {
 
 TEST_F(TransactionTest, SubtransactionRemoteWriteFollowsParentOutcome) {
   world_.RunApp(1, [&](Application& app) {
-    TransactionId parent = app.Begin();
-    TransactionId child = app.Begin(parent);
-    a2_->SetCell(app.MakeTx(child), 4, 44);  // remote write inside subtxn
-    EXPECT_EQ(app.End(child), Status::kOk);
-    EXPECT_EQ(app.End(parent), Status::kOk);
+    TxnScope parent(app);
+    TxnScope child(app, parent.id());
+    a2_->SetCell(child.tx(), 4, 44);  // remote write inside subtxn
+    EXPECT_EQ(child.Commit(), Status::kOk);
+    EXPECT_EQ(parent.Commit(), Status::kOk);
     app.Transaction([&](const server::Tx& tx) {
       EXPECT_EQ(a2_->GetCell(tx, 4).value(), 44);
       return Status::kOk;
@@ -283,6 +285,124 @@ TEST_F(TransactionTest, DescribeNodeListsComponents) {
   std::string desc = world_.DescribeNode(1);
   EXPECT_NE(desc.find("Transaction Manager"), std::string::npos);
   EXPECT_NE(desc.find("array1"), std::string::npos);
+}
+
+// --- the RAII / retry API ----------------------------------------------------
+
+TEST_F(TransactionTest, TxnScopeAutoAbortsOnEarlyReturn) {
+  world_.RunApp(1, [&](Application& app) {
+    TransactionId leaked = kNullTransaction;
+    [&] {
+      TxnScope t(app);
+      leaked = t.id();
+      a1_->SetCell(t.tx(), 9, 123);
+      return;  // early exit without Commit
+    }();
+    EXPECT_TRUE(app.TransactionIsAborted(leaked));
+    app.Transaction([&](const server::Tx& tx) {
+      EXPECT_EQ(a1_->GetCell(tx, 9).value(), 0);  // write rolled back
+      return Status::kOk;
+    });
+  });
+}
+
+TEST_F(TransactionTest, TxnScopeCommitSticks) {
+  world_.RunApp(1, [&](Application& app) {
+    {
+      TxnScope t(app);
+      a1_->SetCell(t.tx(), 10, 7);
+      EXPECT_EQ(t.Commit(), Status::kOk);
+    }  // dtor must NOT abort a committed scope
+    app.Transaction([&](const server::Tx& tx) {
+      EXPECT_EQ(a1_->GetCell(tx, 10).value(), 7);
+      return Status::kOk;
+    });
+  });
+}
+
+TEST_F(TransactionTest, TxnScopeMoveTransfersOwnership) {
+  world_.RunApp(1, [&](Application& app) {
+    TxnScope outer = [&] {
+      TxnScope inner(app);
+      a1_->SetCell(inner.tx(), 11, 5);
+      return inner;  // moved out; inner's dtor must not abort
+    }();
+    EXPECT_TRUE(outer.live());
+    EXPECT_EQ(outer.Commit(), Status::kOk);
+    app.Transaction([&](const server::Tx& tx) {
+      EXPECT_EQ(a1_->GetCell(tx, 11).value(), 5);
+      return Status::kOk;
+    });
+  });
+}
+
+TEST_F(TransactionTest, RunTransactionalSucceedsFirstAttempt) {
+  world_.RunApp(1, [&](Application& app) {
+    auto r = app.RunTransactional([&](const server::Tx& tx) {
+      return a1_->SetCell(tx, 12, 1);
+    });
+    EXPECT_TRUE(r.ok());
+    EXPECT_EQ(r.attempts, 1);
+  });
+}
+
+TEST_F(TransactionTest, RunTransactionalDoesNotRetryNonRetryable) {
+  world_.RunApp(1, [&](Application& app) {
+    auto r = app.RunTransactional([&](const server::Tx& tx) {
+      return a1_->SetCell(tx, 9999, 1) == Status::kOutOfRange
+                 ? Status::kNotFound  // surface a non-retryable failure
+                 : Status::kOk;
+    });
+    EXPECT_EQ(r.status, Status::kNotFound);
+    EXPECT_EQ(r.attempts, 1);
+  });
+}
+
+TEST_F(TransactionTest, RunTransactionalRetriesThroughLockTimeout) {
+  // A holder pins the lock long enough to time out the contender's first
+  // attempt, then commits; the contender's retry (after backoff) succeeds.
+  Application::RunResult result;
+  world_.SpawnApp(1, "holder", [&](Application& app) {
+    TxnScope t(app);
+    a1_->SetCell(t.tx(), 0, 1);
+    world_.scheduler().Charge(6'000'000);  // > the 5 s lock-wait timeout
+    world_.scheduler().Yield();
+    t.Commit();
+  });
+  world_.SpawnApp(1, "contender", [&](Application& app) {
+    Application::RetryPolicy policy;
+    policy.initial_backoff_us = 2'000'000;  // retry lands after the holder commits
+    result = app.RunTransactional(
+        [&](const server::Tx& tx) { return a1_->SetCell(tx, 0, 2); }, policy);
+  }, 1000);
+  EXPECT_EQ(world_.Drain(), 0);
+  EXPECT_EQ(result.status, Status::kOk);
+  EXPECT_GT(result.attempts, 1);
+  world_.RunApp(1, [&](Application& app) {
+    app.Transaction([&](const server::Tx& tx) {
+      EXPECT_EQ(a1_->GetCell(tx, 0).value(), 2);  // contender won in the end
+      return Status::kOk;
+    });
+  });
+}
+
+TEST_F(TransactionTest, RunTransactionalGivesUpAfterMaxAttempts) {
+  Application::RunResult result;
+  world_.RunApp(1, [&](Application& app) {
+    int bodies = 0;
+    Application::RetryPolicy policy;
+    policy.max_attempts = 3;
+    policy.initial_backoff_us = 1'000;
+    result = app.RunTransactional(
+        [&](const server::Tx&) {
+          ++bodies;
+          return Status::kVoteNo;  // always transiently failing
+        },
+        policy);
+    EXPECT_EQ(bodies, 3);
+  });
+  EXPECT_EQ(result.status, Status::kVoteNo);
+  EXPECT_EQ(result.attempts, 3);
 }
 
 }  // namespace
