@@ -1,0 +1,120 @@
+// Minimal JSON emission for machine-readable bench results.
+//
+// The benches print human-readable tables to stdout and, alongside them,
+// write BENCH_*.json files that CI archives and scripts can diff across
+// commits. The repo takes no third-party JSON dependency for this: the
+// writer below covers exactly what the benches need (objects, arrays,
+// numbers, strings, booleans) in a few dozen lines.
+
+#ifndef TABS_BENCH_BENCH_JSON_H_
+#define TABS_BENCH_BENCH_JSON_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+namespace tabs::bench {
+
+class JsonWriter {
+ public:
+  // `key` is required inside an object and must be null inside an array (or
+  // at the root).
+  void BeginObject(const char* key = nullptr) {
+    Prefix(key);
+    out_ += '{';
+    first_.push_back(1);
+  }
+  void EndObject() {
+    out_ += '}';
+    first_.pop_back();
+  }
+  void BeginArray(const char* key = nullptr) {
+    Prefix(key);
+    out_ += '[';
+    first_.push_back(1);
+  }
+  void EndArray() {
+    out_ += ']';
+    first_.pop_back();
+  }
+
+  void Number(const char* key, double v) {
+    Prefix(key);
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.6g", v);
+    out_ += buf;
+  }
+  void Number(const char* key, std::uint64_t v) {
+    Prefix(key);
+    out_ += std::to_string(v);
+  }
+  void Number(const char* key, int v) {
+    Prefix(key);
+    out_ += std::to_string(v);
+  }
+  void Bool(const char* key, bool v) {
+    Prefix(key);
+    out_ += v ? "true" : "false";
+  }
+  void String(const char* key, const std::string& v) {
+    Prefix(key);
+    out_ += '"';
+    for (char c : v) {
+      if (c == '"' || c == '\\') {
+        out_ += '\\';
+        out_ += c;
+      } else if (c == '\n') {
+        out_ += "\\n";
+      } else {
+        out_ += c;
+      }
+    }
+    out_ += '"';
+  }
+
+  const std::string& str() const { return out_; }
+
+  bool WriteFile(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      return false;
+    }
+    std::fwrite(out_.data(), 1, out_.size(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+    return true;
+  }
+
+ private:
+  void Prefix(const char* key) {
+    if (!first_.empty()) {
+      if (!first_.back()) {
+        out_ += ',';
+      }
+      first_.back() = 0;
+    }
+    if (key != nullptr) {
+      out_ += '"';
+      out_ += key;
+      out_ += "\":";
+    }
+  }
+
+  std::string out_;
+  std::vector<char> first_;
+};
+
+// Small-scale escape hatch for the CI bench-smoke job: with TABS_BENCH_SMOKE=1
+// in the environment, benches shrink their windows/iteration counts so the
+// whole run takes seconds. Results are still real (and deterministic), just
+// lower-resolution.
+inline bool SmokeMode() {
+  const char* e = std::getenv("TABS_BENCH_SMOKE");
+  return e != nullptr && e[0] == '1';
+}
+
+}  // namespace tabs::bench
+
+#endif  // TABS_BENCH_BENCH_JSON_H_

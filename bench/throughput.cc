@@ -12,16 +12,24 @@
 //   * remote writes  — each transaction updates a remote cell too, so
 //     clients overlap their waiting on each other and aggregate throughput
 //     exceeds a single client's.
+//
+// Alongside the tables, the bench writes BENCH_throughput.json with the same
+// numbers in machine-readable form (txn/s, forces per commit, synchronous
+// page write-backs on the fault path).
 
 #include <cstdio>
+#include <vector>
 
+#include "bench/bench_json.h"
+#include "src/kernel/page_cleaner.h"
 #include "src/servers/array_server.h"
 #include "src/tabs/world.h"
 
 namespace tabs {
 namespace {
 
-constexpr SimTime kWindow = 20'000'000;  // 20 virtual seconds
+// 20 virtual seconds, or 2 under TABS_BENCH_SMOKE=1 (the CI smoke job).
+const SimTime kWindow = bench::SmokeMode() ? 2'000'000 : 20'000'000;
 
 struct Outcome {
   int committed = 0;
@@ -71,10 +79,18 @@ Outcome Run(Workload workload, int clients) {
   return RunIn(world, workload, clients);
 }
 
+const char* WorkloadName(Workload w) {
+  switch (w) {
+    case Workload::kSpread: return "spread";
+    case Workload::kHotSpot: return "hot-spot";
+    default: return "remote";
+  }
+}
+
 // Group-commit sweep: spread writes, varying the batch window. Reports
 // committed transactions per virtual second and stable log forces per commit
 // (window 0 = the paper's per-transaction force).
-void GroupCommitSweep() {
+void GroupCommitSweep(bench::JsonWriter& json) {
   std::printf("\nGroup commit: spread writes, batch window sweep (%d s window)\n",
               static_cast<int>(kWindow / 1'000'000));
   std::printf("%-9s", "clients");
@@ -91,6 +107,7 @@ void GroupCommitSweep() {
   std::printf("\n%.105s\n",
               "-----------------------------------------------------------------"
               "----------------------------------------");
+  json.BeginArray("group_commit");
   for (int clients : {1, 8, 16}) {
     std::printf("%-9d", clients);
     for (SimTime window : {0, 500, 2'000, 10'000}) {
@@ -101,9 +118,17 @@ void GroupCommitSweep() {
       double forces_per_commit =
           out.committed > 0 ? world.metrics().forces_issued() / out.committed : 0.0;
       std::printf(" | %10.1f %-10.3f", out.per_second(), forces_per_commit);
+      json.BeginObject();
+      json.Number("clients", clients);
+      json.Number("window_us", static_cast<std::uint64_t>(window));
+      json.Number("txn_per_s", out.per_second());
+      json.Number("aborts", out.aborted);
+      json.Number("forces_per_commit", forces_per_commit);
+      json.EndObject();
     }
     std::printf("\n");
   }
+  json.EndArray();
   std::printf(
       "\nWith a nonzero window, concurrent committers share one stable write\n"
       "(forces/txn < 1) and stop queueing on the log spindle, so throughput\n"
@@ -111,7 +136,122 @@ void GroupCommitSweep() {
       "to one window of extra commit latency.\n");
 }
 
+// Page-cleaner sweep: a paging workload (hot set twice the buffer pool)
+// under a log-space budget, with the background cleaner off vs on. With the
+// cleaner off, every page write-back is synchronous — a fault evicts a dirty
+// frame, or reclamation flushes inside the triggering transaction. With it
+// on, the cleaner daemon writes dirty frames back between transactions in
+// elevator order and faults steal clean victims, so the synchronous
+// write-backs (fg-wr/txn) collapse and throughput holds or rises.
+struct CleanerCell {
+  int clients = 0;
+  bool cleaner = false;
+  Outcome out;
+  double fg_writes = 0;  // synchronous: fault-path evictions + reclamation
+  double bg_writes = 0;  // cleaner daemon
+  double forces_per_commit = 0;
+  std::uint64_t reclaims = 0;
+  std::uint64_t passes = 0;
+  double fg_per_txn() const {
+    return out.committed > 0 ? fg_writes / out.committed : 0.0;
+  }
+};
+
+CleanerCell RunCleanerCell(int clients, bool cleaner_on) {
+  constexpr std::uint32_t kCells = 16'384;  // 64 KiB = 128 pages
+  WorldOptions opt;
+  opt.log_space_budget = 16 * 1024;
+  opt.log_reclaim_watermark = 0.75;
+  if (cleaner_on) {
+    opt.page_clean_interval_us = 1'000;
+    opt.page_clean_batch = 32;
+  }
+  World world(1, opt);
+  // Pool of 32 frames against a 128-page hot set: every client's stride walks
+  // its own page range, so faults continuously evict.
+  auto* arr = world.AddServerOf<servers::ArrayServer>(1, "paged", kCells, size_t{32});
+  CleanerCell cell;
+  cell.clients = clients;
+  cell.cleaner = cleaner_on;
+  for (int c = 0; c < clients; ++c) {
+    world.SpawnApp(1, "client", [&, c, clients](Application& app) {
+      std::uint32_t span = kCells / static_cast<std::uint32_t>(clients);
+      std::uint32_t base = static_cast<std::uint32_t>(c) * span;
+      int i = 0;
+      while (world.scheduler().Now() < kWindow) {
+        Status s = app.Transaction([&](const server::Tx& tx) {
+          // 128 cells = one page per step: page-granular spread writes.
+          std::uint32_t cell_index =
+              base + static_cast<std::uint32_t>(i) * 128u % span;
+          return arr->SetCell(tx, cell_index, i);
+        });
+        ++i;
+        if (s == Status::kOk) {
+          ++cell.out.committed;
+        } else {
+          ++cell.out.aborted;
+        }
+      }
+    }, c * 1'000);
+  }
+  world.Drain();
+  cell.fg_writes = world.metrics().page_writes_foreground();
+  cell.bg_writes = world.metrics().page_writes_background();
+  cell.forces_per_commit = cell.out.committed > 0
+                               ? world.metrics().forces_issued() / cell.out.committed
+                               : 0.0;
+  cell.reclaims = static_cast<std::uint64_t>(world.rm(1).auto_reclaim_count());
+  cell.passes = world.page_cleaner(1).passes();
+  return cell;
+}
+
+void PageCleanerSweep(bench::JsonWriter& json) {
+  std::printf("\nPage cleaner: paged spread writes, 128-page hot set on a 32-frame pool,\n"
+              "16 KiB log budget (%d s window)\n",
+              static_cast<int>(kWindow / 1'000'000));
+  std::printf("%-9s | %-28s | %-38s\n", "", "cleaner off", "cleaner on");
+  std::printf("%-9s | %10s %9s %7s | %10s %9s %9s %7s\n", "clients", "txn/s",
+              "fg-wr/txn", "bg-wr", "txn/s", "fg-wr/txn", "bg-wr", "passes");
+  std::printf("%.84s\n",
+              "------------------------------------------------------------"
+              "------------------------");
+  json.BeginArray("page_cleaner");
+  for (int clients : {1, 8, 16}) {
+    CleanerCell off = RunCleanerCell(clients, false);
+    CleanerCell on = RunCleanerCell(clients, true);
+    std::printf("%-9d | %10.1f %9.3f %7.0f | %10.1f %9.3f %9.0f %7llu\n", clients,
+                off.out.per_second(), off.fg_per_txn(), off.bg_writes,
+                on.out.per_second(), on.fg_per_txn(), on.bg_writes,
+                static_cast<unsigned long long>(on.passes));
+    for (const CleanerCell& cell : {off, on}) {
+      json.BeginObject();
+      json.Number("clients", cell.clients);
+      json.Bool("cleaner", cell.cleaner);
+      json.Number("txn_per_s", cell.out.per_second());
+      json.Number("aborts", cell.out.aborted);
+      json.Number("forces_per_commit", cell.forces_per_commit);
+      json.Number("fault_path_page_writes", cell.fg_writes);
+      json.Number("fault_path_page_writes_per_txn", cell.fg_per_txn());
+      json.Number("background_page_writes", cell.bg_writes);
+      json.Number("auto_reclaims", cell.reclaims);
+      json.Number("cleaner_passes", cell.passes);
+      json.EndObject();
+    }
+  }
+  json.EndArray();
+  std::printf(
+      "\nWith the cleaner on, write-backs move off the fault path (fg-wr/txn) into\n"
+      "background elevator sweeps (bg-wr), faults steal clean victims, and the\n"
+      "fuzzy reclamation finds little left to flush.\n");
+}
+
 void Run() {
+  bench::JsonWriter json;
+  json.BeginObject();
+  json.String("bench", "throughput");
+  json.Number("window_virtual_us", static_cast<std::uint64_t>(kWindow));
+  json.Bool("smoke", bench::SmokeMode());
+
   std::printf("Throughput: committed transactions per virtual second (%d s window)\n",
               static_cast<int>(kWindow / 1'000'000));
   std::printf("%-9s | %-18s | %-18s | %-18s\n", "", "spread writes", "hot-spot writes",
@@ -120,6 +260,7 @@ void Run() {
               "txn/s", "aborts", "txn/s", "aborts");
   std::printf("%.72s\n",
               "------------------------------------------------------------------------");
+  json.BeginArray("workloads");
   for (int clients : {1, 2, 4, 8, 16}) {
     Outcome spread = Run(Workload::kSpread, clients);
     Outcome hot = Run(Workload::kHotSpot, clients);
@@ -127,13 +268,32 @@ void Run() {
     std::printf("%-9d | %10.1f %7d | %10.1f %7d | %10.1f %7d\n", clients,
                 spread.per_second(), spread.aborted, hot.per_second(), hot.aborted,
                 remote.per_second(), remote.aborted);
+    struct Pair {
+      Workload w;
+      const Outcome* o;
+    };
+    for (const Pair& p : {Pair{Workload::kSpread, &spread}, Pair{Workload::kHotSpot, &hot},
+                          Pair{Workload::kRemote, &remote}}) {
+      json.BeginObject();
+      json.String("workload", WorkloadName(p.w));
+      json.Number("clients", clients);
+      json.Number("txn_per_s", p.o->per_second());
+      json.Number("aborts", p.o->aborted);
+      json.EndObject();
+    }
   }
+  json.EndArray();
   std::printf(
       "\nSpread and hot-spot throughput coincide at one client and diverge with\n"
       "contention: exclusive hot-spot locks serialize (and eventually time out)\n"
       "while spread writes scale with available overlap. Distributed transactions\n"
       "let clients overlap each other's remote waits.\n");
-  GroupCommitSweep();
+  GroupCommitSweep(json);
+  PageCleanerSweep(json);
+  json.EndObject();
+  if (json.WriteFile("BENCH_throughput.json")) {
+    std::printf("\nwrote BENCH_throughput.json\n");
+  }
 }
 
 }  // namespace

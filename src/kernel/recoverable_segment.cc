@@ -43,27 +43,44 @@ RecoverableSegment::Frame& RecoverableSegment::FaultIn(PageNumber page) {
 
 void RecoverableSegment::EvictOne() {
   PageNumber victim = 0;
+  // Victim choice: least-recently-used unpinned frame. With clean-preferring
+  // eviction (the page cleaner's companion policy), clean frames outrank
+  // dirty ones so a fault steals without paying a write-back whenever the
+  // cleaner has kept one clean; within each class the order is still LRU.
+  bool victim_dirty = false;
   std::uint64_t best = UINT64_MAX;
   bool found = false;
   for (auto& [page, frame] : frames_) {
     if (frame.pin_count > 0) {
       continue;  // pinned pages are never stolen
     }
-    if (frame.lru_tick < best) {
+    bool better;
+    if (prefer_clean_eviction_ && found && victim_dirty != frame.dirty) {
+      better = victim_dirty && !frame.dirty;
+    } else {
+      better = frame.lru_tick < best;
+    }
+    if (!found || better) {
       best = frame.lru_tick;
       victim = page;
+      victim_dirty = frame.dirty;
       found = true;
     }
   }
-  assert(found && "buffer pool exhausted by pinned pages");
+  if (!found) {
+    throw BufferPoolExhausted("segment " + std::to_string(id_) + ": all " +
+                              std::to_string(frames_.size()) +
+                              " buffer frames are pinned; page fault cannot steal a victim");
+  }
   Frame& frame = frames_[victim];
   if (frame.dirty) {
-    WriteBack(victim, frame);
+    WriteBack(victim, frame, /*sequential=*/false, /*background=*/false);
   }
   frames_.erase(victim);
 }
 
-void RecoverableSegment::WriteBack(PageNumber page, Frame& frame) {
+void RecoverableSegment::WriteBack(PageNumber page, Frame& frame, bool sequential,
+                                   bool background) {
   std::uint64_t seqno = frame.last_lsn;
   if (hooks_ != nullptr) {
     // "The kernel does not write the page until it receives a message from
@@ -71,7 +88,8 @@ void RecoverableSegment::WriteBack(PageNumber page, Frame& frame) {
     // this page have been written to non-volatile storage." (§3.2.1)
     seqno = hooks_->BeforePageWrite({id_, page}, frame.last_lsn);
   }
-  disk_.WritePage({id_, page}, frame.data.data(), seqno);
+  disk_.WritePage({id_, page}, frame.data.data(), seqno, sequential);
+  substrate_.metrics().CountPageWrite(background);
   frame.dirty = false;
   frame.recovery_lsn = kNullLsn;
   if (hooks_ != nullptr) {
@@ -151,9 +169,48 @@ bool RecoverableSegment::IsPinned(PageNumber page) const {
 void RecoverableSegment::FlushAll() {
   for (auto& [page, frame] : frames_) {
     if (frame.dirty) {
-      WriteBack(page, frame);
+      WriteBack(page, frame, /*sequential=*/false, /*background=*/false);
     }
   }
+}
+
+std::vector<RecoverableSegment::CleanCandidate> RecoverableSegment::CleanCandidates() const {
+  std::vector<CleanCandidate> out;
+  for (const auto& [page, frame] : frames_) {
+    if (frame.dirty && frame.pin_count == 0) {
+      out.push_back({page, frame.recovery_lsn});
+    }
+  }
+  return out;
+}
+
+int RecoverableSegment::FlushPages(const std::vector<PageNumber>& pages, bool background,
+                                   bool write_pinned) {
+  int written = 0;
+  PageNumber prev = static_cast<PageNumber>(-2);
+  for (PageNumber page : pages) {
+    auto it = frames_.find(page);
+    if (it == frames_.end() || !it->second.dirty ||
+        (!write_pinned && it->second.pin_count > 0)) {
+      continue;  // evicted, already cleaned, or pinned since selection
+    }
+    // One elevator sweep: a write whose address continues the previous one
+    // contiguously needs no seek, exactly mirroring the sequential-read
+    // detection on the fault path.
+    bool sequential = page == prev + 1;
+    WriteBack(page, it->second, sequential, background);
+    prev = page;
+    ++written;
+  }
+  return written;
+}
+
+size_t RecoverableSegment::dirty_page_count() const {
+  size_t n = 0;
+  for (const auto& [page, frame] : frames_) {
+    n += frame.dirty ? 1 : 0;
+  }
+  return n;
 }
 
 std::map<PageNumber, Lsn> RecoverableSegment::DirtyPages() const {

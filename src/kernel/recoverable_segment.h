@@ -25,6 +25,7 @@
 #include <cstdint>
 #include <list>
 #include <map>
+#include <stdexcept>
 #include <vector>
 
 #include "src/common/bytes.h"
@@ -33,6 +34,14 @@
 #include "src/sim/substrate.h"
 
 namespace tabs::kernel {
+
+// Thrown by a page fault when every frame in the buffer pool is pinned: no
+// victim can be stolen, so the fault cannot be serviced. Pin discipline bugs
+// (a server pinning more pages than its pool holds) surface as this error
+// instead of silently evicting a pinned page.
+struct BufferPoolExhausted : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
 
 // The kernel→Recovery Manager half of the write-ahead-log protocol.
 class WriteAheadHooks {
@@ -91,6 +100,35 @@ class RecoverableSegment {
   // checkpoints that force pages, orderly shutdown).
   void FlushAll();
 
+  // --- page-cleaner support ---------------------------------------------------
+  // Dirty, unpinned frames (the cleaner's candidate set), in page order.
+  struct CleanCandidate {
+    PageNumber page;
+    Lsn recovery_lsn;  // first LSN that dirtied the page since clean
+  };
+  std::vector<CleanCandidate> CleanCandidates() const;
+
+  // Writes the given frames back through the WAL protocol without evicting
+  // them. `pages` must be sorted ascending (one elevator sweep): a page whose
+  // disk address continues the sweep contiguously is charged the cheaper
+  // sequential-write primitive. Frames that are no longer dirty or were
+  // evicted are skipped; pinned frames are skipped too unless `write_pinned`
+  // — writing (not stealing) a pinned frame is safe because frames only ever
+  // hold logged modifications, and reclamation needs it (the triggering
+  // update's own page is pinned while it reclaims). `background` marks the
+  // write-backs as cleaner work in the metrics (foreground = a transaction
+  // paid synchronously). Returns the number of pages written.
+  int FlushPages(const std::vector<PageNumber>& pages, bool background,
+                 bool write_pinned = false);
+
+  // Eviction policy: with `prefer_clean` set, a page fault steals the
+  // least-recently-used *clean* frame and falls back to dirty frames only
+  // when no clean one is unpinned — the payoff of background cleaning. Off
+  // (the default) keeps the paper-faithful pure-LRU choice.
+  void set_prefer_clean_eviction(bool prefer_clean) { prefer_clean_eviction_ = prefer_clean; }
+
+  size_t dirty_page_count() const;
+
   // Dirty-page table for checkpoints: page -> recovery LSN (first LSN that
   // dirtied it since clean).
   std::map<PageNumber, Lsn> DirtyPages() const;
@@ -113,7 +151,7 @@ class RecoverableSegment {
 
   Frame& FaultIn(PageNumber page);
   void EvictOne();
-  void WriteBack(PageNumber page, Frame& frame);
+  void WriteBack(PageNumber page, Frame& frame, bool sequential, bool background);
   void CheckBounds(const ObjectId& oid) const;
 
   sim::Substrate& substrate_;
@@ -126,6 +164,7 @@ class RecoverableSegment {
   std::uint64_t lru_clock_ = 0;
   std::uint64_t faults_ = 0;
   PageNumber last_faulted_ = static_cast<PageNumber>(-2);
+  bool prefer_clean_eviction_ = false;
 };
 
 }  // namespace tabs::kernel

@@ -54,11 +54,34 @@ Lsn RecoveryManager::TakeCheckpoint(const std::vector<ActiveTxn>& active) {
   return lsn;
 }
 
-void RecoveryManager::Reclaim(const std::vector<ActiveTxn>& active) {
-  // Force every dirty page out: with clean segments, only active
-  // transactions pin log space.
+void RecoveryManager::ReclaimTo(const std::vector<ActiveTxn>& active,
+                                std::uint64_t target_retained_bytes) {
+  // The checkpoint is fuzzy: segments need not be clean. Only pages whose
+  // recovery LSNs would hold the low-water mark below the target get
+  // flushed — oldest dirt first, and only that dirt. LSNs are 1 + the byte
+  // offset in the log stream, so "retain at most N bytes" translates
+  // directly into the lowest LSN allowed to stay pinned.
+  Lsn target_low;
+  if (target_retained_bytes == 0 || log_.last_lsn() <= target_retained_bytes) {
+    target_low = log_.last_lsn() + 1;  // reclaim everything reclaimable
+  } else {
+    target_low = log_.last_lsn() - target_retained_bytes;
+  }
   for (auto& [name, seg] : segments_) {
-    seg->FlushAll();
+    // One elevator sweep per segment: ascending disk addresses, so
+    // contiguous dirty runs go out as cheap sequential writes. Pinned pages
+    // are written too (not stolen): reclamation often fires from inside the
+    // very update whose page is pinned, and frames only ever hold logged
+    // modifications, so the WAL gate alone orders the write.
+    std::vector<PageNumber> sweep;
+    for (const auto& [page, rec_lsn] : seg->DirtyPages()) {
+      if (rec_lsn < target_low) {
+        sweep.push_back(page);
+      }
+    }
+    // DirtyPages is page-ordered already; the reclamation flushes are
+    // foreground work — the triggering transaction waits.
+    seg->FlushPages(sweep, /*background=*/false, /*write_pinned=*/true);
   }
   Lsn checkpoint_lsn = TakeCheckpoint(active);
 
@@ -66,6 +89,13 @@ void RecoveryManager::Reclaim(const std::vector<ActiveTxn>& active) {
   for (const ActiveTxn& t : active) {
     if (t.first_lsn != kNullLsn) {
       low = std::min(low, t.first_lsn);
+    }
+  }
+  // Fuzzy checkpoint: every page still dirty pins the log at its recovery
+  // LSN (its committed contents may exist only as log records above it).
+  for (auto& [name, seg] : segments_) {
+    for (const auto& [page, rec_lsn] : seg->DirtyPages()) {
+      low = std::min(low, rec_lsn);
     }
   }
   // Media recovery needs the log from the last archive dump onward.

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "src/kernel/page_cleaner.h"
+
 namespace tabs::recovery {
 
 using log::LogRecord;
@@ -15,6 +17,12 @@ void RecoveryManager::RegisterSegment(const std::string& server,
                                       kernel::RecoverableSegment* segment) {
   segments_[server] = segment;
   segment->SetHooks(this);
+  if (cleaner_ != nullptr && cleaner_->enabled()) {
+    cleaner_->AddSegment(segment);
+    // The cleaner keeps clean frames available; make eviction prefer them so
+    // page faults stop paying synchronous write-backs.
+    segment->set_prefer_clean_eviction(true);
+  }
 }
 
 void RecoveryManager::RegisterOperationHooks(const std::string& server, OperationHooks hooks) {
@@ -22,6 +30,10 @@ void RecoveryManager::RegisterOperationHooks(const std::string& server, Operatio
 }
 
 void RecoveryManager::UnregisterServer(const std::string& server) {
+  auto it = segments_.find(server);
+  if (it != segments_.end() && cleaner_ != nullptr) {
+    cleaner_->RemoveSegment(it->second);
+  }
   segments_.erase(server);
   op_hooks_.erase(server);
 }
@@ -67,11 +79,16 @@ void RecoveryManager::MaybeAutoReclaim() {
     return;
   }
   std::uint64_t in_use = log_.StableBytesInUse() + (log_.last_lsn() - log_.durable_lsn());
-  if (in_use < log_budget_bytes_) {
+  std::uint64_t trigger =
+      static_cast<std::uint64_t>(static_cast<double>(log_budget_bytes_) * reclaim_watermark_);
+  if (in_use < trigger) {
     return;
   }
   reclaiming_ = true;  // Reclaim itself appends records; don't recurse
-  Reclaim(active_source_());
+  // Incremental: reclaim down to half the budget instead of flushing every
+  // segment clean — the pages whose recovery LSNs sit above the target keep
+  // their dirt (the background cleaner will get to them).
+  ReclaimTo(active_source_(), log_budget_bytes_ / 2);
   reclaiming_ = false;
   ++auto_reclaims_;
 }
@@ -192,6 +209,9 @@ void RecoveryManager::OnFirstDirty(PageId page, Lsn recovery_lsn) {
   // modified for the first time". Its message cost is folded into the
   // write-back bundle charged by BeforePageWrite (the paper's counts bill
   // the WAL messages where the transaction actually waits for paging).
+  if (cleaner_ != nullptr) {
+    cleaner_->NotifyDirty();
+  }
 }
 
 std::uint64_t RecoveryManager::BeforePageWrite(PageId page, Lsn last_lsn) {

@@ -30,6 +30,10 @@
 #include "src/kernel/recoverable_segment.h"
 #include "src/log/log_manager.h"
 
+namespace tabs::kernel {
+class PageCleaner;
+}
+
 namespace tabs::recovery {
 
 // How the analysis pass classifies a top-level transaction.
@@ -96,6 +100,13 @@ class RecoveryManager : public kernel::WriteAheadHooks {
   void UnregisterServer(const std::string& server);
   kernel::RecoverableSegment* SegmentOf(const std::string& server) const;
 
+  // Attaches the node's background page cleaner. Registered segments are
+  // added to the cleaner (and switched to clean-frame-preferring eviction),
+  // and the kernel's first-dirty notifications arm it. Call before servers
+  // register; a null (or disabled) cleaner leaves the paper-faithful
+  // demand-only write-back behaviour untouched.
+  void SetPageCleaner(kernel::PageCleaner* cleaner) { cleaner_ = cleaner; }
+
   // --- forward processing ---------------------------------------------------
   // Appends a value record (old/new images ≤ one page) and applies the new
   // value to the segment under the record's LSN. The covered pages must be
@@ -138,19 +149,29 @@ class RecoveryManager : public kernel::WriteAheadHooks {
   // restart point. Returns the checkpoint's LSN.
   Lsn TakeCheckpoint(const std::vector<ActiveTxn>& active);
 
-  // Log-space reclamation: forces dirty pages out (which may write pages
-  // "before they would otherwise be written", Section 3.2.2), checkpoints,
-  // and truncates the stable log below the new low-water mark.
-  void Reclaim(const std::vector<ActiveTxn>& active);
+  // Log-space reclamation with a *fuzzy* checkpoint: flushes only the dirty
+  // pages whose recovery LSNs actually pin the log below the target (oldest
+  // first, elevator-ordered — which may still write pages "before they would
+  // otherwise be written", Section 3.2.2), checkpoints, and truncates the
+  // stable log below the new low-water mark. The mark honours every
+  // remaining dirty page's recovery LSN, so segments never need to be fully
+  // clean. `target_retained_bytes` is how much log may remain retained; 0
+  // reclaims everything reclaimable (every dirty unpinned page is flushed —
+  // the behaviour of explicit Reclaim calls).
+  void Reclaim(const std::vector<ActiveTxn>& active) { ReclaimTo(active, 0); }
+  void ReclaimTo(const std::vector<ActiveTxn>& active, std::uint64_t target_retained_bytes);
 
-  // Automatic reclamation: when the retained log grows past `budget_bytes`,
-  // the next update triggers Reclaim ("when the system is close to running
-  // out of log space", Section 3.2.2). The source callback supplies the
-  // Transaction Manager's active-transaction table. 0 disables.
+  // Automatic reclamation: when the retained log grows past the watermark
+  // fraction of `budget_bytes`, the next update triggers an incremental
+  // ReclaimTo aiming at half the budget ("when the system is close to
+  // running out of log space", Section 3.2.2). The source callback supplies
+  // the Transaction Manager's active-transaction table. 0 disables.
   void SetLogSpaceBudget(std::uint64_t budget_bytes,
-                         std::function<std::vector<ActiveTxn>()> active_source) {
+                         std::function<std::vector<ActiveTxn>()> active_source,
+                         double watermark = 1.0) {
     log_budget_bytes_ = budget_bytes;
     active_source_ = std::move(active_source);
+    reclaim_watermark_ = watermark;
   }
   int auto_reclaim_count() const { return auto_reclaims_; }
 
@@ -205,9 +226,11 @@ class RecoveryManager : public kernel::WriteAheadHooks {
   log::LogManager log_;
   std::map<std::string, kernel::RecoverableSegment*> segments_;
   std::map<std::string, OperationHooks> op_hooks_;
+  kernel::PageCleaner* cleaner_ = nullptr;
   // Volatile per-(sub)transaction undo lists (normal-operation abort).
   std::unordered_map<TransactionId, std::vector<Lsn>> undo_lists_;
   std::uint64_t log_budget_bytes_ = 0;
+  double reclaim_watermark_ = 1.0;
   std::function<std::vector<ActiveTxn>()> active_source_;
   int auto_reclaims_ = 0;
   bool reclaiming_ = false;

@@ -22,6 +22,8 @@ const char* PrimitiveName(Primitive p) {
       return "Sequential Read";
     case Primitive::kStableWrite:
       return "Stable Storage Write";
+    case Primitive::kSequentialWrite:
+      return "Sequential Write";
     case Primitive::kCount:
       break;
   }
@@ -39,6 +41,9 @@ CostModel CostModel::Baseline() {
   m.Of(Primitive::kRandomPageIo) = 32000;
   m.Of(Primitive::kSequentialRead) = 16000;
   m.Of(Primitive::kStableWrite) = 79000;
+  // No seek: a write in an elevator sweep pays only what a sequential read
+  // pays on the same arm (transfer + rotational latency).
+  m.Of(Primitive::kSequentialWrite) = 16000;
   return m;
 }
 
@@ -53,6 +58,7 @@ CostModel CostModel::Achievable() {
   m.Of(Primitive::kRandomPageIo) = 32000;           // disk-bound already
   m.Of(Primitive::kSequentialRead) = 10000;
   m.Of(Primitive::kStableWrite) = 32000;
+  m.Of(Primitive::kSequentialWrite) = 10000;
   return m;
 }
 

@@ -23,6 +23,11 @@
 
 namespace tabs::sim {
 
+// The paper's nine primitives, plus kSequentialWrite — an extension beyond
+// Table 5-1 used by the background page cleaner: a data-page write whose disk
+// address continues an elevator-ordered sweep, so the arm does not seek. It
+// is never charged on the paper-faithful paths (all demand write-backs remain
+// random-access), which keeps every regenerated table byte-identical.
 enum class Primitive {
   kDataServerCall = 0,       // local RPC application -> data server
   kInterNodeDataServerCall,  // session-based remote RPC
@@ -33,6 +38,7 @@ enum class Primitive {
   kRandomPageIo,             // demand-paged random read or read/write pair
   kSequentialRead,           // demand-paged sequential read
   kStableWrite,              // force one page of log data to the log device
+  kSequentialWrite,          // elevator-ordered write-back, no seek (extension)
   kCount,
 };
 

@@ -72,12 +72,26 @@ class Metrics {
   double forces_issued() const { return forces_issued_; }
   double forces_absorbed() const { return forces_absorbed_; }
 
+  // Data-page write-back accounting for the page cleaner. A write-back is
+  // *foreground* when a transaction pays for it synchronously (eviction on a
+  // page fault, reclamation's flushes inside the triggering update) and
+  // *background* when the cleaner daemon performed it between transactions.
+  // Like the force counters these are not Primitives: the paper tables keep
+  // their shape.
+  void CountPageWrite(bool background) {
+    ++(background ? page_writes_background_ : page_writes_foreground_);
+  }
+  double page_writes_foreground() const { return page_writes_foreground_; }
+  double page_writes_background() const { return page_writes_background_; }
+
   void Reset() {
     buckets_[0] = {};
     buckets_[1] = {};
     phase_ = Phase::kPreCommit;
     forces_issued_ = 0;
     forces_absorbed_ = 0;
+    page_writes_foreground_ = 0;
+    page_writes_background_ = 0;
   }
 
  private:
@@ -85,6 +99,8 @@ class Metrics {
   Phase phase_ = Phase::kPreCommit;
   double forces_issued_ = 0;
   double forces_absorbed_ = 0;
+  double page_writes_foreground_ = 0;
+  double page_writes_background_ = 0;
 };
 
 // RAII phase scope used by the Transaction Manager around commit processing.

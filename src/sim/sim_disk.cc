@@ -31,8 +31,9 @@ std::uint64_t SimDisk::ReadPage(PageId page, std::uint8_t* out, bool sequential)
   return p.sequence_number;
 }
 
-void SimDisk::WritePage(PageId page, const std::uint8_t* data, std::uint64_t sequence_number) {
-  substrate_.Charge(Primitive::kRandomPageIo);
+void SimDisk::WritePage(PageId page, const std::uint8_t* data, std::uint64_t sequence_number,
+                        bool sequential) {
+  substrate_.Charge(sequential ? Primitive::kSequentialWrite : Primitive::kRandomPageIo);
   DiskPage& p = PageRef(page);
   std::memcpy(p.data.data(), data, kPageSize);
   p.sequence_number = sequence_number;

@@ -43,10 +43,13 @@ class SimDisk {
   // cheaper sequential-read primitive. Returns the page's sequence number.
   std::uint64_t ReadPage(PageId page, std::uint8_t* out, bool sequential);
 
-  // Writes a page together with its new header sequence number. All writes
-  // are random-access in the prototype (the single disk interleaves log
-  // forces between data writes, Section 5.1).
-  void WritePage(PageId page, const std::uint8_t* data, std::uint64_t sequence_number);
+  // Writes a page together with its new header sequence number. `sequential`
+  // selects the cheaper sequential-write primitive (the page continues an
+  // elevator-ordered sweep, so the arm does not seek); demand write-backs
+  // pass false at their call sites — those writes are still random-access,
+  // as the single disk interleaves log forces between them (Section 5.1).
+  void WritePage(PageId page, const std::uint8_t* data, std::uint64_t sequence_number,
+                 bool sequential = false);
 
   // Reads just the header sequence number (used by crash recovery; charged
   // as a random page I/O since it requires a seek).

@@ -3,6 +3,7 @@
 #include <cassert>
 #include <sstream>
 
+#include "src/kernel/page_cleaner.h"
 #include "src/log/group_commit.h"
 
 namespace tabs {
@@ -37,10 +38,15 @@ txn::TransactionManager& World::tm(NodeId id) { return *runtime(id).tm; }
 comm::CommManager& World::cm(NodeId id) { return *runtime(id).cm; }
 name::NameServer& World::names(NodeId id) { return *runtime(id).ns; }
 log::GroupCommit& World::group_commit(NodeId id) { return *runtime(id).gc; }
+kernel::PageCleaner& World::page_cleaner(NodeId id) { return *runtime(id).cleaner; }
 
 void World::BuildRuntime(NodeId id) {
   Runtime rt;
+  rt.cleaner = std::make_unique<kernel::PageCleaner>(
+      *substrate_, id,
+      kernel::PageCleanerOptions{options_.page_clean_interval_us, options_.page_clean_batch});
   rt.rm = std::make_unique<recovery::RecoveryManager>(node(id));
+  rt.rm->SetPageCleaner(rt.cleaner.get());
   rt.cm = std::make_unique<comm::CommManager>(id, *network_);
   rt.tm = std::make_unique<txn::TransactionManager>(node(id), *rt.rm, *rt.cm);
   rt.ns = std::make_unique<name::NameServer>(*rt.cm);
@@ -52,7 +58,8 @@ void World::BuildRuntime(NodeId id) {
   if (options_.log_space_budget > 0) {
     txn::TransactionManager* tm = rt.tm.get();
     rt.rm->SetLogSpaceBudget(options_.log_space_budget,
-                             [tm] { return tm->ActiveTransactions(); });
+                             [tm] { return tm->ActiveTransactions(); },
+                             options_.log_reclaim_watermark);
   }
   runtimes_[id] = std::move(rt);
 }

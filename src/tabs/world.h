@@ -33,6 +33,9 @@ namespace tabs {
 namespace log {
 class GroupCommit;
 }
+namespace kernel {
+class PageCleaner;
+}
 
 struct WorldOptions {
   sim::CostModel costs = sim::CostModel::Baseline();
@@ -40,6 +43,11 @@ struct WorldOptions {
   // Per-node retained-log budget: the Recovery Manager reclaims log space
   // automatically when exceeded (Section 3.2.2). 0 disables.
   std::uint64_t log_space_budget = 0;
+  // Fraction of the budget at which automatic reclamation fires. Reclamation
+  // is incremental (fuzzy checkpoint): it flushes only the pages pinning the
+  // log tail and aims at half the budget, so a lower watermark trades more
+  // frequent, smaller reclamations for flatter commit-latency tails.
+  double log_reclaim_watermark = 1.0;
   // TM-driven periodic checkpoints, virtual time between them. 0 disables.
   SimTime checkpoint_interval = 0;
   // Group commit: committing (and preparing) transactions batch their log
@@ -49,6 +57,15 @@ struct WorldOptions {
   SimTime group_commit_window_us = 0;
   // A batch flushes early when it reaches this many members.
   int group_commit_max_batch = 32;
+  // Background page cleaning: a per-node daemon writes dirty unpinned frames
+  // back between transactions — oldest recovery LSN first, elevator-ordered
+  // by disk address — so page faults find clean victims and reclamation
+  // finds little to flush. Virtual time between cleaning passes; 0 (the
+  // default) disables the daemon and keeps every demand write-back on the
+  // faulting transaction's path, exactly as the paper measures it.
+  SimTime page_clean_interval_us = 0;
+  // Pages written per cleaning pass (one elevator sweep).
+  int page_clean_batch = 16;
 };
 
 class World {
@@ -74,6 +91,7 @@ class World {
   comm::CommManager& cm(NodeId id);
   name::NameServer& names(NodeId id);
   log::GroupCommit& group_commit(NodeId id);
+  kernel::PageCleaner& page_cleaner(NodeId id);
   bool NodeAlive(NodeId id) const { return network_->IsAlive(id); }
 
   // --- data servers ---------------------------------------------------------------
@@ -158,6 +176,9 @@ class World {
 
  private:
   struct Runtime {
+    // Declared before rm: rm holds a raw pointer to it (registration calls
+    // during teardown must find it alive).
+    std::unique_ptr<kernel::PageCleaner> cleaner;
     std::unique_ptr<recovery::RecoveryManager> rm;
     std::unique_ptr<comm::CommManager> cm;
     std::unique_ptr<txn::TransactionManager> tm;

@@ -180,6 +180,102 @@ TEST_F(SegmentTest, FlushAllStampsSequenceNumbers) {
   EXPECT_EQ(disk_.PeekPage({1, 0}).data[2], 3);
 }
 
+TEST_F(SegmentTest, AllFramesPinnedThrowsBufferPoolExhausted) {
+  // Regression: a pin-discipline bug (pinning more pages than the pool
+  // holds) used to die on an assert; it must surface as a typed error and
+  // leave the pinned frames intact.
+  RecoverableSegment seg(substrate_, disk_, 1, 8, 2);
+  RunInTask([&] {
+    ObjectId a{1, 0, 4}, b{1, kPageSize, 4};
+    seg.Pin(a);
+    seg.Pin(b);  // the whole two-frame pool is now pinned
+    EXPECT_THROW(seg.Read({1, 2 * kPageSize, 1}), BufferPoolExhausted);
+    EXPECT_TRUE(seg.IsPinned(0));
+    EXPECT_TRUE(seg.IsPinned(1));
+    seg.Unpin(a);  // one frame released: the same fault now succeeds
+    seg.Read({1, 2 * kPageSize, 1});
+    seg.Unpin(b);
+  });
+}
+
+TEST_F(SegmentTest, CleanPreferringEvictionStealsCleanFrameFirst) {
+  RecoverableSegment seg(substrate_, disk_, 1, 8, 2);
+  seg.set_prefer_clean_eviction(true);
+  RecordingHooks hooks;
+  seg.SetHooks(&hooks);
+  RunInTask([&] {
+    ObjectId dirty{1, 0, 4};
+    seg.Pin(dirty);
+    seg.Write(dirty, Bytes{1, 2, 3, 4}, 5);
+    seg.Unpin(dirty);            // page 0: dirty and LRU-oldest
+    seg.Read({1, kPageSize, 1});  // page 1: clean, more recently used
+    // Pure LRU would evict dirty page 0 and pay a write-back; the
+    // clean-preferring policy steals clean page 1 instead.
+    seg.Read({1, 2 * kPageSize, 1});
+    EXPECT_TRUE(hooks.before_write.empty());
+    auto dirty_pages = seg.DirtyPages();
+    ASSERT_EQ(dirty_pages.size(), 1u);
+    EXPECT_EQ(dirty_pages.count(0), 1u);  // page 0 still resident, still dirty
+  });
+}
+
+TEST_F(SegmentTest, FlushPagesElevatorSweepChargesSequentialWrites) {
+  RecoverableSegment seg(substrate_, disk_, 1, 8, 8);
+  RunInTask([&] {
+    for (PageNumber p : {0u, 1u, 2u, 4u}) {
+      ObjectId oid{1, p * kPageSize, 4};
+      seg.Pin(oid);
+      seg.Write(oid, Bytes{1, 1, 1, 1}, 10 + p);
+      seg.Unpin(oid);
+    }
+    EXPECT_EQ(seg.FlushPages({0, 1, 2, 4}, /*background=*/true), 4);
+    EXPECT_TRUE(seg.DirtyPages().empty());
+    EXPECT_EQ(seg.resident_pages(), 4u);  // cleaned in place, not evicted
+  });
+  // Page 0 seeks, pages 1 and 2 continue the sweep, page 4 seeks again.
+  const auto counts = substrate_.metrics().Total();
+  EXPECT_EQ(counts.Of(Primitive::kSequentialWrite), 2.0);
+  EXPECT_EQ(substrate_.metrics().page_writes_background(), 4.0);
+  EXPECT_EQ(substrate_.metrics().page_writes_foreground(), 0.0);
+}
+
+TEST_F(SegmentTest, FlushPagesSkipsPinnedUnlessAsked) {
+  RecoverableSegment seg(substrate_, disk_, 1, 8, 4);
+  RunInTask([&] {
+    ObjectId a{1, 0, 4};
+    seg.Pin(a);
+    seg.Write(a, Bytes{7, 7, 7, 7}, 9);
+    // The background cleaner skips pinned frames entirely...
+    EXPECT_TRUE(seg.CleanCandidates().empty());
+    EXPECT_EQ(seg.FlushPages({0}, /*background=*/true), 0);
+    EXPECT_EQ(disk_.PeekPage({1, 0}).data[0], 0);
+    // ...while reclamation writes (but does not steal) the pinned frame.
+    EXPECT_EQ(seg.FlushPages({0}, /*background=*/false, /*write_pinned=*/true), 1);
+    EXPECT_EQ(disk_.PeekPage({1, 0}).data[0], 7);
+    EXPECT_TRUE(seg.IsPinned(0));
+    EXPECT_TRUE(seg.DirtyPages().empty());
+    seg.Unpin(a);
+  });
+}
+
+TEST_F(SegmentTest, CleanCandidatesAreDirtyUnpinnedFrames) {
+  RecoverableSegment seg(substrate_, disk_, 1, 8, 4);
+  RunInTask([&] {
+    ObjectId a{1, 0, 4}, b{1, kPageSize, 4};
+    seg.Pin(a);
+    seg.Pin(b);
+    seg.Write(a, Bytes{1, 0, 0, 0}, 11);
+    seg.Write(b, Bytes{2, 0, 0, 0}, 22);
+    seg.Unpin(a);
+    seg.Read({1, 2 * kPageSize, 1});  // page 2: resident but clean
+    auto candidates = seg.CleanCandidates();
+    ASSERT_EQ(candidates.size(), 1u);  // only page 0: dirty AND unpinned
+    EXPECT_EQ(candidates[0].page, 0u);
+    EXPECT_EQ(candidates[0].recovery_lsn, 11u);
+    seg.Unpin(b);
+  });
+}
+
 TEST_F(SegmentTest, LargeArrayScanStaysWithinBufferBudget) {
   // The paging benchmark shape: an array 3x larger than the pool.
   constexpr PageNumber kPages = 96;

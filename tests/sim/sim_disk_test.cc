@@ -65,6 +65,24 @@ TEST_F(SimDiskTest, ChargesRandomVsSequentialCosts) {
   });
 }
 
+TEST_F(SimDiskTest, SequentialWritesChargeTheCheaperPrimitive) {
+  disk_.EnsureSegment(1, 3);
+  RunInTask([&] {
+    std::uint8_t buf[kPageSize] = {};
+    SimTime t0 = sched_.Now();
+    disk_.WritePage({1, 0}, buf, 1, /*sequential=*/false);
+    SimTime random_cost = sched_.Now() - t0;
+    t0 = sched_.Now();
+    disk_.WritePage({1, 1}, buf, 2, /*sequential=*/true);
+    SimTime seq_cost = sched_.Now() - t0;
+    EXPECT_EQ(random_cost, CostModel::Baseline().Of(Primitive::kRandomPageIo));
+    EXPECT_EQ(seq_cost, CostModel::Baseline().Of(Primitive::kSequentialWrite));
+  });
+  const auto counts = substrate_.metrics().Total();
+  EXPECT_EQ(counts.Of(Primitive::kRandomPageIo), 1.0);
+  EXPECT_EQ(counts.Of(Primitive::kSequentialWrite), 1.0);
+}
+
 TEST_F(SimDiskTest, CountsPrimitives) {
   disk_.EnsureSegment(1, 2);
   RunInTask([&] {
