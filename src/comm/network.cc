@@ -20,20 +20,52 @@ bool Network::Reachable(NodeId from, NodeId to) const {
   return !partitions_.contains(std::minmax(from, to));
 }
 
+void Network::SetDatagramFaults(const DatagramFaults& faults) {
+  datagram_faults_ = faults;
+  datagram_faults_enabled_ =
+      faults.duplicate_probability > 0 || faults.jitter_probability > 0;
+  fault_rng_.seed(faults.seed);
+}
+
 void Network::SendDatagram(NodeId from, NodeId to, std::string what,
                            std::function<void()> handler) {
   sim::Scheduler& sched = substrate_.scheduler();
   substrate_.metrics().Count(sim::Primitive::kDatagram);
-  if (!Reachable(from, to) || (drop_ && drop_(from, to))) {
+  if (!Reachable(from, to)) {
     return;  // silently lost, as datagrams are
   }
+  if (drop_ && drop_(from, to)) {
+    substrate_.metrics().CountFault(sim::FaultKind::kDatagramDrop);
+    return;
+  }
   SimTime arrival = sched.Now() + substrate_.CostOf(sim::Primitive::kDatagram);
-  sched.Spawn(std::move(what), to, arrival, [this, to, handler = std::move(handler)] {
-    if (!IsAlive(to)) {
-      return;
+  int deliveries = 1;
+  if (datagram_faults_enabled_) {
+    std::uniform_real_distribution<double> roll(0.0, 1.0);
+    if (roll(fault_rng_) < datagram_faults_.jitter_probability) {
+      // Bounded extra transit: a jittered datagram can arrive after one sent
+      // later, which is exactly the reordering 2PC must tolerate.
+      arrival += std::uniform_int_distribution<std::int64_t>(
+          1, datagram_faults_.max_jitter_us)(fault_rng_);
+      substrate_.metrics().CountFault(sim::FaultKind::kDatagramJitter);
     }
-    handler();
-  });
+    if (roll(fault_rng_) < datagram_faults_.duplicate_probability) {
+      deliveries = 2;
+      substrate_.metrics().CountFault(sim::FaultKind::kDatagramDuplicate);
+    }
+  }
+  for (int d = 0; d < deliveries; ++d) {
+    // A duplicate trails the original by one datagram time (at-most-once is
+    // the session layer's property, not the datagram layer's: 2PC handlers
+    // must be — and are — idempotent against redelivery).
+    SimTime when = arrival + d * substrate_.CostOf(sim::Primitive::kDatagram);
+    sched.Spawn(what, to, when, [this, to, handler] {
+      if (!IsAlive(to)) {
+        return;
+      }
+      handler();
+    });
+  }
 }
 
 void Network::Broadcast(NodeId from, std::string what, std::function<void(NodeId)> handler) {

@@ -26,6 +26,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <random>
 #include <set>
 #include <string>
 
@@ -60,6 +61,28 @@ class Network {
     drop_ = std::move(drop);
   }
 
+  // Loss filter for session traffic (establishment and sends): a dropped
+  // session call surfaces to the caller as kNodeDown — the session layer's
+  // at-most-once machinery detects the break and gives up, rather than the
+  // silent loss datagrams get. Cleared by passing {}.
+  void SetSessionLoss(std::function<bool(NodeId from, NodeId to)> drop) {
+    session_drop_ = std::move(drop);
+  }
+
+  // Seeded datagram-level faults: each send independently rolls for
+  // duplication (a second delivery of the same handler) and for bounded
+  // delay jitter (which reorders datagrams relative to program order, since
+  // an early send can arrive after a later one). Deterministic: one RNG,
+  // consumed in send order, which the scheduler fixes per seed. Disabled by
+  // default and by `SetDatagramFaults({})`.
+  struct DatagramFaults {
+    std::uint64_t seed = 0;
+    double duplicate_probability = 0;
+    double jitter_probability = 0;
+    SimTime max_jitter_us = 0;
+  };
+  void SetDatagramFaults(const DatagramFaults& faults);
+
   // --- session RPC ----------------------------------------------------------
   // Runs `handler` on node `to` and returns its value. Charges one inter-node
   // data-server-call primitive split across the two transits. R must be
@@ -71,6 +94,13 @@ class Network {
     if (!Reachable(from, to)) {
       // Permanent communication failure detected by the session layer.
       substrate_.Charge(sim::Primitive::kInterNodeDataServerCall);
+      return Status::kNodeDown;
+    }
+    if (session_drop_ && session_drop_(from, to)) {
+      // Injected loss on the session: establishment/send fails and the
+      // at-most-once session layer reports the broken session to the caller.
+      substrate_.Charge(sim::Primitive::kInterNodeDataServerCall);
+      substrate_.metrics().CountFault(sim::FaultKind::kSessionDrop);
       return Status::kNodeDown;
     }
     substrate_.metrics().Count(sim::Primitive::kInterNodeDataServerCall);
@@ -114,6 +144,10 @@ class Network {
   std::set<NodeId> alive_;
   std::set<std::pair<NodeId, NodeId>> partitions_;  // normalized (min,max)
   std::function<bool(NodeId, NodeId)> drop_;
+  std::function<bool(NodeId, NodeId)> session_drop_;
+  DatagramFaults datagram_faults_;
+  bool datagram_faults_enabled_ = false;
+  std::mt19937_64 fault_rng_;
 };
 
 }  // namespace tabs::comm

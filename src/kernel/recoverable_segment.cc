@@ -3,6 +3,8 @@
 #include <cassert>
 #include <cstring>
 
+#include "src/sim/fault_injector.h"
+
 namespace tabs::kernel {
 
 RecoverableSegment::RecoverableSegment(sim::Substrate& substrate, sim::SimDisk& disk,
@@ -88,7 +90,11 @@ void RecoverableSegment::WriteBack(PageNumber page, Frame& frame, bool sequentia
     // this page have been written to non-volatile storage." (§3.2.1)
     seqno = hooks_->BeforePageWrite({id_, page}, frame.last_lsn);
   }
+  // The WAL gate has passed but the page is still only in the frame: a crash
+  // here tests that log records alone reconstruct the page.
+  FAULT_POINT(substrate_, "segment.writeback.before_disk");
   disk_.WritePage({id_, page}, frame.data.data(), seqno, sequential);
+  FAULT_POINT(substrate_, "segment.writeback.after_disk");
   substrate_.metrics().CountPageWrite(background);
   frame.dirty = false;
   frame.recovery_lsn = kNullLsn;

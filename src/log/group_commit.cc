@@ -2,6 +2,7 @@
 
 #include <string>
 
+#include "src/sim/fault_injector.h"
 #include "src/sim/metrics.h"
 #include "src/sim/scheduler.h"
 #include "src/sim/substrate.h"
@@ -69,7 +70,11 @@ void GroupCommit::FlushBatch(std::uint64_t generation) {
   // Forcing is commit processing regardless of which task's clock pays for
   // it (the timer flusher is not inside any transaction's phase).
   sim::PhaseScope phase(sub.metrics(), sim::Phase::kCommit);
+  // The window where a batch is closed but its members' records are still
+  // volatile: a crash here loses every commit in the batch at once.
+  FAULT_POINT(sub, "gc.flush.before_force");
   log_.ForceAll();  // wakes every WaitDurable waiter it covered
+  FAULT_POINT(sub, "gc.flush.after_force");
 }
 
 }  // namespace tabs::log

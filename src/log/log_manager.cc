@@ -1,7 +1,10 @@
 #include "src/log/log_manager.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cstring>
+
+#include "src/sim/fault_injector.h"
 
 namespace tabs::log {
 
@@ -26,6 +29,78 @@ std::span<const std::uint8_t> StableLogDevice::Read(std::uint64_t offset,
   return {data_.data() + offset, length};
 }
 
+std::uint32_t StableLogDevice::ComputeSum(std::uint64_t sector) const {
+  // FNV-1a over the sector's valid byte range (the final sector may be
+  // partial; its checksum covers only the bytes written so far).
+  std::uint64_t begin = sector * kSectorBytes;
+  std::uint64_t end = std::min(begin + kSectorBytes, static_cast<std::uint64_t>(data_.size()));
+  std::uint32_t h = 2166136261u;
+  for (std::uint64_t i = begin; i < end; ++i) {
+    h ^= data_[i];
+    h *= 16777619u;
+  }
+  return h;
+}
+
+void StableLogDevice::ResyncSums(std::uint64_t begin, std::uint64_t end) {
+  if (data_.empty()) {
+    sums_.clear();
+    return;
+  }
+  sums_.resize((data_.size() + kSectorBytes - 1) / kSectorBytes);
+  std::uint64_t first = begin / kSectorBytes;
+  std::uint64_t last = end == 0 ? 0 : (end - 1) / kSectorBytes;
+  for (std::uint64_t s = first; s <= last && s < sums_.size(); ++s) {
+    sums_[s] = ComputeSum(s);
+  }
+}
+
+void StableLogDevice::Append(const Bytes& bytes) {
+  std::uint64_t begin = data_.size();
+  data_.insert(data_.end(), bytes.begin(), bytes.end());
+  ResyncSums(begin, data_.size());
+}
+
+void StableLogDevice::AppendTorn(const Bytes& bytes, int durable_sectors) {
+  assert(durable_sectors >= 0);
+  std::uint64_t begin = data_.size();
+  std::uint64_t first_sector = begin / kSectorBytes;
+  // Only the bytes landing in the first `durable_sectors` sectors touched by
+  // this write survive; everything past that sector boundary is lost.
+  std::uint64_t keep_limit = (first_sector + static_cast<std::uint64_t>(durable_sectors)) *
+                             kSectorBytes;
+  std::uint64_t keep = keep_limit <= begin ? 0 : std::min<std::uint64_t>(bytes.size(),
+                                                                         keep_limit - begin);
+  data_.insert(data_.end(), bytes.begin(), bytes.begin() + static_cast<std::ptrdiff_t>(keep));
+  ResyncSums(begin, data_.size());
+}
+
+void StableLogDevice::CorruptSector(std::uint64_t sector) {
+  std::uint64_t begin = sector * kSectorBytes;
+  std::uint64_t end = std::min(begin + kSectorBytes, static_cast<std::uint64_t>(data_.size()));
+  assert(begin < data_.size() && "corrupting a sector that does not exist");
+  for (std::uint64_t i = begin; i < end; ++i) {
+    data_[i] = static_cast<std::uint8_t>((data_[i] ^ 0xA5u) + 1);
+  }
+  // Deliberately no ResyncSums: the stored checksum is now stale, which is
+  // exactly how recovery detects the damage.
+}
+
+bool StableLogDevice::SectorValid(std::uint64_t sector) const {
+  assert(sector < sums_.size());
+  return ComputeSum(sector) == sums_[sector];
+}
+
+std::uint64_t StableLogDevice::FirstInvalidByte() const {
+  std::uint64_t first_sector = truncated_prefix_ / kSectorBytes;
+  for (std::uint64_t s = first_sector; s < sums_.size(); ++s) {
+    if (!SectorValid(s)) {
+      return s * kSectorBytes;
+    }
+  }
+  return data_.size();
+}
+
 void StableLogDevice::TruncateBefore(std::uint64_t offset) {
   if (offset <= truncated_prefix_) {
     return;
@@ -33,17 +108,73 @@ void StableLogDevice::TruncateBefore(std::uint64_t offset) {
   assert(offset <= data_.size());
   std::fill(data_.begin() + static_cast<std::ptrdiff_t>(truncated_prefix_),
             data_.begin() + static_cast<std::ptrdiff_t>(offset), std::uint8_t{0});
+  std::uint64_t old_prefix = truncated_prefix_;
   truncated_prefix_ = offset;
+  ResyncSums(old_prefix, offset);
+}
+
+void StableLogDevice::TruncateAfter(std::uint64_t offset) {
+  assert(offset >= truncated_prefix_ && offset <= data_.size());
+  data_.resize(offset);
+  sums_.resize(data_.empty() ? 0 : (data_.size() + kSectorBytes - 1) / kSectorBytes);
+  if (!data_.empty()) {
+    // The cut may leave a partial final sector: its checksum now covers a
+    // shorter valid range.
+    ResyncSums(data_.size() - 1, data_.size());
+  }
 }
 
 LogManager::LogManager(sim::Substrate& substrate, StableLogDevice& device)
     : substrate_(substrate), device_(device) {
   // Rebinding to a device that already holds log data (recovery after a
-  // crash): the volatile buffer starts empty at the stable frontier.
+  // crash): validate the stable tail first — a torn force or a corrupt
+  // sector must be cut off before anything trusts LastDurableLsn, whose
+  // trailer read would otherwise decode garbage. Then the volatile buffer
+  // starts empty at the (possibly shortened) stable frontier.
+  ValidateStableTail();
   next_lsn_ = device_.size() + 1;
   buffer_start_ = next_lsn_;
   durable_lsn_ = LastDurableLsn();
   last_record_lsn_ = durable_lsn_;
+}
+
+void LogManager::ValidateStableTail() {
+  std::uint64_t end = device_.size();
+  std::uint64_t off = device_.truncated_prefix();
+  if (off >= end) {
+    return;
+  }
+  // Bytes at/after the first checksum-failing sector are suspect: a frame is
+  // only trusted if it lies entirely below that limit AND its framing is
+  // intact AND its payload deserializes. The walk stops at the first record
+  // that fails any test; everything from there on is the torn/corrupt tail.
+  std::uint64_t trusted_limit = device_.FirstInvalidByte();
+  if (trusted_limit < end) {
+    // A checksum-failing sector is medium damage (a clean torn tail leaves
+    // every durable sector's checksum valid). Counted here, at detection:
+    // the device itself has no metrics channel.
+    substrate_.metrics().CountFault(sim::FaultKind::kCorruptSector);
+  }
+  std::uint64_t good = off;
+  while (off + kFrameOverhead <= trusted_limit) {
+    std::uint32_t len = ReadU32(device_.Read(off, 4));
+    std::uint64_t frame_end = off + kFrameOverhead + len;
+    if (frame_end > trusted_limit) {
+      break;  // frame runs into lost or corrupt sectors: torn tail
+    }
+    if (ReadU32(device_.Read(off + 4 + len, 4)) != len) {
+      break;  // trailer mismatch: the tail of the frame never landed
+    }
+    if (!LogRecord::Deserialize(device_.Read(off + 4, len))) {
+      break;  // framing looks plausible but the payload is garbage
+    }
+    off = frame_end;
+    good = off;
+  }
+  if (good < end) {
+    device_.TruncateAfter(good);
+    substrate_.metrics().CountLogTailTruncation(end - good);
+  }
 }
 
 Lsn LogManager::Append(LogRecord rec) {
@@ -84,16 +215,31 @@ void LogManager::Force(Lsn upto) {
   if (in_task) {
     sched.AdvanceTo(device_busy_until_);
   }
+  FAULT_POINT(substrate_, "log.force.before_write");
   // The buffer is forced as a unit (group force): TABS spools records and
   // writes them together, so one commit typically costs one stable write.
   std::uint64_t bytes = buffer_.size();
   auto pages = static_cast<double>((bytes + kPageSize - 1) / kPageSize);
+  if (in_task && substrate_.faults() != nullptr) {
+    int durable_sectors = substrate_.faults()->TakeTornLogForce();
+    if (durable_sectors >= 0) {
+      // Power fails mid-force: a prefix of the write's sectors reaches the
+      // platter, the tail is lost, and the node dies with its volatile
+      // buffer. Recovery's tail validation finds and cuts the damage.
+      substrate_.Charge(sim::Primitive::kStableWrite, pages);
+      device_.AppendTorn(buffer_, durable_sectors);
+      substrate_.metrics().CountFault(sim::FaultKind::kTornLogWrite);
+      substrate_.faults()->CrashCurrentNode(substrate_, "log.force.torn");
+      return;  // reached only when no crash handler is wired (unit tests)
+    }
+  }
   substrate_.Charge(sim::Primitive::kStableWrite, pages);
   device_.Append(buffer_);
   buffer_.clear();
   buffer_start_ = next_lsn_;
   durable_lsn_ = LastDurableLsn();
   substrate_.metrics().CountForceIssued();
+  FAULT_POINT(substrate_, "log.force.after_write");
   // A force is an I/O wait performed by the Recovery Manager process: other
   // processes (and server coroutines) run while the disk spins (Section
   // 2.1.1's wait-driven switching). Page faults, by contrast, suspend the

@@ -17,6 +17,7 @@
 #include <cstdint>
 #include <optional>
 #include <unordered_map>
+#include <vector>
 
 #include "src/common/types.h"
 #include "src/log/log_record.h"
@@ -26,21 +27,58 @@ namespace tabs::log {
 
 // The stable device. Its contents survive node crashes; the space-reclamation
 // low-water mark models the paper's log-space reclamation (Section 3.2.2).
+//
+// The device is sectored: every kSectorBytes-sized sector carries a checksum
+// in its header space (the same out-of-band header area that holds the
+// kernel's page sequence numbers on data pages). Appends maintain the
+// checksums; fault injection can tear an append (a prefix of its sectors
+// durable, the tail lost — power failure mid-write) or scramble a sector in
+// place without fixing its checksum. Recovery validates the tail against the
+// checksums and the record framing before trusting it (LogManager ctor).
 class StableLogDevice {
  public:
+  static constexpr std::uint64_t kSectorBytes = 512;
+
   std::uint64_t size() const { return data_.size(); }
   std::uint64_t truncated_prefix() const { return truncated_prefix_; }
 
-  void Append(const Bytes& bytes) { data_.insert(data_.end(), bytes.begin(), bytes.end()); }
+  void Append(const Bytes& bytes);
   std::span<const std::uint8_t> Read(std::uint64_t offset, std::uint64_t length) const;
 
   // Logically discards everything before `offset` (checkpoint-driven
   // reclamation). Reads below the prefix fail.
   void TruncateBefore(std::uint64_t offset);
 
+  // Recovery-side tail truncation: everything at/after `offset` is dropped
+  // (a torn or corrupt tail must never be replayed).
+  void TruncateAfter(std::uint64_t offset);
+
+  // --- fault injection ------------------------------------------------------
+  // A torn write: only the first `durable_sectors` sectors touched by this
+  // append reach the platter; the rest of the bytes are lost. Models power
+  // failure mid-force — the caller is expected to crash the node.
+  void AppendTorn(const Bytes& bytes, int durable_sectors);
+  // Scrambles a sector's data in place, leaving its checksum stale, as a
+  // failing medium would. No virtual-time charge: this is damage, not I/O.
+  void CorruptSector(std::uint64_t sector);
+
+  // --- checksum inspection --------------------------------------------------
+  std::uint64_t SectorCount() const { return sums_.size(); }
+  // Recomputes sector `s` over its valid byte range and compares with the
+  // stored checksum.
+  bool SectorValid(std::uint64_t sector) const;
+  // Byte offset of the first sector (at/after the truncated prefix) whose
+  // checksum fails, or size() when all sectors verify.
+  std::uint64_t FirstInvalidByte() const;
+
  private:
+  std::uint32_t ComputeSum(std::uint64_t sector) const;
+  // Recomputes checksums for every sector overlapping [begin, end).
+  void ResyncSums(std::uint64_t begin, std::uint64_t end);
+
   Bytes data_;  // offsets below truncated_prefix_ are zeroed and unreadable
   std::uint64_t truncated_prefix_ = 0;
+  std::vector<std::uint32_t> sums_;  // one per sector, header-space checksums
 };
 
 class LogManager {
@@ -98,6 +136,12 @@ class LogManager {
   sim::Substrate& substrate() { return substrate_; }
 
  private:
+  // Walks the stable tail forward from the truncated prefix, validating
+  // sector checksums and record framing; truncates the device at the first
+  // damage (torn or corrupt tail must never be replayed). Runs at rebind
+  // (crash recovery). Counts a log-tail truncation when it cuts anything.
+  void ValidateStableTail();
+
   sim::Substrate& substrate_;
   StableLogDevice& device_;
   Bytes buffer_;            // volatile: records past durable_lsn_

@@ -12,6 +12,7 @@
 #include <algorithm>
 
 #include "src/recovery/recovery_manager.h"
+#include "src/sim/fault_injector.h"
 
 namespace tabs::recovery {
 
@@ -44,6 +45,10 @@ Lsn RecoveryManager::TakeCheckpoint(const std::vector<ActiveTxn>& active) {
   LogRecord rec;
   rec.type = RecordType::kCheckpoint;
   rec.checkpoint_data = w.Take();
+  // The checkpoint's view of active transactions and dirty pages is
+  // collected but not yet in the log: a crash here must leave the previous
+  // checkpoint authoritative.
+  FAULT_POINT(node_.substrate(), "checkpoint.before_append");
   Lsn lsn = log_.Append(std::move(rec));
   // This force also covers any commit records a group-commit batch has
   // appended but not yet flushed: it advances the durable frontier and wakes
@@ -51,6 +56,7 @@ Lsn RecoveryManager::TakeCheckpoint(const std::vector<ActiveTxn>& active) {
   // Blocked committers therefore never wait longer because a checkpoint
   // intervened — they finish earlier, their forces absorbed by this one.
   log_.ForceAll();
+  FAULT_POINT(node_.substrate(), "checkpoint.after_force");
   return lsn;
 }
 
@@ -67,6 +73,11 @@ void RecoveryManager::ReclaimTo(const std::vector<ActiveTxn>& active,
   } else {
     target_low = log_.last_lsn() - target_retained_bytes;
   }
+  // A crash mid-reclamation must be harmless at every stage: before the
+  // flushes (nothing changed), after flushes but before the checkpoint and
+  // truncation (pages are just cleaner than required), and after truncation
+  // (only reclaimable records were cut).
+  FAULT_POINT(node_.substrate(), "reclaim.before_flush");
   for (auto& [name, seg] : segments_) {
     // One elevator sweep per segment: ascending disk addresses, so
     // contiguous dirty runs go out as cheap sequential writes. Pinned pages
@@ -102,9 +113,11 @@ void RecoveryManager::ReclaimTo(const std::vector<ActiveTxn>& active,
   if (archive_low_water_ != kNullLsn) {
     low = std::min(low, archive_low_water_);
   }
+  FAULT_POINT(node_.substrate(), "reclaim.before_truncate");
   if (low > log_.first_lsn()) {
     log_.device().TruncateBefore(low - 1);
   }
+  FAULT_POINT(node_.substrate(), "reclaim.after_truncate");
 }
 
 Archive RecoveryManager::DumpArchive() {

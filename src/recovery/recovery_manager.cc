@@ -232,6 +232,7 @@ void RecoveryManager::AfterPageWrite(PageId page, bool ok) {
 
 RecoveryStats RecoveryManager::Recover(TxnOutcomeSource& outcomes,
                                        const std::string* only_server) {
+  node_.substrate().metrics().CountCrashRecovery();
   RecoveryStats stats;
   bool saw_operations = false;
   Lsn scan_low = AnalysisPass(outcomes, &stats, &saw_operations, only_server);

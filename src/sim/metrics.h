@@ -18,6 +18,37 @@ namespace tabs::sim {
 
 enum class Phase { kPreCommit = 0, kCommit = 1 };
 
+// Kinds of injected fault the nemesis can fire (FaultInjector, SimDisk,
+// StableLogDevice, Network). Counted per kind so fault sweeps are observable
+// in bench/test output.
+enum class FaultKind {
+  kCrash = 0,         // fault point resolved to crash-node
+  kDelay,             // fault point resolved to a virtual-time delay
+  kTornLogWrite,      // log force torn: prefix of sectors durable, tail lost
+  kCorruptSector,     // log sector or data page scrambled in place
+  kLostPageWrite,     // data-page write silently dropped by the disk
+  kDatagramDuplicate, // datagram delivered twice
+  kDatagramJitter,    // datagram delayed by bounded random jitter
+  kDatagramDrop,      // datagram dropped by the loss filter
+  kSessionDrop,       // session establishment/send dropped by the filter
+};
+inline constexpr int kFaultKindCount = 9;
+
+inline const char* FaultKindName(FaultKind k) {
+  switch (k) {
+    case FaultKind::kCrash: return "crash";
+    case FaultKind::kDelay: return "delay";
+    case FaultKind::kTornLogWrite: return "torn-log-write";
+    case FaultKind::kCorruptSector: return "corrupt-sector";
+    case FaultKind::kLostPageWrite: return "lost-page-write";
+    case FaultKind::kDatagramDuplicate: return "datagram-duplicate";
+    case FaultKind::kDatagramJitter: return "datagram-jitter";
+    case FaultKind::kDatagramDrop: return "datagram-drop";
+    case FaultKind::kSessionDrop: return "session-drop";
+  }
+  return "?";
+}
+
 struct PrimitiveCounts {
   std::array<double, kPrimitiveCount> count{};
 
@@ -84,6 +115,31 @@ class Metrics {
   double page_writes_foreground() const { return page_writes_foreground_; }
   double page_writes_background() const { return page_writes_background_; }
 
+  // Fault-injection and recovery accounting. Like the force and page-write
+  // counters these are deliberately not Primitives: with faults off every
+  // counter stays zero and the regenerated paper tables keep their shape.
+  void CountFault(FaultKind k) { ++faults_injected_[static_cast<int>(k)]; }
+  double faults_injected(FaultKind k) const {
+    return faults_injected_[static_cast<int>(k)];
+  }
+  double faults_injected_total() const {
+    double t = 0;
+    for (double f : faults_injected_) {
+      t += f;
+    }
+    return t;
+  }
+  // One crash-recovery pass (RecoveryManager::Recover) ran.
+  void CountCrashRecovery() { ++crash_recoveries_; }
+  double crash_recoveries() const { return crash_recoveries_; }
+  // Recovery detected a torn/corrupt stable-log tail and truncated it.
+  void CountLogTailTruncation(std::uint64_t bytes_dropped) {
+    ++log_tail_truncations_;
+    log_tail_bytes_truncated_ += static_cast<double>(bytes_dropped);
+  }
+  double log_tail_truncations() const { return log_tail_truncations_; }
+  double log_tail_bytes_truncated() const { return log_tail_bytes_truncated_; }
+
   void Reset() {
     buckets_[0] = {};
     buckets_[1] = {};
@@ -92,6 +148,10 @@ class Metrics {
     forces_absorbed_ = 0;
     page_writes_foreground_ = 0;
     page_writes_background_ = 0;
+    faults_injected_ = {};
+    crash_recoveries_ = 0;
+    log_tail_truncations_ = 0;
+    log_tail_bytes_truncated_ = 0;
   }
 
  private:
@@ -101,6 +161,10 @@ class Metrics {
   double forces_absorbed_ = 0;
   double page_writes_foreground_ = 0;
   double page_writes_background_ = 0;
+  std::array<double, kFaultKindCount> faults_injected_{};
+  double crash_recoveries_ = 0;
+  double log_tail_truncations_ = 0;
+  double log_tail_bytes_truncated_ = 0;
 };
 
 // RAII phase scope used by the Transaction Manager around commit processing.

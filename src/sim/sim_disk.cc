@@ -34,6 +34,17 @@ std::uint64_t SimDisk::ReadPage(PageId page, std::uint8_t* out, bool sequential)
 void SimDisk::WritePage(PageId page, const std::uint8_t* data, std::uint64_t sequence_number,
                         bool sequential) {
   substrate_.Charge(sequential ? Primitive::kSequentialWrite : Primitive::kRandomPageIo);
+  if (lost_writes_pending_ > 0) {
+    if (lost_writes_after_ > 0) {
+      --lost_writes_after_;
+    } else {
+      // The write is silently misdirected: the disk spun (charged above) and
+      // reported success, but the old contents and sequence number survive.
+      --lost_writes_pending_;
+      substrate_.metrics().CountFault(FaultKind::kLostPageWrite);
+      return;
+    }
+  }
   DiskPage& p = PageRef(page);
   std::memcpy(p.data.data(), data, kPageSize);
   p.sequence_number = sequence_number;
@@ -65,6 +76,21 @@ void SimDisk::RestorePage(PageId page, const DiskPage& image) {
   substrate_.Charge(Primitive::kRandomPageIo);
   DiskPage& p = PageRef(page);
   p = image;
+}
+
+void SimDisk::InjectLostWrites(int count, int after) {
+  assert(count >= 0 && after >= 0);
+  lost_writes_pending_ = count;
+  lost_writes_after_ = after;
+}
+
+void SimDisk::CorruptPage(PageId page) {
+  DiskPage& p = PageRef(page);
+  for (std::uint32_t i = 0; i < kPageSize; ++i) {
+    p.data[i] = static_cast<std::uint8_t>((p.data[i] ^ 0xA5u) + i);
+  }
+  p.sequence_number = 0;
+  substrate_.metrics().CountFault(FaultKind::kCorruptSector);
 }
 
 }  // namespace tabs::sim

@@ -66,11 +66,25 @@ class SimDisk {
   // charging one random page I/O (the restore is real disk traffic).
   void RestorePage(PageId page, const DiskPage& image);
 
+  // --- fault injection ------------------------------------------------------
+  // After skipping `after` more writes, the next `count` WritePage calls are
+  // silently dropped: the disk charges and reports success but the old
+  // contents and sequence number remain. Skip+lose models a torn elevator
+  // batch (prefix of the sweep durable, tail lost); the page-seqno guard in
+  // redo makes recovery repair exactly the lost pages.
+  void InjectLostWrites(int count, int after = 0);
+  // Scrambles a page's data deterministically and destroys its header
+  // sequence number (a damaged sector). Value-logging recovery rewrites the
+  // committed images; no virtual-time charge (damage, not I/O).
+  void CorruptPage(PageId page);
+
  private:
   DiskPage& PageRef(PageId page);
 
   Substrate& substrate_;
   std::map<SegmentId, std::vector<DiskPage>> segments_;
+  int lost_writes_pending_ = 0;
+  int lost_writes_after_ = 0;
 };
 
 }  // namespace tabs::sim

@@ -15,6 +15,8 @@
 
 namespace tabs::sim {
 
+class FaultInjector;
+
 class Substrate {
  public:
   Substrate(Scheduler& sched, CostModel costs, ArchitectureModel arch)
@@ -25,6 +27,12 @@ class Substrate {
   const ArchitectureModel& arch() const { return arch_; }
   Metrics& metrics() { return metrics_; }
   Tracer& tracer() { return tracer_; }
+
+  // The nemesis, when one is installed (World owns it). Null by default:
+  // FAULT_POINT hooks compile to a single null check and the simulation is
+  // bit-for-bit what it was before fault injection existed.
+  FaultInjector* faults() { return faults_; }
+  void SetFaultInjector(FaultInjector* f) { faults_ = f; }
 
   // Charges one (or fractionally, `n`) primitive operation to the running
   // task and counts it in the current phase.
@@ -72,6 +80,7 @@ class Substrate {
   ArchitectureModel arch_;
   Metrics metrics_;
   Tracer tracer_;
+  FaultInjector* faults_ = nullptr;
   int suppress_system_messages_ = 0;
 };
 

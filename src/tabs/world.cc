@@ -10,6 +10,9 @@ namespace tabs {
 
 World::World(int node_count, WorldOptions options) : options_(options) {
   substrate_ = std::make_unique<sim::Substrate>(scheduler_, options.costs, options.arch);
+  fault_injector_ = std::make_unique<sim::FaultInjector>();
+  fault_injector_->SetCrashHandler([this](NodeId id) { CrashNode(id); });
+  substrate_->SetFaultInjector(fault_injector_.get());
   network_ = std::make_unique<comm::Network>(*substrate_);
   for (int i = 0; i < node_count; ++i) {
     NodeId id = static_cast<NodeId>(i + 1);
@@ -55,6 +58,7 @@ void World::BuildRuntime(NodeId id) {
                                             options_.group_commit_max_batch);
   rt.tm->SetGroupCommit(rt.gc.get());
   rt.tm->SetCheckpointInterval(options_.checkpoint_interval);
+  rt.tm->SetVoteTimeout(options_.vote_timeout_us);
   if (options_.log_space_budget > 0) {
     txn::TransactionManager* tm = rt.tm.get();
     rt.rm->SetLogSpaceBudget(options_.log_space_budget,

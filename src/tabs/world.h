@@ -24,6 +24,7 @@
 
 #include "src/comm/network.h"
 #include "src/lock/deadlock_detector.h"
+#include "src/sim/fault_injector.h"
 #include "src/name/name_server.h"
 #include "src/server/data_server.h"
 #include "src/tabs/application.h"
@@ -66,6 +67,10 @@ struct WorldOptions {
   SimTime page_clean_interval_us = 0;
   // Pages written per cleaning pass (one elevator sweep).
   int page_clean_batch = 16;
+  // Commit-protocol vote/ack wait budget (TransactionManager). Fault sweeps
+  // tighten it so a lost vote aborts in microseconds instead of 10 virtual
+  // seconds; the default is the protocol's historical timeout.
+  SimTime vote_timeout_us = 10'000'000;
 };
 
 class World {
@@ -83,6 +88,9 @@ class World {
   sim::Scheduler& scheduler() { return scheduler_; }
   sim::Metrics& metrics() { return substrate_->metrics(); }
   comm::Network& network() { return *network_; }
+  // The nemesis: every World owns one, installed in the substrate with its
+  // crash handler wired to CrashNode. Inert until armed.
+  sim::FaultInjector& faults() { return *fault_injector_; }
   int node_count() const { return static_cast<int>(nodes_.size()); }
 
   kernel::Node& node(NodeId id);
@@ -204,6 +212,7 @@ class World {
   WorldOptions options_;
   sim::Scheduler scheduler_;
   std::unique_ptr<sim::Substrate> substrate_;
+  std::unique_ptr<sim::FaultInjector> fault_injector_;
   std::unique_ptr<comm::Network> network_;
   std::vector<std::unique_ptr<kernel::Node>> nodes_;
   std::map<NodeId, Runtime> runtimes_;

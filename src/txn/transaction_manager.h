@@ -150,6 +150,10 @@ class TransactionManager : public comm::TransactionTreeListener,
   // disabled daemon preserves the paper-faithful per-transaction behaviour.
   void SetGroupCommit(log::GroupCommit* gc) { group_commit_ = gc; }
 
+  // Vote/ack wait budget for the commit protocol (default 10 s virtual).
+  void SetVoteTimeout(SimTime timeout_us) { vote_timeout_ = timeout_us; }
+  SimTime vote_timeout() const { return vote_timeout_; }
+
  private:
   struct Txn {
     TransactionId tid;
@@ -204,7 +208,9 @@ class TransactionManager : public comm::TransactionTreeListener,
 
   // Commit-protocol tuning (paper Section 5.3): when the architecture model
   // says optimized_commit, phase two leaves the latency-critical path.
-  static constexpr SimTime kVoteTimeout = 10'000'000;  // 10 s virtual
+  // How long the coordinator waits for each vote or ack before treating the
+  // child as failed (WorldOptions::vote_timeout_us; fault sweeps tighten it).
+  SimTime vote_timeout_ = 10'000'000;  // 10 s virtual
 };
 
 }  // namespace tabs::txn

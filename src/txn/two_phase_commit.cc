@@ -16,6 +16,7 @@
 #include <cassert>
 #include <memory>
 
+#include "src/sim/fault_injector.h"
 #include "src/txn/transaction_manager.h"
 
 namespace tabs::txn {
@@ -67,8 +68,14 @@ Status TransactionManager::CommitTopLevel(Txn& txn) {
   bool updates = vote == Vote::kYes;
   if (updates) {
     sub.scheduler().Charge(sub.costs().coordinator_write_extra_us);
+    // Every participant is prepared but the verdict is not yet durable: a
+    // crash here must resolve to abort (presumed abort).
+    FAULT_POINT(sub, "2pc.commit.before_record");
     // The commit point: the commit record reaches stable storage.
     AppendTxnRecord(RecordType::kTxnCommit, txn, /*force=*/true);
+    // The verdict is durable but no participant knows it: a crash here must
+    // resolve to commit via the in-doubt query.
+    FAULT_POINT(sub, "2pc.commit.after_record");
   }
   txn.state = TxnState::kCommitted;
   logged_outcomes_[txn.top] = TxnOutcome::kCommitted;
@@ -84,6 +91,7 @@ TransactionManager::Vote TransactionManager::PrepareSubtree(Txn& txn) {
   sim::Substrate& sub = node_.substrate();
   sim::Scheduler& sched = sub.scheduler();
   auto info = cm_.InfoFor(txn.top);
+  FAULT_POINT(sub, "2pc.prepare.begin");
 
   // Phase one downward: prepare datagrams to every child, in parallel. The
   // sender serializes sends, so each datagram after the first delays by half
@@ -128,11 +136,14 @@ TransactionManager::Vote TransactionManager::PrepareSubtree(Txn& txn) {
     sub.ChargeSystemMessage(sim::Primitive::kSmallMessage, 1);  // server -> TM: vote
   }
 
+  // Prepares are on the wire (and the local vote is computed) but no remote
+  // vote has been consumed yet.
+  FAULT_POINT(sub, "2pc.prepare.before_votes");
   bool any_no = false;
   bool child_updates = false;
   for (int i = 0; i < expected; ++i) {
     std::pair<NodeId, Vote> v;
-    if (!votes->PopWithTimeout(kVoteTimeout, &v)) {
+    if (!votes->PopWithTimeout(vote_timeout_, &v)) {
       any_no = true;  // lost vote or crashed child: abort is always safe
       break;
     }
@@ -192,7 +203,13 @@ TransactionManager::Vote TransactionManager::HandlePrepare(const TransactionId& 
   }
   // Updates here (or below): become prepared — in doubt until the verdict.
   sub.scheduler().Charge(sub.costs().participant_prepare_overhead_us);
+  // The subtree voted yes but the prepare record is still volatile: a crash
+  // here means this participant never prepared, and presumed abort applies.
+  FAULT_POINT(sub, "2pc.vote.before_record");
   AppendTxnRecord(RecordType::kTxnPrepare, txn, /*force=*/true);
+  // Prepared and in doubt: a crash here must leave the updates locked until
+  // the coordinator's verdict is learned.
+  FAULT_POINT(sub, "2pc.vote.after_record");
   txn.state = TxnState::kPrepared;
   logged_outcomes_[tid] = TxnOutcome::kPrepared;
   logged_parent_node_[tid] = parent_node;
@@ -236,14 +253,20 @@ void TransactionManager::CommitSubtree(Txn& txn, bool is_root) {
   }
 
   if (wait_for_acks) {
+    if (is_root && expected > 0) {
+      // Commit datagrams are on the wire, acks outstanding: the commit
+      // already stands, so a crash here must still commit everywhere.
+      FAULT_POINT(sub, "2pc.commit.before_acks");
+    }
     for (int i = 0; i < expected; ++i) {
       bool b = false;
-      if (!acks->PopWithTimeout(kVoteTimeout, &b)) {
+      if (!acks->PopWithTimeout(vote_timeout_, &b)) {
         break;  // a child will resolve via in-doubt query; commit stands
       }
       sub.ChargeSystemMessage(sim::Primitive::kSmallMessage, 1);  // CM -> TM: ack arrived
     }
     if (is_root && expected > 0) {
+      FAULT_POINT(sub, "2pc.commit.after_acks");
       AppendTxnRecord(RecordType::kTxnEnd, txn, /*force=*/false);
     }
   }
@@ -259,11 +282,15 @@ void TransactionManager::HandleCommit(const TransactionId& tid) {
   // CM -> TM: commit arrived; TM -> CM: acknowledgement handed back.
   sub.ChargeSystemMessage(sim::Primitive::kSmallMessage, 2);
   sub.scheduler().Charge(sub.costs().participant_commit_overhead_us);
+  // The verdict arrived but this participant's commit record is volatile: a
+  // crash here re-enters in-doubt and must resolve to commit again.
+  FAULT_POINT(sub, "2pc.participant.before_commit");
   AppendTxnRecord(RecordType::kTxnCommit, *txn, /*force=*/false);
   txn->state = TxnState::kCommitted;
   logged_outcomes_[tid] = TxnOutcome::kCommitted;
   in_doubt_.erase(tid);
   CommitSubtree(*txn, /*is_root=*/false);
+  FAULT_POINT(sub, "2pc.participant.after_commit");
   ForgetTxn(tid);
 }
 
@@ -287,7 +314,11 @@ void TransactionManager::AbortSubtree(Txn& txn, bool notify_children) {
     sub.ChargeSystemMessage(sim::Primitive::kSmallMessage, 1);  // TM -> server: abort
     s->OnAbort(txn.tid);
   }
+  // Undo is applied but the abort record is volatile: a crash here must
+  // reach the same rolled-back state by replaying the undo at recovery.
+  FAULT_POINT(sub, "2pc.abort.before_record");
   AppendTxnRecord(RecordType::kTxnAbort, txn, /*force=*/false);
+  FAULT_POINT(sub, "2pc.abort.after_record");
   txn.state = TxnState::kAborted;
   logged_outcomes_[txn.top] = TxnOutcome::kAborted;
 }

@@ -5,6 +5,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <vector>
+
 #include "src/comm/network.h"
 
 namespace tabs::comm {
@@ -169,6 +172,78 @@ TEST_F(NetworkTest, ParentIsFirstContactOnly) {
   });
   EXPECT_EQ(sched_.Run(), 0);
   EXPECT_EQ(cm3.InfoFor(tid).parent, 1u);  // node 2's later contact doesn't re-parent
+}
+
+TEST_F(NetworkTest, SessionLossSurfacesAsNodeDownAndIsCounted) {
+  net_.SetSessionLoss([](NodeId from, NodeId to) { return from == 1 && to == 2; });
+  Status dropped = Status::kOk;
+  Status other_direction = Status::kNodeDown;
+  sched_.Spawn("caller", 1, 0, [&] {
+    dropped = net_.SessionCall<int>(1, 2, "f", [] { return 1; }).status();
+    other_direction = net_.SessionCall<int>(1, 3, "g", [] { return 1; }).status();
+  });
+  EXPECT_EQ(sched_.Run(), 0);
+  EXPECT_EQ(dropped, Status::kNodeDown);
+  EXPECT_EQ(other_direction, Status::kOk);  // the filter is per-pair
+  EXPECT_EQ(substrate_.metrics().faults_injected(sim::FaultKind::kSessionDrop), 1);
+
+  net_.SetSessionLoss({});
+  Status after_clear = Status::kNodeDown;
+  sched_.Spawn("caller2", 1, 0, [&] {
+    after_clear = net_.SessionCall<int>(1, 2, "f", [] { return 1; }).status();
+  });
+  EXPECT_EQ(sched_.Run(), 0);
+  EXPECT_EQ(after_clear, Status::kOk);
+}
+
+TEST_F(NetworkTest, DatagramDuplicationDeliversHandlerTwice) {
+  // duplicate_probability = 1: every datagram arrives twice.
+  net_.SetDatagramFaults({/*seed=*/1, /*duplicate_probability=*/1.0,
+                          /*jitter_probability=*/0.0, /*max_jitter_us=*/0});
+  int deliveries = 0;
+  sched_.Spawn("sender", 1, 0,
+               [&] { net_.SendDatagram(1, 2, "dup", [&] { ++deliveries; }); });
+  EXPECT_EQ(sched_.Run(), 0);
+  EXPECT_EQ(deliveries, 2);
+  EXPECT_EQ(substrate_.metrics().faults_injected(sim::FaultKind::kDatagramDuplicate), 1);
+}
+
+TEST_F(NetworkTest, DatagramFaultsAreDeterministicPerSeed) {
+  auto run = [this](std::uint64_t seed) {
+    net_.SetDatagramFaults({seed, /*duplicate_probability=*/0.5,
+                            /*jitter_probability=*/0.5, /*max_jitter_us=*/3000});
+    std::vector<SimTime> arrivals;
+    sched_.Spawn("sender", 1, 0, [&] {
+      for (int i = 0; i < 10; ++i) {
+        net_.SendDatagram(1, 2, "d", [&] { arrivals.push_back(sched_.Now()); });
+      }
+    });
+    EXPECT_EQ(sched_.Run(), 0);
+    return arrivals;
+  };
+  std::vector<SimTime> first = run(7);
+  std::vector<SimTime> replay = run(7);
+  EXPECT_EQ(first, replay);  // same seed, same duplicates and jitter
+  EXPECT_GT(first.size(), 10u);  // some datagram duplicated
+  std::vector<SimTime> other = run(8);
+  EXPECT_NE(first, other);  // a different seed perturbs the schedule
+}
+
+TEST_F(NetworkTest, JitterCanReorderDatagrams) {
+  // Only jitter, always on, large bound: with several sends, some pair
+  // arrives out of program order (deterministically, given the seed).
+  net_.SetDatagramFaults({/*seed=*/3, /*duplicate_probability=*/0.0,
+                          /*jitter_probability=*/0.5, /*max_jitter_us=*/200'000});
+  std::vector<int> order;
+  sched_.Spawn("sender", 1, 0, [&] {
+    for (int i = 0; i < 8; ++i) {
+      net_.SendDatagram(1, 2, "d", [&order, i] { order.push_back(i); });
+    }
+  });
+  EXPECT_EQ(sched_.Run(), 0);
+  ASSERT_EQ(order.size(), 8u);
+  EXPECT_FALSE(std::is_sorted(order.begin(), order.end()))
+      << "jitter never reordered anything; weaken the seed or raise the bound";
 }
 
 TEST_F(NetworkTest, RemoteCallToPartitionedNodeDoesNotGrowTree) {

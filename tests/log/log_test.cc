@@ -203,6 +203,70 @@ TEST_F(LogTest, UnforcedRecordsDieWithTheBuffer) {
   EXPECT_FALSE(after.ReadRecord(b).has_value());
 }
 
+TEST_F(LogTest, SectorChecksumsTrackAppendsAndDetectCorruption) {
+  TransactionId t{1, 1};
+  // Enough records to span several 512-byte sectors.
+  for (std::uint32_t i = 0; i < 30; ++i) {
+    log_.Append(ValueRec(t, {1, i * 4, 4}, {0}, {static_cast<std::uint8_t>(i)}));
+  }
+  RunInTask([&] { log_.ForceAll(); });
+  ASSERT_GE(device_.SectorCount(), 3u);
+  for (std::uint64_t s = 0; s < device_.SectorCount(); ++s) {
+    EXPECT_TRUE(device_.SectorValid(s)) << "sector " << s;
+  }
+  EXPECT_EQ(device_.FirstInvalidByte(), device_.size());
+
+  device_.CorruptSector(1);
+  EXPECT_FALSE(device_.SectorValid(1));
+  EXPECT_TRUE(device_.SectorValid(0));
+  EXPECT_EQ(device_.FirstInvalidByte(), StableLogDevice::kSectorBytes);
+}
+
+TEST_F(LogTest, TornAppendKeepsOnlyDurableSectors) {
+  Bytes big(3 * StableLogDevice::kSectorBytes, 0x7F);
+  device_.AppendTorn(big, 1);
+  EXPECT_EQ(device_.size(), StableLogDevice::kSectorBytes);
+  // The surviving prefix is checksum-valid: a clean tear, not corruption.
+  EXPECT_EQ(device_.FirstInvalidByte(), device_.size());
+}
+
+TEST_F(LogTest, RebindTruncatesTornTailAndCountsIt) {
+  TransactionId t{1, 1};
+  Lsn a = log_.Append(ValueRec(t, {1, 0, 4}, {0}, {1}));
+  RunInTask([&] { log_.ForceAll(); });
+  std::uint64_t good_size = device_.size();
+
+  // A torn force: half a frame lands past the durable prefix.
+  Bytes fragment{9, 0, 0, 0, 1, 2, 3};  // claims 9 payload bytes, delivers 3
+  device_.Append(fragment);
+
+  LogManager after(substrate_, device_);  // crash + rebind validates the tail
+  EXPECT_EQ(device_.size(), good_size);   // fragment cut, good prefix kept
+  EXPECT_EQ(after.LastDurableLsn(), a);
+  EXPECT_EQ(substrate_.metrics().log_tail_truncations(), 1);
+  EXPECT_EQ(substrate_.metrics().log_tail_bytes_truncated(), fragment.size());
+}
+
+TEST_F(LogTest, RebindTruncatesCorruptTailAtTheDamagedSector) {
+  TransactionId t{1, 1};
+  for (std::uint32_t i = 0; i < 30; ++i) {
+    log_.Append(ValueRec(t, {1, i * 4, 4}, {0}, {static_cast<std::uint8_t>(i)}));
+  }
+  RunInTask([&] { log_.ForceAll(); });
+  std::uint64_t last_sector = device_.SectorCount() - 1;
+  ASSERT_GE(last_sector, 1u);
+  device_.CorruptSector(last_sector);
+
+  LogManager after(substrate_, device_);
+  // Nothing at or past the damaged sector survives; everything below does.
+  EXPECT_LE(device_.size(), last_sector * StableLogDevice::kSectorBytes);
+  EXPECT_GE(substrate_.metrics().log_tail_truncations(), 1);
+  EXPECT_EQ(substrate_.metrics().faults_injected(sim::FaultKind::kCorruptSector), 1);
+  Lsn durable = after.LastDurableLsn();
+  ASSERT_NE(durable, kNullLsn);
+  EXPECT_TRUE(after.ReadRecord(durable).has_value());
+}
+
 TEST_F(LogTest, TruncationReclaimsSpaceAndBlocksReads) {
   TransactionId t{1, 1};
   Lsn a = log_.Append(ValueRec(t, {1, 0, 4}, {0}, {1}));

@@ -109,5 +109,39 @@ TEST(SubstrateTest, PrimitiveNamesAreStable) {
   EXPECT_STREQ(PrimitiveName(Primitive::kStableWrite), "Stable Storage Write");
 }
 
+TEST(MetricsFaultTest, FaultCountersAccumulateByKindSeparatelyFromPrimitives) {
+  Metrics m;
+  m.CountFault(FaultKind::kCrash);
+  m.CountFault(FaultKind::kCrash);
+  m.CountFault(FaultKind::kTornLogWrite);
+  EXPECT_EQ(m.faults_injected(FaultKind::kCrash), 2);
+  EXPECT_EQ(m.faults_injected(FaultKind::kTornLogWrite), 1);
+  EXPECT_EQ(m.faults_injected(FaultKind::kDelay), 0);
+  EXPECT_EQ(m.faults_injected_total(), 3);
+  // Fault bookkeeping never leaks into the paper's primitive counts.
+  EXPECT_EQ(m.Total().Of(Primitive::kStableWrite), 0);
+  EXPECT_EQ(m.Total().Of(Primitive::kDatagram), 0);
+}
+
+TEST(MetricsFaultTest, RecoveryAndTruncationCountersTrackAndReset) {
+  Metrics m;
+  m.CountCrashRecovery();
+  m.CountLogTailTruncation(700);
+  m.CountLogTailTruncation(44);
+  EXPECT_EQ(m.crash_recoveries(), 1);
+  EXPECT_EQ(m.log_tail_truncations(), 2);
+  EXPECT_EQ(m.log_tail_bytes_truncated(), 744);
+  m.Reset();
+  EXPECT_EQ(m.crash_recoveries(), 0);
+  EXPECT_EQ(m.log_tail_truncations(), 0);
+  EXPECT_EQ(m.log_tail_bytes_truncated(), 0);
+  EXPECT_EQ(m.faults_injected_total(), 0);
+}
+
+TEST(MetricsFaultTest, FaultKindNamesAreStable) {
+  EXPECT_STREQ(FaultKindName(FaultKind::kCrash), "crash");
+  EXPECT_STREQ(FaultKindName(FaultKind::kTornLogWrite), "torn-log-write");
+}
+
 }  // namespace
 }  // namespace tabs::sim
