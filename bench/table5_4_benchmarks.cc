@@ -13,14 +13,26 @@
 // narrative scenarios.
 
 #include <cstdio>
+#include <cstdlib>
 #include <map>
+#include <vector>
 
+#include "bench/bench_json.h"
 #include "bench/workloads.h"
 #include "src/servers/array_server.h"
 #include "src/tabs/world.h"
 
 namespace tabs::bench {
 namespace {
+
+// TABS_TRACE=1 turns on the performance monitor's extra output: the
+// Section 5.2 per-component latency decomposition of every benchmark and a
+// Chrome-trace (chrome://tracing / Perfetto) export of the timeline demo.
+// Off by default so the regenerated paper table stays byte-stable.
+bool TraceEnabled() {
+  const char* e = std::getenv("TABS_TRACE");
+  return e != nullptr && e[0] == '1';
+}
 
 struct PaperRow {
   double predicted_ms, measured_ms, improved_ms, new_primitives_ms;
@@ -43,7 +55,13 @@ const std::map<std::string, PaperRow> kPaperRows = {
     {"1 Lcl Wr, 1 Rem Wr, 1 Rem Wr, NP", {831, 1200, 968, 534}},
 };
 
-void RunMainTable() {
+struct MainRow {
+  BenchmarkDef def;
+  BenchResult base, improved, achievable;
+};
+
+std::vector<MainRow> RunMainTable() {
+  std::vector<MainRow> rows;
   std::printf("Table 5-4: Benchmark Times (milliseconds)\n");
   std::printf("%-34s | %-13s | %-13s | %-13s | %-13s\n", "Benchmark", "predicted",
               "measured", "improved arch", "new primitives");
@@ -72,6 +90,7 @@ void RunMainTable() {
                 cell(p.measured_ms, base.elapsed_us).c_str(),
                 cell(p.improved_ms, improved.elapsed_us).c_str(),
                 cell(p.new_primitives_ms, achievable.elapsed_us).c_str());
+    rows.push_back({def, std::move(base), std::move(improved), std::move(achievable)});
   }
   std::printf(
       "\nOur substrate charges exactly the primitive-operation times, so our measured\n"
@@ -81,6 +100,78 @@ void RunMainTable() {
       "2-node writes roughly double 2-node reads, the improved architecture mainly\n"
       "helps distributed writes (phase two leaves the critical path), and achievable\n"
       "primitives give the paper's ~4-10x headroom claim.\n");
+  return rows;
+}
+
+// TABS_TRACE=1: the monitor's Section 5.2 view of every benchmark — where
+// the measured window's virtual time was spent, by component. The component
+// rows sum exactly (to the microsecond) to the end-to-end elapsed time; any
+// residual would mean the attribution lost track of a clock advance.
+void RunDecomposition(const std::vector<MainRow>& rows) {
+  std::printf("\nSection 5.2 latency decomposition (performance monitor, baseline runs)\n");
+  for (const MainRow& row : rows) {
+    SimTime sum = 0;
+    for (int c = 0; c < sim::kComponentCount; ++c) {
+      sum += row.base.component_us[c];
+    }
+    std::printf("%s (%d txns, %s ms total)%s\n", row.def.name.c_str(), row.base.iterations,
+                FormatMs(row.base.elapsed_total_us).c_str(),
+                sum == row.base.elapsed_total_us ? "" : "  ** RESIDUAL — ATTRIBUTION BUG **");
+    std::printf("%s", sim::FormatDecomposition(row.base.component_us).c_str());
+  }
+}
+
+// Machine-readable results for the CI bench-regression gate: per-benchmark
+// primitive counts, elapsed times, and the monitor's component breakdown.
+// Written silently — the regenerated paper table's stdout stays byte-stable.
+void WriteJson(const std::vector<MainRow>& rows) {
+  JsonWriter json;
+  json.BeginObject();
+  json.String("bench", "table5_4");
+  json.BeginArray("rows");
+  for (const MainRow& row : rows) {
+    json.BeginObject();
+    json.String("name", row.def.name);
+    json.Number("predicted_us", static_cast<std::uint64_t>(row.base.predicted_us));
+    json.Number("elapsed_us", static_cast<std::uint64_t>(row.base.elapsed_us));
+    json.Number("improved_elapsed_us", static_cast<std::uint64_t>(row.improved.elapsed_us));
+    json.Number("achievable_elapsed_us",
+                static_cast<std::uint64_t>(row.achievable.elapsed_us));
+    json.Number("iterations", row.base.iterations);
+    json.Number("elapsed_total_us", static_cast<std::uint64_t>(row.base.elapsed_total_us));
+    json.BeginObject("components_us");
+    for (int c = 0; c < sim::kComponentCount; ++c) {
+      json.Number(sim::ComponentName(static_cast<sim::Component>(c)),
+                  static_cast<std::uint64_t>(row.base.component_us[c]));
+    }
+    json.EndObject();
+    for (const char* bucket : {"precommit", "commit"}) {
+      const sim::PrimitiveCounts& counts =
+          bucket[0] == 'p' ? row.base.precommit : row.base.commit;
+      json.BeginObject(bucket);
+      for (int i = 0; i < sim::kPrimitiveCount; ++i) {
+        json.Number(sim::PrimitiveName(static_cast<sim::Primitive>(i)), counts.count[i]);
+      }
+      json.EndObject();
+    }
+    json.BeginObject("histograms");
+    for (const auto& [name, stats] : row.base.histograms) {
+      json.BeginObject(name.c_str());
+      json.Number("count", stats.count);
+      json.Number("total_us", static_cast<std::uint64_t>(stats.total));
+      json.Number("min_us", static_cast<std::uint64_t>(stats.min));
+      json.Number("max_us", static_cast<std::uint64_t>(stats.max));
+      json.Number("p50_us", static_cast<std::uint64_t>(stats.p50));
+      json.Number("p90_us", static_cast<std::uint64_t>(stats.p90));
+      json.Number("p99_us", static_cast<std::uint64_t>(stats.p99));
+      json.EndObject();
+    }
+    json.EndObject();
+    json.EndObject();
+  }
+  json.EndArray();
+  json.EndObject();
+  json.WriteFile("BENCH_table5_4.json");
 }
 
 void RunReconciliation() {
@@ -134,6 +225,18 @@ void RunTimelineDemo() {
     });
   });
   std::printf("%s", world.substrate().tracer().Timeline().c_str());
+  if (TraceEnabled()) {
+    // Chrome-trace export of the same transaction: open in Perfetto or
+    // chrome://tracing. One track per (node, component); the nested slices
+    // are the monitor's spans.
+    std::FILE* f = std::fopen("TRACE_table5_4_2node_write.json", "w");
+    if (f != nullptr) {
+      std::string trace = world.substrate().tracer().ChromeTraceJson();
+      std::fwrite(trace.data(), 1, trace.size(), f);
+      std::fclose(f);
+      std::printf("wrote TRACE_table5_4_2node_write.json\n");
+    }
+  }
 }
 
 void RunSection7Scenarios() {
@@ -193,9 +296,13 @@ void RunSection7Scenarios() {
 }  // namespace tabs::bench
 
 int main() {
-  tabs::bench::RunMainTable();
+  auto rows = tabs::bench::RunMainTable();
   tabs::bench::RunReconciliation();
   tabs::bench::RunTimelineDemo();
   tabs::bench::RunSection7Scenarios();
+  if (tabs::bench::TraceEnabled()) {
+    tabs::bench::RunDecomposition(rows);
+  }
+  tabs::bench::WriteJson(rows);
   return 0;
 }

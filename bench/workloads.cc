@@ -108,6 +108,11 @@ BenchResult RunBenchmark(const BenchmarkDef& def, const sim::CostModel& costs,
   BenchResult result;
   BenchState state;
   int measured = 0;
+  // The monitor is always on during benchmarks: the observer never mutates a
+  // clock, so measured times are bit-identical with or without it (the
+  // table5_* goldens are diffed against pre-monitor output to prove it).
+  sim::Tracer& tracer = world.substrate().tracer();
+  tracer.Enable(true);
   world.RunApp(1, [&](Application& app) {
     // Warm-up transactions populate buffer pools and session state; the
     // paper likewise discarded start-of-test transients.
@@ -118,7 +123,9 @@ BenchResult RunBenchmark(const BenchmarkDef& def, const sim::CostModel& costs,
       });
     }
     world.metrics().Reset();
+    tracer.Clear();  // histograms and spans restart with the measured window
     SimTime t0 = world.scheduler().Now();
+    sim::ComponentTimes attribution0 = tracer.CurrentTaskAttribution();
     for (int i = 0; i < iterations; ++i) {
       // RunTransactional instead of a hand-rolled retry loop. A single
       // uncontended client never aborts, so the success path is identical
@@ -145,9 +152,16 @@ BenchResult RunBenchmark(const BenchmarkDef& def, const sim::CostModel& costs,
       }
     }
     SimTime t1 = world.scheduler().Now();
+    sim::ComponentTimes attribution1 = tracer.CurrentTaskAttribution();
     measured = iterations;
     result.elapsed_us = (t1 - t0) / iterations;
+    result.elapsed_total_us = t1 - t0;
+    result.iterations = iterations;
+    for (int c = 0; c < sim::kComponentCount; ++c) {
+      result.component_us[c] = attribution1[c] - attribution0[c];
+    }
   });
+  result.histograms = world.substrate().tracer().histograms().AllStats();
 
   const sim::Metrics& m = world.metrics();
   result.precommit = m.Bucket(sim::Phase::kPreCommit);

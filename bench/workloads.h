@@ -12,11 +12,13 @@
 #ifndef TABS_BENCH_WORKLOADS_H_
 #define TABS_BENCH_WORKLOADS_H_
 
+#include <map>
 #include <string>
 #include <vector>
 
 #include "src/sim/cost_model.h"
 #include "src/sim/metrics.h"
+#include "src/sim/tracer.h"
 
 namespace tabs::bench {
 
@@ -40,6 +42,14 @@ struct BenchResult {
   sim::PrimitiveCounts commit;
   SimTime elapsed_us = 0;               // average per transaction
   SimTime predicted_us = 0;             // weighted primitive sum (Section 5.1)
+
+  // Performance-monitor views of the measured window, kept raw (no
+  // per-iteration division) so the Section 5.2 identity holds exactly:
+  // sum(component_us) == elapsed_total_us == elapsed_us * iterations + rem.
+  sim::ComponentTimes component_us{};   // per-component virtual time
+  SimTime elapsed_total_us = 0;         // whole measured window
+  int iterations = 0;
+  std::map<std::string, sim::HistogramRegistry::Stats> histograms;
 };
 
 BenchResult RunBenchmark(const BenchmarkDef& def, const sim::CostModel& costs,

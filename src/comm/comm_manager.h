@@ -56,6 +56,9 @@ class CommManager {
   template <typename R>
   Result<R> RemoteCall(const TransactionId& tid, CommManager& remote, std::string what,
                        std::function<R()> handler) {
+    sim::Tracer& tracer = network_.substrate().tracer();
+    sim::SpanGuard span(tracer, sim::Component::kCommunicationManager, "cm.remote-call",
+                        tracer.enabled() ? ToString(tid) : std::string());
     if (!network_.Reachable(self_, remote.self_)) {
       // The session layer detects the dead/partitioned destination before
       // any message flows: the remote node never becomes a participant.

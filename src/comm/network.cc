@@ -30,6 +30,10 @@ void Network::SetDatagramFaults(const DatagramFaults& faults) {
 void Network::SendDatagram(NodeId from, NodeId to, std::string what,
                            std::function<void()> handler) {
   sim::Scheduler& sched = substrate_.scheduler();
+  // Zero-duration on the sender (datagrams don't advance its clock), but the
+  // spawned handler's transit time is attributed to the comm manager.
+  sim::SpanGuard span(substrate_.tracer(), sim::Component::kCommunicationManager,
+                      "datagram.send", substrate_.tracer().enabled() ? what : std::string());
   substrate_.metrics().Count(sim::Primitive::kDatagram);
   if (!Reachable(from, to)) {
     return;  // silently lost, as datagrams are

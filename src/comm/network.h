@@ -91,6 +91,10 @@ class Network {
   Result<R> SessionCall(NodeId from, NodeId to, std::string what, std::function<R()> handler,
                         SimTime timeout = kDefaultSessionTimeout) {
     sim::Scheduler& sched = substrate_.scheduler();
+    // The whole RPC — outbound transit, remote work, reply wait — is one
+    // session span; the remote handler's own spans attribute the middle.
+    sim::SpanGuard span(substrate_.tracer(), sim::Component::kCommunicationManager,
+                        "session.call", substrate_.tracer().enabled() ? what : std::string());
     if (!Reachable(from, to)) {
       // Permanent communication failure detected by the session layer.
       substrate_.Charge(sim::Primitive::kInterNodeDataServerCall);
@@ -118,7 +122,11 @@ class Network {
         return;  // destination died in transit; the session will time out
       }
       Result<R> r = handler();
-      substrate_.scheduler().Charge(half);  // return transit
+      {
+        sim::SpanGuard recv(substrate_.tracer(), sim::Component::kCommunicationManager,
+                            "session.reply");
+        substrate_.scheduler().Charge(half);  // return transit
+      }
       channel->Push(std::move(r));
     });
     Result<R> out(Status::kNodeDown);

@@ -33,6 +33,7 @@ void PageCleaner::RunPass() {
   // transaction's primitive counts untouched; the I/O itself is still
   // charged (to the cleaner's own virtual clock).
   sim::Substrate::BackgroundScope background(substrate_);
+  sim::SpanGuard span(substrate_.tracer(), sim::Component::kKernel, "cleaner.pass");
 
   // Select the oldest dirty frames by recovery LSN across all segments —
   // the pages pinning the log tail get cleaned first. Ties break by

@@ -26,6 +26,7 @@ RecoverableSegment::Frame& RecoverableSegment::FaultIn(PageNumber page) {
     it->second.lru_tick = ++lru_clock_;
     return it->second;
   }
+  sim::SpanGuard span(substrate_.tracer(), sim::Component::kKernel, "page.fault");
   while (frames_.size() >= buffer_frames_) {
     EvictOne();
   }
@@ -83,6 +84,7 @@ void RecoverableSegment::EvictOne() {
 
 void RecoverableSegment::WriteBack(PageNumber page, Frame& frame, bool sequential,
                                    bool background) {
+  sim::SpanGuard span(substrate_.tracer(), sim::Component::kKernel, "page.writeback");
   std::uint64_t seqno = frame.last_lsn;
   if (hooks_ != nullptr) {
     // "The kernel does not write the page until it receives a message from

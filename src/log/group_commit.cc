@@ -12,6 +12,7 @@ namespace tabs::log {
 void GroupCommit::WaitStable(Lsn lsn) {
   sim::Substrate& sub = log_.substrate();
   sim::Scheduler& sched = sub.scheduler();
+  sim::SpanGuard span(sub.tracer(), sim::Component::kLog, "gc.wait-stable");
   if (!enabled() || !sched.in_task()) {
     // Legacy per-transaction force: the committer pays the stable write
     // itself. This is the paper-faithful path (window == 0) and the only
@@ -57,6 +58,9 @@ void GroupCommit::FlushBatch(std::uint64_t generation) {
     largest_batch_ = batch;
   }
   sim::Substrate& sub = log_.substrate();
+  sim::SpanGuard span(sub.tracer(), sim::Component::kLog, "gc.flush",
+                      sub.tracer().enabled() ? "batch=" + std::to_string(batch)
+                                             : std::string());
   // One member's force covers the whole batch: all but one stable write are
   // absorbed.
   if (batch > 1) {

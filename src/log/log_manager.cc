@@ -208,6 +208,7 @@ void LogManager::Force(Lsn upto) {
   }
   sim::Scheduler& sched = substrate_.scheduler();
   bool in_task = sched.in_task();
+  sim::SpanGuard span(substrate_.tracer(), sim::Component::kLog, "log.force");
   // The log device is one spindle: a force that arrives while an earlier
   // force's write is still spinning queues behind it in virtual time. (A
   // single sequential task never queues — its clock is already past the
@@ -257,6 +258,7 @@ void LogManager::Force(Lsn upto) {
 void LogManager::WaitDurable(Lsn lsn) {
   sim::Scheduler& sched = substrate_.scheduler();
   assert(sched.in_task() && "WaitDurable outside a task");
+  sim::SpanGuard span(substrate_.tracer(), sim::Component::kLog, "log.wait-durable");
   while (durable_lsn_ < lsn) {
     sched.Wait(durable_waiters_);
   }

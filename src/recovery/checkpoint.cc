@@ -20,6 +20,8 @@ using log::LogRecord;
 using log::RecordType;
 
 Lsn RecoveryManager::TakeCheckpoint(const std::vector<ActiveTxn>& active) {
+  sim::SpanGuard span(node_.substrate().tracer(), sim::Component::kRecoveryManager,
+                      "rm.checkpoint");
   ByteWriter w;
   w.U32(static_cast<std::uint32_t>(active.size()));
   for (const ActiveTxn& t : active) {
@@ -62,6 +64,8 @@ Lsn RecoveryManager::TakeCheckpoint(const std::vector<ActiveTxn>& active) {
 
 void RecoveryManager::ReclaimTo(const std::vector<ActiveTxn>& active,
                                 std::uint64_t target_retained_bytes) {
+  sim::SpanGuard span(node_.substrate().tracer(), sim::Component::kRecoveryManager,
+                      "rm.reclaim");
   // The checkpoint is fuzzy: segments need not be clean. Only pages whose
   // recovery LSNs would hold the low-water mark below the target get
   // flushed — oldest dirt first, and only that dirt. LSNs are 1 + the byte

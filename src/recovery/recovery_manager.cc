@@ -56,6 +56,8 @@ Lsn RecoveryManager::LogValue(const TransactionId& owner, const TransactionId& t
                               Bytes old_value, Bytes new_value) {
   assert(old_value.size() == oid.length && new_value.size() == oid.length);
   assert(oid.length <= kPageSize && "value records hold at most one page");
+  sim::SpanGuard span(node_.substrate().tracer(), sim::Component::kRecoveryManager,
+                      "rm.log-value");
   LogRecord rec;
   rec.type = RecordType::kValueUpdate;
   rec.owner = owner;
@@ -97,6 +99,8 @@ Lsn RecoveryManager::LogOperation(const TransactionId& owner, const TransactionI
                                   const std::string& server, const std::string& op_name,
                                   Bytes redo_args, const std::string& undo_op_name,
                                   Bytes undo_args, std::vector<PageId> pages) {
+  sim::SpanGuard span(node_.substrate().tracer(), sim::Component::kRecoveryManager,
+                      "rm.log-operation");
   LogRecord rec;
   rec.type = RecordType::kOperationUpdate;
   rec.owner = owner;
@@ -121,6 +125,8 @@ Lsn RecoveryManager::LogOperation(const TransactionId& owner, const TransactionI
 }
 
 void RecoveryManager::UndoTransaction(const TransactionId& owner, const TransactionId& top) {
+  sim::SpanGuard span(node_.substrate().tracer(), sim::Component::kRecoveryManager, "rm.undo",
+                      node_.substrate().tracer().enabled() ? ToString(owner) : std::string());
   auto it = undo_lists_.find(owner);
   if (it == undo_lists_.end()) {
     return;
@@ -232,6 +238,8 @@ void RecoveryManager::AfterPageWrite(PageId page, bool ok) {
 
 RecoveryStats RecoveryManager::Recover(TxnOutcomeSource& outcomes,
                                        const std::string* only_server) {
+  sim::SpanGuard span(node_.substrate().tracer(), sim::Component::kRecoveryManager,
+                      "rm.recover");
   node_.substrate().metrics().CountCrashRecovery();
   RecoveryStats stats;
   bool saw_operations = false;

@@ -31,6 +31,8 @@ Status DataServer::LockObject(const Tx& tx, const ObjectId& oid, lock::LockMode 
   // itself to the Transaction Manager on first contact (idempotent), so
   // commit/abort cleanup always reaches it even when the call bypassed the
   // request dispatcher (ExecuteTransaction bodies, nested helpers).
+  sim::SpanGuard span(substrate().tracer(), sim::Component::kDataServer, "lock.acquire",
+                      substrate().tracer().enabled() ? ToString(oid) : std::string());
   Join(tx);
   return locks_.Lock(tx.tid, oid, mode);
 }

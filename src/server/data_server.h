@@ -86,6 +86,8 @@ class DataServer : public txn::CommitParticipant {
   template <typename R>
   Result<R> Call(const Tx& tx, std::string what, std::function<Result<R>()> op) {
     if (tx.origin == node_id()) {
+      sim::SpanGuard span(substrate().tracer(), sim::Component::kDataServer, "server.call",
+                          substrate().tracer().enabled() ? what : std::string());
       substrate().Charge(sim::Primitive::kDataServerCall);
       Join(tx);
       return op();
@@ -99,6 +101,8 @@ class DataServer : public txn::CommitParticipant {
     local_tx.origin = node_id();  // on arrival, the op is local to this node
     auto result = tx.origin_cm->RemoteCall<Result<R>>(
         tx.top, *ctx_.cm, std::move(what), [self, local_tx, op = std::move(op)] {
+          sim::SpanGuard span(self->substrate().tracer(), sim::Component::kDataServer,
+                              "server.call");
           self->Join(local_tx);
           return op();
         });

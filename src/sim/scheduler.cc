@@ -5,7 +5,9 @@
 
 namespace tabs::sim {
 
-Scheduler::~Scheduler() {
+Scheduler::~Scheduler() { Shutdown(); }
+
+void Scheduler::Shutdown() {
   {
     std::lock_guard<std::mutex> lock(mu_);
     shutting_down_ = true;
@@ -45,6 +47,9 @@ TaskId Scheduler::Spawn(std::string name, NodeId node, SimTime start_time,
   Task* raw = task.get();
   task->thread = std::thread(&Scheduler::TaskMain, raw);
   tasks_.push_back(std::move(task));
+  if (observer_ != nullptr) {
+    observer_->OnSpawn(*raw, current_, start_time);
+  }
   return raw->id;
 }
 
@@ -62,6 +67,9 @@ void Scheduler::TaskMain(Task* t) {
     }
   }
   std::lock_guard<std::mutex> lock(sched->mu_);
+  if (sched->observer_ != nullptr) {
+    sched->observer_->OnDone(*t);
+  }
   t->state = Task::State::kDone;
   sched->current_ = nullptr;
   sched->sched_cv_.notify_one();
@@ -106,7 +114,13 @@ int Scheduler::Run() {
       }
       victim->timed_out = true;
       victim->state = Task::State::kReady;
-      victim->time = std::max(victim->time, deadline);
+      if (deadline > victim->time) {
+        SimTime from = victim->time;
+        victim->time = deadline;
+        if (observer_ != nullptr) {
+          observer_->OnTimeout(*victim, from, deadline);
+        }
+      }
       if (best == nullptr || victim->time < best->time ||
           (victim->time == best->time && victim->id < best->id)) {
         best = victim;
@@ -158,14 +172,24 @@ void Scheduler::Charge(SimTime cost) {
   if (current_->killed) {
     throw TaskKilled{};
   }
+  SimTime from = current_->time;
   current_->time += cost;
+  if (observer_ != nullptr && cost > 0) {
+    observer_->OnAdvance(*current_, from, current_->time);
+  }
 }
 
 void Scheduler::AdvanceTo(SimTime t) {
   if (current_ == nullptr) {
     return;
   }
-  current_->time = std::max(current_->time, t);
+  if (t > current_->time) {
+    SimTime from = current_->time;
+    current_->time = t;
+    if (observer_ != nullptr) {
+      observer_->OnAdvance(*current_, from, t);
+    }
+  }
 }
 
 void Scheduler::ParkCurrent(std::unique_lock<std::mutex>& lock, Task* t) {
@@ -200,7 +224,13 @@ void Scheduler::WakeLocked(Task* t, SimTime wake_time) {
   t->waiting_on = nullptr;
   ++t->timer_generation;  // cancel any pending timeout
   t->state = Task::State::kReady;
-  t->time = std::max(t->time, wake_time);
+  if (wake_time > t->time) {
+    SimTime from = t->time;
+    t->time = wake_time;
+    if (observer_ != nullptr) {
+      observer_->OnWake(*t, current_, from, wake_time);
+    }
+  }
 }
 
 void Scheduler::NotifyOne(WaitQueue& q) {

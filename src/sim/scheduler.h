@@ -78,6 +78,29 @@ struct Task {
   Scheduler* scheduler = nullptr;
 };
 
+// Observes every virtual-clock mutation the scheduler performs. The tracer
+// installs one when tracing is enabled; no observer is installed otherwise,
+// so the default simulation pays exactly one null-pointer check per clock
+// change and remains bit-identical to the pre-observer scheduler. Callbacks
+// may be invoked with the scheduler lock held and must not re-enter the
+// scheduler; they must never mutate task clocks.
+class ClockObserver {
+ public:
+  virtual ~ClockObserver() = default;
+  // The running task's clock moved from `from` to `to` (Charge/AdvanceTo).
+  virtual void OnAdvance(const Task& t, SimTime from, SimTime to) = 0;
+  // `t` was created with clock `start`. `spawner` is the task that called
+  // Spawn (null when spawned from outside any task, e.g. World setup).
+  virtual void OnSpawn(const Task& t, const Task* spawner, SimTime start) = 0;
+  // A notify moved blocked task `t` forward to the waker's clock. Called only
+  // when the clock actually jumped (`to > from`); `waker` is never null.
+  virtual void OnWake(const Task& t, const Task* waker, SimTime from, SimTime to) = 0;
+  // A wait timeout fired, moving `t` forward to the deadline (`to > from`).
+  virtual void OnTimeout(const Task& t, SimTime from, SimTime to) = 0;
+  // `t` finished (normally or by unwinding); its id will never run again.
+  virtual void OnDone(const Task& t) = 0;
+};
+
 class Scheduler {
  public:
   Scheduler() = default;
@@ -126,6 +149,18 @@ class Scheduler {
   bool in_task() const { return current_ != nullptr; }
   int blocked_count() const;
 
+  // Installs (or, with nullptr, removes) the clock observer. Callable only
+  // while no task is being scheduled concurrently with the change — in this
+  // strict hand-off model any point where the caller runs qualifies.
+  void SetClockObserver(ClockObserver* observer) { observer_ = observer; }
+
+  // Kills every task and runs until all stacks have unwound, then joins the
+  // task threads. Idempotent; the destructor calls it. Owners whose tasks
+  // reference shorter-lived state (e.g. the tracer, destroyed before the
+  // scheduler member in World) call this first so tasks unwind while that
+  // state is still alive. Must not be called from inside a task.
+  void Shutdown();
+
  private:
   static void TaskMain(Task* t);
   // Parks the current task (state already updated) and waits to be resumed.
@@ -142,6 +177,7 @@ class Scheduler {
   Task* current_ = nullptr;
   TaskId next_id_ = 1;
   bool shutting_down_ = false;
+  ClockObserver* observer_ = nullptr;
 };
 
 // A typed rendezvous channel: producers Push values (waking a consumer),

@@ -20,7 +20,9 @@ class FaultInjector;
 class Substrate {
  public:
   Substrate(Scheduler& sched, CostModel costs, ArchitectureModel arch)
-      : sched_(sched), costs_(costs), arch_(arch) {}
+      : sched_(sched), costs_(costs), arch_(arch) {
+    tracer_.Bind(&sched_);
+  }
 
   Scheduler& scheduler() { return sched_; }
   const CostModel& costs() const { return costs_; }
@@ -38,10 +40,12 @@ class Substrate {
   // task and counts it in the current phase.
   void Charge(Primitive p, double n = 1.0) {
     metrics_.Count(p, n);
-    sched_.Charge(static_cast<SimTime>(static_cast<double>(costs_.Of(p)) * n));
+    auto cost = static_cast<SimTime>(static_cast<double>(costs_.Of(p)) * n);
+    sched_.Charge(cost);
     if (tracer_.enabled() && sched_.in_task()) {
       tracer_.Record(sched_.Now(), sched_.current()->node, PrimitiveName(p),
                      sched_.current()->name);
+      tracer_.histograms().Sample(std::string("primitive.") + PrimitiveName(p), cost);
     }
   }
 

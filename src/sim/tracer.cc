@@ -1,0 +1,360 @@
+#include "src/sim/tracer.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <set>
+
+namespace tabs::sim {
+
+namespace {
+
+// Escapes a string for embedding in JSON (the trace exporter cannot depend on
+// bench/bench_json.h, which lives above it in the build graph).
+void AppendJsonEscaped(std::string& out, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+        break;
+    }
+  }
+}
+
+SimTime Quantile(const std::vector<SimTime>& sorted, int q) {
+  // Samples are never empty when this is called; nearest-rank on the floor
+  // index keeps quantiles exact members of the sample set.
+  return sorted[(sorted.size() - 1) * static_cast<std::size_t>(q) / 100];
+}
+
+}  // namespace
+
+const char* ComponentName(Component c) {
+  switch (c) {
+    case Component::kApplication:
+      return "Application";
+    case Component::kTransactionManager:
+      return "Transaction Manager";
+    case Component::kRecoveryManager:
+      return "Recovery Manager";
+    case Component::kCommunicationManager:
+      return "Communication Manager";
+    case Component::kDataServer:
+      return "Data Server";
+    case Component::kKernel:
+      return "Kernel";
+    case Component::kLog:
+      return "Log";
+  }
+  return "?";
+}
+
+std::map<std::string, HistogramRegistry::Stats> HistogramRegistry::AllStats() const {
+  std::map<std::string, Stats> out;
+  for (const auto& [name, samples] : samples_) {
+    if (samples.empty()) {
+      continue;
+    }
+    std::vector<SimTime> sorted = samples;
+    std::sort(sorted.begin(), sorted.end());
+    Stats s;
+    s.count = sorted.size();
+    for (SimTime v : sorted) {
+      s.total += v;
+    }
+    s.min = sorted.front();
+    s.max = sorted.back();
+    s.p50 = Quantile(sorted, 50);
+    s.p90 = Quantile(sorted, 90);
+    s.p99 = Quantile(sorted, 99);
+    out.emplace(name, s);
+  }
+  return out;
+}
+
+Tracer::~Tracer() {
+  if (observer_installed_ && sched_ != nullptr) {
+    sched_->SetClockObserver(nullptr);
+  }
+}
+
+void Tracer::Bind(Scheduler* sched) {
+  sched_ = sched;
+  if (enabled_ && sched_ != nullptr && !observer_installed_) {
+    sched_->SetClockObserver(this);
+    observer_installed_ = true;
+  }
+}
+
+void Tracer::Enable(bool on) {
+  enabled_ = on;
+  if (sched_ == nullptr) {
+    return;
+  }
+  if (on && !observer_installed_) {
+    // Attribution restarts from here: discard any state left over from an
+    // earlier enable, so every vector again sums to its task's clock.
+    task_states_.clear();
+    sched_->SetClockObserver(this);
+    observer_installed_ = true;
+  } else if (!on && observer_installed_) {
+    sched_->SetClockObserver(nullptr);
+    observer_installed_ = false;
+  }
+}
+
+void Tracer::Clear() {
+  events_.clear();
+  spans_.clear();
+  histograms_.Clear();
+  for (auto& [id, state] : task_states_) {
+    state.open_spans.clear();
+    state.current = Component::kApplication;
+  }
+  ++generation_;  // live SpanGuards now refer to discarded spans; disarm them
+}
+
+Component Tracer::CurrentComponent() const {
+  if (sched_ == nullptr || !sched_->in_task()) {
+    return Component::kApplication;
+  }
+  auto it = task_states_.find(sched_->current()->id);
+  return it == task_states_.end() ? Component::kApplication : it->second.current;
+}
+
+ComponentTimes Tracer::CurrentTaskAttribution() const {
+  ComponentTimes out{};
+  if (sched_ == nullptr || !sched_->in_task()) {
+    return out;
+  }
+  const Task* t = sched_->current();
+  auto it = task_states_.find(t->id);
+  if (it == task_states_.end()) {
+    out[static_cast<int>(Component::kApplication)] = t->time;
+    return out;
+  }
+  return it->second.attribution;
+}
+
+Tracer::TaskState& Tracer::EnsureState(const Task& t, SimTime clock_before) {
+  auto [it, inserted] = task_states_.try_emplace(t.id);
+  if (inserted) {
+    it->second.attribution[static_cast<int>(Component::kApplication)] = clock_before;
+  }
+  return it->second;
+}
+
+void Tracer::OnAdvance(const Task& t, SimTime from, SimTime to) {
+  TaskState& s = EnsureState(t, from);
+  s.attribution[static_cast<int>(s.current)] += to - from;
+}
+
+void Tracer::OnSpawn(const Task& t, const Task* spawner, SimTime start) {
+  if (spawner != nullptr && start >= spawner->time) {
+    // The child continues the spawner's causal chain: it inherits the full
+    // attribution vector, and the transit time until `start` is charged to
+    // whatever component issued the spawn (e.g. a session send).
+    TaskState& ps = EnsureState(*spawner, spawner->time);
+    TaskState child;
+    child.attribution = ps.attribution;
+    child.attribution[static_cast<int>(ps.current)] += start - spawner->time;
+    task_states_[t.id] = std::move(child);
+  } else {
+    // Spawned from outside any task (world setup, daemons): all clock time up
+    // to `start` is unattributed application time.
+    EnsureState(t, start);
+  }
+}
+
+void Tracer::OnWake(const Task& t, const Task* waker, SimTime from, SimTime to) {
+  // The woken task's clock jumped to the waker's: the wait interval was spent
+  // wherever the waker's causal chain spent it, so the woken task adopts the
+  // waker's vector wholesale (it sums exactly to `to`). The woken task's own
+  // span stack is untouched — it resumes in whatever component it blocked in.
+  (void)to;
+  TaskState& ws = EnsureState(*waker, waker->time);
+  ComponentTimes adopted = ws.attribution;
+  TaskState& s = EnsureState(t, from);
+  s.attribution = adopted;
+}
+
+void Tracer::OnTimeout(const Task& t, SimTime from, SimTime to) {
+  // A deadline fired: the task simply waited the interval out, in whatever
+  // component it was blocked in.
+  TaskState& s = EnsureState(t, from);
+  s.attribution[static_cast<int>(s.current)] += to - from;
+}
+
+void Tracer::OnDone(const Task& t) { task_states_.erase(t.id); }
+
+std::uint32_t Tracer::OpenSpan(Component component, const char* name, std::string detail) {
+  Task* t = sched_->current();
+  TaskState& s = EnsureState(*t, t->time);
+  auto index = static_cast<std::uint32_t>(spans_.size());
+  SpanRecord rec;
+  rec.begin = t->time;
+  rec.node = t->node;
+  rec.component = component;
+  rec.task = t->id;
+  rec.seq = next_seq_++;
+  rec.depth = static_cast<int>(s.open_spans.size());
+  rec.name = name;
+  rec.detail = std::move(detail);
+  spans_.push_back(std::move(rec));
+  s.open_spans.push_back(index);
+  s.current = component;
+  return index;
+}
+
+void Tracer::CloseSpan(std::uint32_t index, std::uint64_t generation) {
+  if (generation != generation_ || index >= spans_.size()) {
+    return;  // Clear() ran while the span was open
+  }
+  SpanRecord& span = spans_[index];
+  span.end = (sched_ != nullptr && sched_->in_task()) ? sched_->current()->time : span.begin;
+  auto it = task_states_.find(span.task);
+  if (it != task_states_.end()) {
+    auto& open = it->second.open_spans;
+    auto pos = std::find(open.begin(), open.end(), index);
+    if (pos != open.end()) {
+      open.erase(pos, open.end());
+    }
+    it->second.current =
+        open.empty() ? Component::kApplication : spans_[open.back()].component;
+  }
+  histograms_.Sample(std::string("span.") + span.name, span.end - span.begin);
+}
+
+SpanGuard::SpanGuard(Tracer& tracer, Component component, const char* name, std::string detail) {
+  if (!tracer.enabled() || tracer.sched_ == nullptr || !tracer.sched_->in_task()) {
+    return;
+  }
+  tracer_ = &tracer;
+  generation_ = tracer.generation_;
+  index_ = tracer.OpenSpan(component, name, std::move(detail));
+}
+
+SpanGuard::~SpanGuard() {
+  if (tracer_ != nullptr) {
+    tracer_->CloseSpan(index_, generation_);
+  }
+}
+
+std::string Tracer::ChromeTraceJson() const {
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  auto comma = [&] {
+    if (!first) {
+      out += ",";
+    }
+    first = false;
+  };
+
+  // Metadata: one process per node, one thread per component seen on it.
+  std::set<NodeId> nodes;
+  std::set<std::pair<NodeId, int>> threads;
+  for (const SpanRecord& s : spans_) {
+    nodes.insert(s.node);
+    threads.insert({s.node, static_cast<int>(s.component)});
+  }
+  for (const TraceEvent& e : events_) {
+    nodes.insert(e.node);
+    threads.insert({e.node, static_cast<int>(e.component)});
+  }
+  for (NodeId n : nodes) {
+    comma();
+    out += "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" + std::to_string(n) +
+           ",\"tid\":0,\"args\":{\"name\":\"node " + std::to_string(n) + "\"}}";
+  }
+  for (const auto& [node, comp] : threads) {
+    comma();
+    out += "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":" + std::to_string(node) +
+           ",\"tid\":" + std::to_string(comp + 1) + ",\"args\":{\"name\":\"";
+    AppendJsonEscaped(out, ComponentName(static_cast<Component>(comp)));
+    out += "\"}}";
+  }
+
+  // Duration events, ordered by (begin, open order) so nested spans follow
+  // their parents and the file is reproducible byte for byte.
+  std::vector<const SpanRecord*> ordered;
+  ordered.reserve(spans_.size());
+  for (const SpanRecord& s : spans_) {
+    ordered.push_back(&s);
+  }
+  std::sort(ordered.begin(), ordered.end(), [](const SpanRecord* a, const SpanRecord* b) {
+    return a->begin != b->begin ? a->begin < b->begin : a->seq < b->seq;
+  });
+  for (const SpanRecord* s : ordered) {
+    comma();
+    SimTime dur = s->end >= s->begin ? s->end - s->begin : 0;
+    out += "{\"name\":\"";
+    AppendJsonEscaped(out, s->name);
+    out += "\",\"cat\":\"";
+    AppendJsonEscaped(out, ComponentName(s->component));
+    out += "\",\"ph\":\"X\",\"ts\":" + std::to_string(s->begin) +
+           ",\"dur\":" + std::to_string(dur) + ",\"pid\":" + std::to_string(s->node) +
+           ",\"tid\":" + std::to_string(static_cast<int>(s->component) + 1) + ",\"args\":{";
+    bool first_arg = true;
+    if (!s->detail.empty()) {
+      out += "\"detail\":\"";
+      AppendJsonEscaped(out, s->detail);
+      out += "\"";
+      first_arg = false;
+    }
+    if (s->end < s->begin) {
+      if (!first_arg) {
+        out += ",";
+      }
+      out += "\"unclosed\":true";
+    }
+    out += "}}";
+  }
+
+  // The flat events ride along as thread-scoped instants.
+  for (const TraceEvent& e : events_) {
+    comma();
+    out += "{\"name\":\"";
+    AppendJsonEscaped(out, e.category);
+    out += "\",\"ph\":\"i\",\"s\":\"t\",\"ts\":" + std::to_string(e.time) +
+           ",\"pid\":" + std::to_string(e.node) +
+           ",\"tid\":" + std::to_string(static_cast<int>(e.component) + 1) + ",\"args\":{";
+    if (!e.detail.empty()) {
+      out += "\"detail\":\"";
+      AppendJsonEscaped(out, e.detail);
+      out += "\"";
+    }
+    out += "}}";
+  }
+
+  out += "]}\n";
+  return out;
+}
+
+std::string FormatDecomposition(const ComponentTimes& delta, const std::string& indent) {
+  std::ostringstream os;
+  SimTime total = 0;
+  for (int c = 0; c < kComponentCount; ++c) {
+    total += delta[c];
+  }
+  char buf[64];
+  for (int c = 0; c < kComponentCount; ++c) {
+    if (delta[c] == 0) {
+      continue;
+    }
+    std::snprintf(buf, sizeof buf, "%9.3f ms  ", delta[c] / 1000.0);
+    os << indent << buf << ComponentName(static_cast<Component>(c)) << "\n";
+  }
+  std::snprintf(buf, sizeof buf, "%9.3f ms  ", total / 1000.0);
+  os << indent << buf << "total\n";
+  return os.str();
+}
+
+}  // namespace tabs::sim

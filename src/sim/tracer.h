@@ -8,40 +8,152 @@
 // where a distributed transaction's latency went — which is how the numbers
 // behind Section 5.2's accounting ("36 msec in the Transaction Manager, 5 in
 // the Recovery Manager...") were obtained.
+//
+// On top of the flat event timeline the monitor keeps three structured views:
+//
+//  * Spans — nested RAII intervals (SpanGuard) tagged with the TABS component
+//    doing the work (Figure 3-1: Transaction Manager, Recovery Manager,
+//    Communication Manager, data servers, kernel, log). Spans nest per task
+//    and are exported as Chrome trace-event JSON (one pid per node, one tid
+//    per component) loadable in chrome://tracing or Perfetto.
+//
+//  * Component attribution — a per-task vector of cumulative virtual time per
+//    component whose entries always sum exactly to the task's clock. The
+//    tracer maintains it as a ClockObserver on the scheduler: clock advances
+//    are charged to the innermost open span's component; when a blocked task
+//    is woken forward in time it adopts the waker's vector (the wait went
+//    wherever the waker spent it); a spawned task inherits its spawner's
+//    vector plus the transit time. Differencing two snapshots of the
+//    application task's vector therefore decomposes any interval's latency
+//    by component with zero residual — Section 5.2's accounting, exact.
+//
+//  * Histograms — per-primitive and per-span-kind virtual-time samples with
+//    exact quantiles, serialized into the bench JSON output.
+//
+// Everything here is deterministic: identical seeds yield byte-identical
+// timelines, traces, and histograms. With tracing disabled no observer is
+// installed and no state is touched, so the simulation is bit-for-bit
+// identical to one built without the monitor.
 
 #ifndef TABS_SIM_TRACER_H_
 #define TABS_SIM_TRACER_H_
 
+#include <algorithm>
+#include <array>
+#include <cstdint>
 #include <map>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "src/common/types.h"
+#include "src/sim/scheduler.h"
 
 namespace tabs::sim {
+
+// The TABS processes of Figure 3-1, plus the application itself. Virtual time
+// not inside any instrumented span is attributed to the application.
+enum class Component {
+  kApplication = 0,
+  kTransactionManager,
+  kRecoveryManager,
+  kCommunicationManager,
+  kDataServer,
+  kKernel,
+  kLog,
+};
+inline constexpr int kComponentCount = 7;
+
+const char* ComponentName(Component c);
+
+// Cumulative virtual time per component; indexed by static_cast<int>.
+using ComponentTimes = std::array<SimTime, kComponentCount>;
 
 struct TraceEvent {
   SimTime time = 0;
   NodeId node = kInvalidNode;
   std::string category;
   std::string detail;
+  Component component = Component::kApplication;
 };
 
-class Tracer {
+// One nested interval of component work inside one task.
+struct SpanRecord {
+  SimTime begin = 0;
+  SimTime end = -1;  // -1 while open
+  NodeId node = kInvalidNode;
+  Component component = Component::kApplication;
+  TaskId task = kInvalidTask;
+  std::uint64_t seq = 0;  // global open order; tie-breaker for sorting
+  int depth = 0;          // nesting depth within the opening task
+  std::string name;
+  std::string detail;
+};
+
+// Exact-quantile histograms keyed by name. All samples are retained (bench
+// scales are small); quantiles are computed by sorting on demand, so they are
+// exact rather than bucket-approximate — regressions of a single microsecond
+// are visible.
+class HistogramRegistry {
  public:
+  struct Stats {
+    std::uint64_t count = 0;
+    SimTime total = 0;
+    SimTime min = 0;
+    SimTime max = 0;
+    SimTime p50 = 0;
+    SimTime p90 = 0;
+    SimTime p99 = 0;
+  };
+
+  void Sample(const std::string& name, SimTime value) { samples_[name].push_back(value); }
+  void Clear() { samples_.clear(); }
+  bool empty() const { return samples_.empty(); }
+
+  // Exact stats per histogram, in name order (deterministic).
+  std::map<std::string, Stats> AllStats() const;
+
+ private:
+  std::map<std::string, std::vector<SimTime>> samples_;
+};
+
+class Tracer : public ClockObserver {
+ public:
+  Tracer() = default;
+  ~Tracer() override;
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  // Attaches the tracer to the scheduler whose clocks it attributes. Without
+  // a bound scheduler the tracer still records explicit events (unit tests
+  // construct it bare) but spans and attribution are inert.
+  void Bind(Scheduler* sched);
+
   bool enabled() const { return enabled_; }
-  void Enable(bool on) { enabled_ = on; }
-  void Clear() { events_.clear(); }
+  void Enable(bool on);
+  void Clear();
 
   void Record(SimTime time, NodeId node, std::string category, std::string detail = "") {
     if (!enabled_) {
       return;
     }
-    events_.push_back({time, node, std::move(category), std::move(detail)});
+    events_.push_back({time, node, std::move(category), std::move(detail), CurrentComponent()});
   }
 
   const std::vector<TraceEvent>& events() const { return events_; }
+  const std::vector<SpanRecord>& spans() const { return spans_; }
+  HistogramRegistry& histograms() { return histograms_; }
+  const HistogramRegistry& histograms() const { return histograms_; }
+
+  // The component of the current task's innermost open span (kApplication
+  // when outside any span, outside any task, or unbound).
+  Component CurrentComponent() const;
+
+  // Snapshot of the running task's cumulative per-component attribution.
+  // Entries sum exactly to the task's virtual clock. Outside any task (or
+  // unbound) returns all zeros; for a task first seen before tracing was
+  // enabled, time predating the first observation counts as kApplication.
+  ComponentTimes CurrentTaskAttribution() const;
 
   // The timeline, ordered by virtual time (stable for ties: recording order).
   std::string Timeline() const {
@@ -77,10 +189,70 @@ class Tracer {
     return os.str();
   }
 
+  // Chrome trace-event JSON ("JSON object format"): one pid per node, one tid
+  // per component, ph:"X" duration events for spans (sorted by begin time,
+  // then open order) and ph:"i" instants for the flat events. Deterministic:
+  // identical runs serialize byte-identically. Open chrome://tracing or
+  // https://ui.perfetto.dev and load the saved file.
+  std::string ChromeTraceJson() const;
+
+  // ClockObserver — installed on the bound scheduler while enabled.
+  void OnAdvance(const Task& t, SimTime from, SimTime to) override;
+  void OnSpawn(const Task& t, const Task* spawner, SimTime start) override;
+  void OnWake(const Task& t, const Task* waker, SimTime from, SimTime to) override;
+  void OnTimeout(const Task& t, SimTime from, SimTime to) override;
+  void OnDone(const Task& t) override;
+
  private:
+  friend class SpanGuard;
+
+  struct TaskState {
+    ComponentTimes attribution{};  // invariant: sums to the task's clock
+    std::vector<std::uint32_t> open_spans;  // indices into spans_
+    Component current = Component::kApplication;
+  };
+
+  // Finds or creates the state for `t`, attributing any clock time that
+  // predates the first observation (`clock_before`) to kApplication.
+  TaskState& EnsureState(const Task& t, SimTime clock_before);
+
+  std::uint32_t OpenSpan(Component component, const char* name, std::string detail);
+  void CloseSpan(std::uint32_t index, std::uint64_t generation);
+
   bool enabled_ = false;
   std::vector<TraceEvent> events_;
+  Scheduler* sched_ = nullptr;
+  bool observer_installed_ = false;
+  std::uint64_t generation_ = 0;  // bumped by Clear(); invalidates live guards
+  std::uint64_t next_seq_ = 0;
+  std::vector<SpanRecord> spans_;
+  std::map<TaskId, TaskState> task_states_;
+  HistogramRegistry histograms_;
 };
+
+// RAII span: opens a component interval on the running task at construction,
+// closes it at destruction (including TaskKilled unwinds). Inert when tracing
+// is disabled, when the tracer is unbound, or outside any task — the
+// disabled-path cost is one branch. Spans must be closed in the task that
+// opened them (automatic with stack discipline).
+class SpanGuard {
+ public:
+  SpanGuard(Tracer& tracer, Component component, const char* name, std::string detail = "");
+  ~SpanGuard();
+  SpanGuard(const SpanGuard&) = delete;
+  SpanGuard& operator=(const SpanGuard&) = delete;
+
+ private:
+  Tracer* tracer_ = nullptr;  // null when inert
+  std::uint32_t index_ = 0;
+  std::uint64_t generation_ = 0;
+};
+
+// "  36.0ms  Transaction Manager"-style per-component table for the interval
+// described by `delta` (typically the difference of two CurrentTaskAttribution
+// snapshots). Components with zero time are omitted; a total line is printed
+// last and always equals the sum of the listed components exactly.
+std::string FormatDecomposition(const ComponentTimes& delta, const std::string& indent = "  ");
 
 }  // namespace tabs::sim
 

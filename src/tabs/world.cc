@@ -23,7 +23,13 @@ World::World(int node_count, WorldOptions options) : options_(options) {
   WirePeers();
 }
 
-World::~World() = default;
+World::~World() {
+  // Unwind every remaining task before the substrate (and with it the tracer,
+  // which tasks may hold open spans against) is destroyed: `scheduler_` is
+  // declared before `substrate_`, so without this the blocked tasks' stacks
+  // would unwind in ~Scheduler after the tracer is already gone.
+  scheduler_.Shutdown();
+}
 
 kernel::Node& World::node(NodeId id) {
   assert(id >= 1 && id <= nodes_.size());

@@ -28,6 +28,8 @@ const TransactionManager::Txn* TransactionManager::Find(const TransactionId& tid
 }
 
 TransactionId TransactionManager::Begin(const TransactionId& parent) {
+  sim::SpanGuard span(node_.substrate().tracer(), sim::Component::kTransactionManager,
+                      "txn.begin");
   // Application -> TM request and reply (two small local messages).
   node_.substrate().ChargeSystemMessage(sim::Primitive::kSmallMessage, 2);
   TransactionId tid{node_.id(), next_sequence_++};
@@ -314,6 +316,9 @@ std::vector<TransactionId> TransactionManager::InDoubt() const {
 }
 
 Status TransactionManager::ResolveInDoubt(const TransactionId& tid) {
+  sim::SpanGuard span(node_.substrate().tracer(), sim::Component::kTransactionManager,
+                      "txn.resolve-in-doubt",
+                      node_.substrate().tracer().enabled() ? ToString(tid) : std::string());
   bool recovered = in_doubt_.contains(tid);
   Txn* live = Find(tid);
   if (!recovered && (live == nullptr || live->state != TxnState::kPrepared)) {

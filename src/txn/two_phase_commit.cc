@@ -37,6 +37,8 @@ Status TransactionManager::CommitTopLevel(Txn& txn) {
   assert(txn.born_here && "EndTransaction must run at the transaction's birth node");
   sim::Substrate& sub = node_.substrate();
   sim::PhaseScope commit_phase(sub.metrics(), sim::Phase::kCommit);
+  sim::SpanGuard span(sub.tracer(), sim::Component::kTransactionManager, "2pc.commit",
+                      sub.tracer().enabled() ? ToString(txn.top) : std::string());
 
   // Open subtransactions commit with their parent (Section 2.1.3).
   for (const TransactionId& s : std::set<TransactionId>(txn.live_subtxns)) {
@@ -90,6 +92,8 @@ Status TransactionManager::CommitTopLevel(Txn& txn) {
 TransactionManager::Vote TransactionManager::PrepareSubtree(Txn& txn) {
   sim::Substrate& sub = node_.substrate();
   sim::Scheduler& sched = sub.scheduler();
+  sim::SpanGuard span(sub.tracer(), sim::Component::kTransactionManager, "2pc.prepare",
+                      sub.tracer().enabled() ? ToString(txn.top) : std::string());
   auto info = cm_.InfoFor(txn.top);
   FAULT_POINT(sub, "2pc.prepare.begin");
 
@@ -169,6 +173,8 @@ TransactionManager::Vote TransactionManager::HandlePrepare(const TransactionId& 
                                                            const std::vector<NodeId>& siblings) {
   sim::Substrate& sub = node_.substrate();
   sim::PhaseScope commit_phase(sub.metrics(), sim::Phase::kCommit);
+  sim::SpanGuard span(sub.tracer(), sim::Component::kTransactionManager, "2pc.handle-prepare",
+                      sub.tracer().enabled() ? ToString(tid) : std::string());
   Txn* found = Find(tid);
   if (found == nullptr) {
     // We never saw an operation for this transaction (e.g. its work here
@@ -219,6 +225,8 @@ TransactionManager::Vote TransactionManager::HandlePrepare(const TransactionId& 
 void TransactionManager::CommitSubtree(Txn& txn, bool is_root) {
   sim::Substrate& sub = node_.substrate();
   sim::Scheduler& sched = sub.scheduler();
+  sim::SpanGuard span(sub.tracer(), sim::Component::kTransactionManager, "2pc.commit-subtree",
+                      sub.tracer().enabled() ? ToString(txn.top) : std::string());
   bool wait_for_acks = !sub.arch().optimized_commit;
 
   auto acks = std::make_shared<sim::Channel<bool>>(sched);
@@ -279,6 +287,8 @@ void TransactionManager::HandleCommit(const TransactionId& tid) {
   }
   sim::Substrate& sub = node_.substrate();
   sim::PhaseScope commit_phase(sub.metrics(), sim::Phase::kCommit);
+  sim::SpanGuard span(sub.tracer(), sim::Component::kTransactionManager, "2pc.handle-commit",
+                      sub.tracer().enabled() ? ToString(tid) : std::string());
   // CM -> TM: commit arrived; TM -> CM: acknowledgement handed back.
   sub.ChargeSystemMessage(sim::Primitive::kSmallMessage, 2);
   sub.scheduler().Charge(sub.costs().participant_commit_overhead_us);
@@ -296,6 +306,8 @@ void TransactionManager::HandleCommit(const TransactionId& tid) {
 
 void TransactionManager::AbortSubtree(Txn& txn, bool notify_children) {
   sim::Substrate& sub = node_.substrate();
+  sim::SpanGuard span(sub.tracer(), sim::Component::kTransactionManager, "2pc.abort",
+                      sub.tracer().enabled() ? ToString(txn.top) : std::string());
   if (notify_children) {
     auto info = cm_.InfoFor(txn.top);
     for (NodeId child : info.children) {

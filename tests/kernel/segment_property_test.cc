@@ -115,7 +115,7 @@ TEST(WriteAheadInvariantTest, NoPageOutPrecedesItsLogRecords) {
     std::mt19937 rng(99);
     TransactionId tid{1, 1};
     for (int i = 0; i < 200; ++i) {
-      ObjectId oid{1, (rng() % 32) * kPageSize + rng() % 64, 4};
+      ObjectId oid{1, static_cast<std::uint32_t>((rng() % 32) * kPageSize + rng() % 64), 4};
       log::LogRecord rec;
       rec.type = log::RecordType::kValueUpdate;
       rec.owner = tid;

@@ -54,7 +54,7 @@ TEST_P(LockPropertyTest, GrantsNeverViolateCompatibility) {
     sched.Spawn("driver", 1, 0, [&] {
       for (int step = 0; step < 400; ++step) {
         TransactionId tid{1, 1 + rng() % 5};
-        ObjectId oid{1, (rng() % 6) * 8, 8};
+        ObjectId oid{1, static_cast<std::uint32_t>((rng() % 6) * 8), 8};
         auto mode = static_cast<LockMode>(rng() % mc.mode_count);
         if (rng() % 5 == 0) {
           lm.ReleaseAll(tid);

@@ -1,0 +1,127 @@
+// Golden tests for the performance monitor's Section 5.2 latency
+// decomposition: for a debit-credit transaction (the paper's canonical
+// banking example) the per-component virtual times must sum EXACTLY — to the
+// microsecond — to the end-to-end elapsed time, locally and across nodes,
+// under the Table 5-1 (baseline) cost model. Any residual means a clock
+// advance escaped attribution (a missed observer hook or a span imbalance).
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "src/servers/account_server.h"
+#include "src/sim/tracer.h"
+#include "src/tabs/world.h"
+
+namespace tabs {
+namespace {
+
+using servers::AccountServer;
+
+// Runs one warmed-up debit-credit transaction (withdraw from the first
+// server, deposit to the second — the same server twice when local) and
+// returns the decomposition of exactly that transaction.
+struct Decomposition {
+  sim::ComponentTimes component_us{};
+  SimTime elapsed_us = 0;
+};
+
+Decomposition RunDebitCredit(int nodes) {
+  World world(nodes);
+  AccountServer* debit = world.AddServerOf<AccountServer>(1, "accounts-1", 4u);
+  AccountServer* credit =
+      nodes >= 2 ? world.AddServerOf<AccountServer>(2, "accounts-2", 4u) : debit;
+  Decomposition d;
+  world.RunApp(1, [&](Application& app) {
+    // Fund the source account and warm the buffer pools / CM sessions, so
+    // the measured transaction is the paper's steady-state shape.
+    app.Transaction([&](const server::Tx& tx) {
+      debit->Deposit(tx, 0, 1000);
+      credit->Deposit(tx, 1, 1000);
+      return Status::kOk;
+    });
+    sim::Tracer& tracer = world.substrate().tracer();
+    tracer.Enable(true);
+    SimTime t0 = world.scheduler().Now();
+    sim::ComponentTimes a0 = tracer.CurrentTaskAttribution();
+    app.Transaction([&](const server::Tx& tx) {
+      debit->Withdraw(tx, 0, 100);
+      credit->Deposit(tx, 1, 100);
+      return Status::kOk;
+    });
+    SimTime t1 = world.scheduler().Now();
+    sim::ComponentTimes a1 = tracer.CurrentTaskAttribution();
+    d.elapsed_us = t1 - t0;
+    for (int c = 0; c < sim::kComponentCount; ++c) {
+      d.component_us[c] = a1[c] - a0[c];
+    }
+  });
+  return d;
+}
+
+SimTime Sum(const sim::ComponentTimes& t) {
+  return std::accumulate(t.begin(), t.end(), SimTime{0});
+}
+
+SimTime Of(const Decomposition& d, sim::Component c) {
+  return d.component_us[static_cast<int>(c)];
+}
+
+TEST(TraceDecompositionTest, LocalDebitCreditSumsExactly) {
+  Decomposition d = RunDebitCredit(1);
+  EXPECT_EQ(Sum(d.component_us), d.elapsed_us);  // zero residual, exact
+
+  // Golden decomposition under Table 5-1 baseline costs. A local write pair
+  // spends its time in the Transaction Manager (commit processing and
+  // process-CPU overhead), the Data Server (calls, locking, and the log
+  // spooling messages), and the Log (stable forces); nothing leaves the
+  // node. The RM's bookkeeping charges no primitives of its own — its
+  // message costs are paid at the Data Server boundary, exactly the
+  // double-count the paper's Section 5.2 analysis worries about.
+  EXPECT_EQ(d.elapsed_us, 282'400);
+  EXPECT_EQ(Of(d, sim::Component::kTransactionManager), 124'400);
+  EXPECT_EQ(Of(d, sim::Component::kDataServer), 79'000);
+  EXPECT_EQ(Of(d, sim::Component::kLog), 79'000);
+  EXPECT_EQ(Of(d, sim::Component::kCommunicationManager), 0);
+  EXPECT_EQ(Of(d, sim::Component::kRecoveryManager), 0);
+  EXPECT_EQ(Of(d, sim::Component::kKernel), 0);
+  EXPECT_EQ(Of(d, sim::Component::kApplication), 0);
+}
+
+TEST(TraceDecompositionTest, RemoteDebitCreditSumsExactly) {
+  Decomposition d = RunDebitCredit(2);
+  EXPECT_EQ(Sum(d.component_us), d.elapsed_us);  // zero residual, exact
+
+  // The two-node transfer adds the Communication Manager (session RPC and
+  // the two-phase-commit message flow) on top of the local shape, and the
+  // coordinator's clock absorbs the participant's prepare/commit work it
+  // waits on (the adopt-on-wake rule charges the waiter).
+  EXPECT_EQ(d.elapsed_us, 923'600);
+  EXPECT_EQ(Of(d, sim::Component::kTransactionManager), 511'700);
+  EXPECT_EQ(Of(d, sim::Component::kCommunicationManager), 192'000);
+  EXPECT_EQ(Of(d, sim::Component::kDataServer), 58'900);
+  EXPECT_EQ(Of(d, sim::Component::kLog), 158'000);
+  EXPECT_EQ(Of(d, sim::Component::kApplication), 3'000);
+  EXPECT_EQ(Of(d, sim::Component::kRecoveryManager), 0);
+  EXPECT_EQ(Of(d, sim::Component::kKernel), 0);
+}
+
+TEST(TraceDecompositionTest, DecompositionIsDeterministic) {
+  Decomposition a = RunDebitCredit(2);
+  Decomposition b = RunDebitCredit(2);
+  EXPECT_EQ(a.elapsed_us, b.elapsed_us);
+  EXPECT_EQ(a.component_us, b.component_us);
+}
+
+TEST(TraceDecompositionTest, FormatDecompositionMatchesComponents) {
+  Decomposition d = RunDebitCredit(1);
+  std::string text = sim::FormatDecomposition(d.component_us);
+  EXPECT_NE(text.find("Transaction Manager"), std::string::npos);
+  EXPECT_NE(text.find("Log"), std::string::npos);
+  EXPECT_NE(text.find("total"), std::string::npos);
+  // Components that saw no time are omitted from the rendering.
+  EXPECT_EQ(text.find("Communication Manager"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tabs

@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""Compare a bench JSON artifact against its committed baseline.
+
+The simulator runs on virtual time, so every number a bench emits is exactly
+reproducible: the gate is an *exact* comparison, not a tolerance band. Any
+drift — a primitive count up by one, a component picking up microseconds, a
+histogram bucket moving — fails CI and must be either fixed or explicitly
+re-baselined (tools/refresh_baselines.sh, commit the diff with the PR that
+caused it).
+
+Usage:
+    tools/check_bench.py BASELINE CURRENT [--allow GLOB]...
+
+  BASELINE  committed baseline JSON (bench/baselines/smoke/...)
+  CURRENT   freshly produced BENCH_*.json
+  --allow   fnmatch pattern of value paths to exclude from comparison
+            (repeatable), e.g. --allow 'rows/*/histograms/span.*'
+
+The top-level "meta" object (generation provenance written by the refresh
+script) is always ignored. Exit status: 0 clean, 1 on any difference.
+"""
+
+import argparse
+import fnmatch
+import json
+import sys
+
+
+def flatten(value, prefix=""):
+    """Yield (path, scalar) pairs; paths use '/' so dotted names stay intact."""
+    if isinstance(value, dict):
+        for k in value:
+            yield from flatten(value[k], f"{prefix}{k}/")
+    elif isinstance(value, list):
+        for i, v in enumerate(value):
+            yield from flatten(v, f"{prefix}{i}/")
+    else:
+        yield prefix[:-1] if prefix.endswith("/") else prefix, value
+
+
+def name_rows(doc):
+    """Re-key 'rows' arrays by each row's 'name' so diffs read naturally and
+    row insertion doesn't misalign every later index."""
+    if isinstance(doc, dict):
+        out = {}
+        for k, v in doc.items():
+            if k == "rows" and isinstance(v, list) and all(
+                isinstance(r, dict) and "name" in r for r in v
+            ):
+                out[k] = {r["name"]: name_rows(r) for r in v}
+            else:
+                out[k] = name_rows(v)
+        return out
+    if isinstance(doc, list):
+        return [name_rows(v) for v in doc]
+    return doc
+
+
+def load(path):
+    with open(path) as f:
+        doc = json.load(f)
+    if isinstance(doc, dict):
+        doc.pop("meta", None)
+    return dict(flatten(name_rows(doc)))
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("baseline")
+    ap.add_argument("current")
+    ap.add_argument("--allow", action="append", default=[],
+                    help="fnmatch pattern of paths to ignore (repeatable)")
+    args = ap.parse_args()
+
+    base = load(args.baseline)
+    cur = load(args.current)
+
+    def allowed(path):
+        return any(fnmatch.fnmatch(path, pat) for pat in args.allow)
+
+    rows = []
+    for path in sorted(base.keys() | cur.keys()):
+        if allowed(path):
+            continue
+        b = base.get(path, "<missing>")
+        c = cur.get(path, "<missing>")
+        if b != c:
+            rows.append((path, b, c))
+
+    if not rows:
+        print(f"OK: {args.current} matches {args.baseline} "
+              f"({len(cur)} values compared)")
+        return 0
+
+    width = max(len(p) for p, _, _ in rows)
+    width = min(width, 72)
+    print(f"BENCH REGRESSION: {args.current} differs from {args.baseline} "
+          f"in {len(rows)} value(s):\n")
+    print(f"  {'path':<{width}}  {'baseline':>14}  {'current':>14}")
+    for path, b, c in rows:
+        print(f"  {path:<{width}}  {b!s:>14}  {c!s:>14}")
+    print(
+        "\nIf this change is intentional, regenerate the baselines with\n"
+        "  tools/refresh_baselines.sh\n"
+        "and commit the updated bench/baselines/ alongside the change that\n"
+        "caused it (the diff documents the perf impact for review)."
+    )
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Machine-checkable formatting gate (see .clang-format for the full style).
+
+Checks every tracked C++ source, Python tool, shell script, and workflow file
+for the invariants that never need human judgment:
+
+  * no tab characters (C++/Python; Makefiles and YAML are exempt by type)
+  * no trailing whitespace
+  * LF line endings (no CR)
+  * lines at most 100 columns (the .clang-format ColumnLimit)
+  * file ends with exactly one newline
+
+Runs identically everywhere (no clang-format binary dependency), so the CI
+result is reproducible on any dev machine: tools/check_format.py
+"""
+
+import subprocess
+import sys
+
+MAX_COLUMNS = 100
+SUFFIXES = (".cc", ".h", ".py", ".sh", ".yml", ".yaml", ".cmake")
+NAMES = ("CMakeLists.txt",)
+
+
+def tracked_files():
+    out = subprocess.run(["git", "ls-files"], check=True, capture_output=True, text=True)
+    for line in out.stdout.splitlines():
+        if line.endswith(SUFFIXES) or line.rsplit("/", 1)[-1] in NAMES:
+            yield line
+
+
+def check(path):
+    problems = []
+    with open(path, "rb") as f:
+        data = f.read()
+    if b"\r" in data:
+        problems.append("CR line ending")
+    if not data.endswith(b"\n"):
+        problems.append("missing final newline")
+    elif data.endswith(b"\n\n"):
+        problems.append("trailing blank line at EOF")
+    tabs_ok = path.endswith((".yml", ".yaml"))  # YAML forbids tabs anyway; be lenient
+    for i, line in enumerate(data.split(b"\n")[:-1], start=1):
+        text = line.decode("utf-8", errors="replace")
+        if "\t" in text and not tabs_ok:
+            problems.append(f"line {i}: tab character")
+        if text != text.rstrip():
+            problems.append(f"line {i}: trailing whitespace")
+        if len(text) > MAX_COLUMNS:
+            problems.append(f"line {i}: {len(text)} columns (max {MAX_COLUMNS})")
+    return problems
+
+
+def main():
+    bad = 0
+    for path in tracked_files():
+        for problem in check(path):
+            print(f"{path}: {problem}")
+            bad += 1
+    if bad:
+        print(f"\n{bad} formatting problem(s); style reference: .clang-format")
+        return 1
+    print("formatting clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,59 @@
+#!/usr/bin/env bash
+# Regenerate the committed bench baselines in bench/baselines/.
+#
+# Run this when a change intentionally shifts bench numbers (new primitive on
+# a path, cost-model change, workload change), then commit the resulting diff
+# with that change — the baseline diff is the reviewable record of the perf
+# impact. The benches are fully deterministic (virtual time), so a refresh on
+# an unchanged tree is a no-op.
+#
+#   tools/refresh_baselines.sh [BUILD_DIR]
+#
+# BUILD_DIR defaults to ./build-baselines (created if needed).
+
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+build="${1:-$repo/build-baselines}"
+benches=(throughput checkpoint_ablation table5_4_benchmarks)
+artifacts=(BENCH_throughput.json BENCH_checkpoint.json BENCH_table5_4.json)
+
+cmake -B "$build" -S "$repo" >/dev/null
+cmake --build "$build" -j "$(nproc)" --target "${benches[@]}"
+
+commit="$(git -C "$repo" rev-parse --short HEAD 2>/dev/null || echo unknown)"
+date="$(date -u +%Y-%m-%dT%H:%M:%SZ)"
+
+run_mode() { # $1 = smoke|full
+  local mode="$1" outdir tmp
+  outdir="$repo/bench/baselines/$mode"
+  tmp="$(mktemp -d)"
+  mkdir -p "$outdir"
+  (
+    cd "$tmp"
+    for b in "${benches[@]}"; do
+      if [ "$mode" = smoke ]; then
+        TABS_BENCH_SMOKE=1 "$build/bench/$b" >/dev/null
+      else
+        "$build/bench/$b" >/dev/null
+      fi
+    done
+  )
+  for a in "${artifacts[@]}"; do
+    python3 - "$tmp/$a" "$outdir/$a" "$mode" "$commit" "$date" <<'EOF'
+import json, sys
+src, dst, mode, commit, date = sys.argv[1:6]
+doc = json.load(open(src))
+doc["meta"] = {"mode": mode, "commit": commit, "generated": date,
+               "refresh": "tools/refresh_baselines.sh"}
+with open(dst, "w") as f:
+    json.dump(doc, f, indent=1, sort_keys=False)
+    f.write("\n")
+EOF
+    echo "wrote bench/baselines/$mode/$a"
+  done
+  rm -rf "$tmp"
+}
+
+run_mode smoke
+run_mode full
