@@ -1,0 +1,128 @@
+// Ablation: the asynchronous communication fast path (pipelined server calls
+// and message coalescing) against the paper's sequential RPC discipline.
+//
+// The paper's Table 5-4 shows inter-node benchmarks dominated by the 89 ms
+// server-server datagram exchange: every remote operation pays a full
+// round-trip before the next can start. This bench takes remote-op-dominated
+// multi-node workloads and sweeps the two fast-path knobs:
+//
+//   w = WorldOptions::max_outstanding_calls  (pipelining window per txn)
+//   c = WorldOptions::op_coalesce_batch      (independent ops per message)
+//
+// The w=1, c=1 sequential row is the paper-faithful baseline; every other row
+// reports its speedup over that row. Alongside the table the bench writes
+// BENCH_pipeline.json for the CI bench gate.
+
+#include <cstdio>
+
+#include "bench/bench_json.h"
+#include "bench/workloads.h"
+#include "src/sim/cost_model.h"
+
+namespace tabs {
+namespace {
+
+void Run() {
+  const int iterations = bench::SmokeMode() ? 8 : 24;
+  const int warmup = bench::SmokeMode() ? 4 : 12;
+  const sim::CostModel costs = sim::CostModel::Baseline();
+  const sim::ArchitectureModel arch = sim::ArchitectureModel::Prototype();
+
+  struct Workload {
+    const char* label;
+    int nodes;
+    bool write;
+    int local_ops;
+    int remote_ops;
+    int third_ops;
+  };
+  const Workload workloads[] = {
+      {"1 lcl + 8 rem read, 2 nodes", 2, false, 1, 8, 0},
+      {"1 lcl + 4 + 4 read, 3 nodes", 3, false, 1, 4, 4},
+      {"1 lcl + 4 + 4 write, 3 nodes", 3, true, 1, 4, 4},
+  };
+
+  bench::JsonWriter json;
+  json.BeginObject();
+  json.String("bench", "pipeline_ablation");
+  json.Number("iterations", iterations);
+  json.Bool("smoke", bench::SmokeMode());
+  json.BeginArray("rows");
+
+  std::printf("Pipelining/coalescing ablation: %d measured transactions per row\n",
+              iterations);
+  for (const Workload& w : workloads) {
+    std::printf("\n%s\n", w.label);
+    std::printf("%-12s %5s %5s | %12s %9s %11s %10s\n", "mode", "w", "c",
+                "elapsed ms", "speedup", "async/txn", "coal/txn");
+    std::printf("%.72s\n",
+                "------------------------------------------------------------"
+                "------------");
+    SimTime sequential_us = 0;
+    auto run_row = [&](bool pipelined, int window, int coalesce) {
+      bench::BenchmarkDef def;
+      def.name = w.label;
+      def.nodes = w.nodes;
+      def.write = w.write;
+      def.paging = bench::Paging::kNone;
+      def.local_ops = w.local_ops;
+      def.remote_ops = w.remote_ops;
+      def.third_node_ops = w.third_ops;
+      def.pipelined = pipelined;
+      def.max_outstanding_calls = window;
+      def.op_coalesce_batch = coalesce;
+      bench::BenchResult r = bench::RunBenchmark(def, costs, arch, iterations, warmup);
+      if (!pipelined) {
+        sequential_us = r.elapsed_us;
+      }
+      double speedup = r.elapsed_us > 0
+                           ? static_cast<double>(sequential_us) / r.elapsed_us
+                           : 0.0;
+      std::printf("%-12s %5d %5d | %12s %8.2fx %11.2f %10.2f\n",
+                  pipelined ? "pipelined" : "sequential", window, coalesce,
+                  bench::FormatMs(r.elapsed_us).c_str(), speedup, r.async_calls,
+                  r.messages_coalesced);
+      json.BeginObject();
+      // Row key for tools/check_bench.py: workload + mode + both knobs.
+      json.String("name", std::string(w.label) + (pipelined ? " pipelined" : " sequential") +
+                              " w=" + std::to_string(window) +
+                              " c=" + std::to_string(coalesce));
+      json.String("workload", w.label);
+      json.Bool("pipelined", pipelined);
+      json.Number("max_outstanding_calls", window);
+      json.Number("op_coalesce_batch", coalesce);
+      json.Number("elapsed_us", static_cast<std::uint64_t>(r.elapsed_us));
+      json.Number("speedup", speedup);
+      json.Number("async_calls_per_txn", r.async_calls);
+      json.Number("messages_coalesced_per_txn", r.messages_coalesced);
+      json.EndObject();
+    };
+    run_row(false, 1, 1);
+    for (int window : {1, 2, 4, 8}) {
+      for (int coalesce : {1, 2, 4}) {
+        run_row(true, window, coalesce);
+      }
+    }
+  }
+  json.EndArray();
+  json.EndObject();
+
+  std::printf(
+      "\nWith w=1, c=1 the async path serialises exactly like the paper's\n"
+      "sequential discipline (same messages, same charging), so its row matches\n"
+      "the baseline. Widening the window overlaps the 89 ms inter-node\n"
+      "round-trips that dominate these workloads; coalescing amortises whole\n"
+      "messages away by carrying several independent operations per datagram\n"
+      "exchange. The two compose: a batch occupies one window slot.\n");
+  if (json.WriteFile("BENCH_pipeline.json")) {
+    std::printf("\nwrote BENCH_pipeline.json\n");
+  }
+}
+
+}  // namespace
+}  // namespace tabs
+
+int main() {
+  tabs::Run();
+  return 0;
+}

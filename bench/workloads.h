@@ -32,6 +32,13 @@ struct BenchmarkDef {
   int local_ops = 1;      // operations on the node-1 array
   int remote_ops = 0;     // operations on the node-2 array
   int third_node_ops = 0; // operations on the node-3 array
+
+  // Communication fast path (pipeline_ablation only). The paper benchmarks
+  // leave these at their defaults, which make the async machinery behave
+  // exactly like the sequential path, so the Table 5-x outputs are unchanged.
+  bool pipelined = false;          // issue remote/third-node ops via AsyncOps
+  int max_outstanding_calls = 1;   // WorldOptions::max_outstanding_calls
+  int op_coalesce_batch = 1;       // WorldOptions::op_coalesce_batch
 };
 
 // The fourteen benchmarks, in the paper's Table 5-2/5-4 order.
@@ -42,6 +49,8 @@ struct BenchResult {
   sim::PrimitiveCounts commit;
   SimTime elapsed_us = 0;               // average per transaction
   SimTime predicted_us = 0;             // weighted primitive sum (Section 5.1)
+  double async_calls = 0;               // async wire calls issued, per txn
+  double messages_coalesced = 0;        // ops that shared a message, per txn
 
   // Performance-monitor views of the measured window, kept raw (no
   // per-iteration division) so the Section 5.2 identity holds exactly:

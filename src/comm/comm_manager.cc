@@ -32,4 +32,26 @@ void CommManager::NoteParent(const TransactionId& tid, NodeId parent) {
   }
 }
 
+std::shared_ptr<CommManager::CallWindow> CommManager::AcquireSlot(const TransactionId& tid) {
+  sim::Substrate& sub = network_.substrate();
+  sim::Scheduler& sched = sub.scheduler();
+  auto& slot = windows_[tid];
+  if (slot == nullptr) {
+    slot = std::make_shared<CallWindow>();
+  }
+  // Hold a reference across the wait: Forget (commit/abort cleanup) may
+  // erase the map entry while we sleep.
+  std::shared_ptr<CallWindow> win = slot;
+  while (win->outstanding >= max_outstanding_calls_) {
+    if (!sched.Wait(win->slots, Network::kDefaultSessionTimeout)) {
+      return nullptr;  // an in-flight call died with its destination
+    }
+  }
+  ++win->outstanding;
+  if (sub.tracer().enabled()) {
+    sub.tracer().histograms().Sample("cm.outstanding-calls", win->outstanding);
+  }
+  return win;
+}
+
 }  // namespace tabs::comm

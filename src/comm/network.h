@@ -136,6 +136,80 @@ class Network {
     return out;
   }
 
+  // Like SessionCall, but the caller does not block: the returned future is
+  // fulfilled when the reply arrives (at the reply's virtual time, so the
+  // awaiting task joins to it exactly as a blocking call would). Charging is
+  // identical to SessionCall — one inter-node call primitive per session,
+  // half-transit on the sender at issue, half on the delivery task — so a
+  // window of one reproduces the synchronous latency composition.
+  //
+  // `handler` returns a Result<R> so remote-operation failures and
+  // session-layer failures (kNodeDown) share the future's payload — the
+  // await site sees one flat Result either way.
+  //
+  // `on_complete` (optional) runs exactly once when the session resolves
+  // without the destination crashing: at reply delivery, or synchronously on
+  // an immediate failure (unreachable destination, injected session drop).
+  // If the destination dies with the call in flight it never runs and the
+  // future stays empty — the caller's Await(timeout) detects the broken
+  // session, exactly like SessionCall's PopWithTimeout.
+  template <typename R>
+  sim::FuturePtr<Result<R>> AsyncSessionCall(NodeId from, NodeId to, std::string what,
+                                             std::function<Result<R>()> handler,
+                                             std::function<void()> on_complete = {}) {
+    sim::Scheduler& sched = substrate_.scheduler();
+    auto future = std::make_shared<sim::Future<Result<R>>>(sched);
+    // The issue side is a short span: only the outbound transit runs on the
+    // caller; the remote work and return transit attribute to the delivery
+    // task (the "session.reply" span).
+    sim::SpanGuard span(substrate_.tracer(), sim::Component::kCommunicationManager,
+                        "session.async-send",
+                        substrate_.tracer().enabled() ? what : std::string());
+    if (!Reachable(from, to)) {
+      substrate_.Charge(sim::Primitive::kInterNodeDataServerCall);
+      if (on_complete) {
+        on_complete();
+      }
+      future->Fulfil(Status::kNodeDown);
+      return future;
+    }
+    if (session_drop_ && session_drop_(from, to)) {
+      substrate_.Charge(sim::Primitive::kInterNodeDataServerCall);
+      substrate_.metrics().CountFault(sim::FaultKind::kSessionDrop);
+      if (on_complete) {
+        on_complete();
+      }
+      future->Fulfil(Status::kNodeDown);
+      return future;
+    }
+    substrate_.metrics().Count(sim::Primitive::kInterNodeDataServerCall);
+    if (substrate_.tracer().enabled() && sched.in_task()) {
+      substrate_.tracer().Record(sched.Now(), from,
+                                 sim::PrimitiveName(sim::Primitive::kInterNodeDataServerCall),
+                                 what);
+    }
+    SimTime half = substrate_.CostOf(sim::Primitive::kInterNodeDataServerCall) / 2;
+    sched.Charge(half);  // outbound transit — sends serialize at the sender
+    sched.Spawn(std::move(what), to, sched.Now(),
+                [this, to, half, future, handler = std::move(handler),
+                 on_complete = std::move(on_complete)] {
+                  if (!IsAlive(to)) {
+                    return;  // died in transit; the caller's Await times out
+                  }
+                  Result<R> r = handler();
+                  {
+                    sim::SpanGuard recv(substrate_.tracer(),
+                                        sim::Component::kCommunicationManager, "session.reply");
+                    substrate_.scheduler().Charge(half);  // return transit
+                  }
+                  if (on_complete) {
+                    on_complete();
+                  }
+                  future->Fulfil(std::move(r));
+                });
+    return future;
+  }
+
   // --- datagrams -------------------------------------------------------------
   // Fire-and-forget. The handler runs on `to` one datagram-time later; the
   // sender does not block and its clock does not advance.

@@ -103,21 +103,37 @@ void LockManager::GrantEligibleWaiters(LockHead& head) {
   }
 }
 
+std::vector<ObjectId> LockManager::SortedOids() const {
+  std::vector<ObjectId> oids;
+  oids.reserve(heads_.size());
+  for (const auto& [oid, head] : heads_) {
+    oids.push_back(oid);
+  }
+  std::sort(oids.begin(), oids.end());
+  return oids;
+}
+
 void LockManager::ReleaseAll(const TransactionId& tid) {
-  for (auto it = heads_.begin(); it != heads_.end();) {
+  // Walk in ObjectId order: GrantEligibleWaiters wakes tasks, and the wake
+  // sequence must not depend on hash-table iteration order.
+  for (const ObjectId& oid : SortedOids()) {
+    auto it = heads_.find(oid);
+    if (it == heads_.end()) {
+      continue;
+    }
     LockHead& head = it->second;
     if (head.granted.erase(tid) > 0) {
       GrantEligibleWaiters(head);
     }
     if (head.granted.empty() && head.waiters.empty()) {
-      it = heads_.erase(it);
-    } else {
-      ++it;
+      heads_.erase(it);
     }
   }
 }
 
 void LockManager::InheritToParent(const TransactionId& child, const TransactionId& parent) {
+  // Pure re-keying: no wakes, no charges, and the final table state is the
+  // same whatever order the heads are visited in.
   for (auto& [oid, head] : heads_) {
     auto it = head.granted.find(child);
     if (it == head.granted.end()) {
@@ -131,8 +147,8 @@ void LockManager::InheritToParent(const TransactionId& child, const TransactionI
 
 std::vector<ObjectId> LockManager::LocksHeldBy(const TransactionId& tid) const {
   std::vector<ObjectId> out;
-  for (const auto& [oid, head] : heads_) {
-    if (head.granted.contains(tid)) {
+  for (const ObjectId& oid : SortedOids()) {
+    if (heads_.at(oid).granted.contains(tid)) {
       out.push_back(oid);
     }
   }
@@ -140,8 +156,11 @@ std::vector<ObjectId> LockManager::LocksHeldBy(const TransactionId& tid) const {
 }
 
 std::vector<LockManager::WaitsForEdge> LockManager::WaitsFor() const {
+  // Edge order feeds the deadlock detector's victim choice: keep it in
+  // ObjectId order, independent of hashing.
   std::vector<WaitsForEdge> edges;
-  for (const auto& [oid, head] : heads_) {
+  for (const ObjectId& oid : SortedOids()) {
+    const LockHead& head = heads_.at(oid);
     for (const auto& w : head.waiters) {
       for (const auto& [holder, modes] : head.granted) {
         if (holder == w->tid) {
@@ -160,8 +179,9 @@ std::vector<LockManager::WaitsForEdge> LockManager::WaitsFor() const {
 }
 
 void LockManager::CancelWaits(const TransactionId& tid) {
-  for (auto& [oid, head] : heads_) {
-    for (auto& w : head.waiters) {
+  // NotifyOne order is observable: ObjectId order, as with ReleaseAll.
+  for (const ObjectId& oid : SortedOids()) {
+    for (auto& w : heads_.at(oid).waiters) {
       if (w->tid == tid && !w->queue.empty()) {
         w->cancelled = true;
         sched_.NotifyOne(w->queue);

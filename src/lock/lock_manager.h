@@ -19,6 +19,7 @@
 #include <map>
 #include <memory>
 #include <set>
+#include <unordered_map>
 #include <vector>
 
 #include "src/common/result.h"
@@ -91,11 +92,18 @@ class LockManager {
 
   bool CanGrant(const LockHead& head, const TransactionId& tid, LockMode mode) const;
   void GrantEligibleWaiters(LockHead& head);
+  // The object table's keys in ObjectId order. Everywhere iteration order is
+  // observable (waiter wake order, waits-for edge order, held-lock listings)
+  // we walk this sorted view, which is exactly the order the table had when
+  // it was a std::map — so scheduling stays bit-identical while the hot
+  // per-operation lookups (Lock, ConditionalLock, IsLocked, Holds) drop from
+  // O(log n) to O(1).
+  std::vector<ObjectId> SortedOids() const;
 
   sim::Scheduler& sched_;
   CompatibilityMatrix matrix_;
   SimTime default_timeout_;
-  std::map<ObjectId, LockHead> heads_;
+  std::unordered_map<ObjectId, LockHead> heads_;
 };
 
 }  // namespace tabs::lock

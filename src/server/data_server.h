@@ -24,6 +24,7 @@
 #ifndef TABS_SERVER_DATA_SERVER_H_
 #define TABS_SERVER_DATA_SERVER_H_
 
+#include <algorithm>
 #include <functional>
 #include <map>
 #include <memory>
@@ -110,6 +111,113 @@ class DataServer : public txn::CommitParticipant {
       return result.status();
     }
     return result.value();
+  }
+
+  // Asynchronous entry point: like Call, but a remote invocation returns a
+  // future instead of blocking, letting the caller overlap independent
+  // operations on several servers (up to the CM's pipeline window). A local
+  // invocation has no network latency to hide and runs synchronously,
+  // returning an already-fulfilled future — so callers can use one shape for
+  // both. Failure semantics match Call: a dead destination surfaces as
+  // kNodeDown when the future is awaited.
+  template <typename R>
+  sim::FuturePtr<Result<R>> AsyncCall(const Tx& tx, std::string what,
+                                      std::function<Result<R>()> op) {
+    if (tx.origin == node_id()) {
+      auto f = std::make_shared<sim::Future<Result<R>>>(substrate().scheduler());
+      f->Fulfil(Call<R>(tx, std::move(what), std::move(op)));
+      return f;
+    }
+    assert(tx.origin_cm != nullptr && "remote call without an origin CM");
+    DataServer* self = this;
+    Tx local_tx = tx;
+    local_tx.origin = node_id();
+    return tx.origin_cm->AsyncRemoteCall<R>(
+        tx.top, *ctx_.cm, std::move(what), [self, local_tx, op = std::move(op)] {
+          sim::SpanGuard span(self->substrate().tracer(), sim::Component::kDataServer,
+                              "server.call");
+          self->Join(local_tx);
+          return op();
+        });
+  }
+
+  // Batch entry point: runs the independent `ops` in this server on behalf
+  // of `tx`. Remote invocations chunk the batch by the CM's coalescing limit
+  // and put every chunk on the wire before awaiting any (so batching
+  // composes with pipelining); local invocations dispatch each op exactly
+  // like separate Calls — coalescing saves messages, never server work.
+  // Results are in op order.
+  template <typename R>
+  std::vector<Result<R>> CallBatch(const Tx& tx, const std::string& what,
+                                   std::vector<std::function<Result<R>()>> ops) {
+    std::vector<Result<R>> out;
+    out.reserve(ops.size());
+    if (tx.origin == node_id()) {
+      for (auto& op : ops) {
+        out.push_back(Call<R>(tx, what, std::move(op)));
+      }
+      return out;
+    }
+    for (auto& f : AsyncCallChunks<R>(tx, what, std::move(ops))) {
+      Result<std::vector<Result<R>>> chunk(Status::kNodeDown);
+      if (f->Await(comm::Network::kDefaultSessionTimeout)) {
+        chunk = std::move(f->value());
+      }
+      if (!chunk.ok()) {
+        out.push_back(chunk.status());
+        continue;
+      }
+      for (auto& r : chunk.value()) {
+        out.push_back(std::move(r));
+      }
+    }
+    return out;
+  }
+
+  // The async half of CallBatch: one future per wire message (coalesced
+  // chunk). Local batches dispatch synchronously into a single ready chunk.
+  // tabs::AsyncOps joins these.
+  template <typename R>
+  std::vector<sim::FuturePtr<Result<std::vector<Result<R>>>>> AsyncCallChunks(
+      const Tx& tx, const std::string& what, std::vector<std::function<Result<R>()>> ops) {
+    std::vector<sim::FuturePtr<Result<std::vector<Result<R>>>>> futures;
+    if (ops.empty()) {
+      return futures;
+    }
+    if (tx.origin == node_id()) {
+      std::vector<Result<R>> chunk;
+      chunk.reserve(ops.size());
+      for (auto& op : ops) {
+        chunk.push_back(Call<R>(tx, what, std::move(op)));
+      }
+      auto f = std::make_shared<sim::Future<Result<std::vector<Result<R>>>>>(
+          substrate().scheduler());
+      f->Fulfil(std::move(chunk));
+      futures.push_back(std::move(f));
+      return futures;
+    }
+    assert(tx.origin_cm != nullptr && "remote call without an origin CM");
+    DataServer* self = this;
+    Tx local_tx = tx;
+    local_tx.origin = node_id();
+    size_t limit = static_cast<size_t>(tx.origin_cm->op_coalesce_batch());
+    for (size_t base = 0; base < ops.size(); base += limit) {
+      size_t count = std::min(limit, ops.size() - base);
+      std::vector<std::function<Result<R>()>> wire_ops;
+      wire_ops.reserve(count);
+      for (size_t i = 0; i < count; ++i) {
+        auto op = std::move(ops[base + i]);
+        wire_ops.push_back([self, local_tx, op = std::move(op)] {
+          sim::SpanGuard span(self->substrate().tracer(), sim::Component::kDataServer,
+                              "server.call");
+          self->Join(local_tx);
+          return op();
+        });
+      }
+      futures.push_back(tx.origin_cm->AsyncRemoteCallBatch<R>(
+          tx.top, *ctx_.cm, what, std::move(wire_ops)));
+    }
+    return futures;
   }
 
   // --- Table 3-1: startup ------------------------------------------------------

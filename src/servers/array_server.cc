@@ -17,8 +17,9 @@ ArrayServer::ArrayServer(const server::ServerContext& ctx, std::uint32_t cells,
                          size_t buffer_frames)
     : DataServer(ctx, MakeOptions(cells, buffer_frames)), cells_(cells) {}
 
-Result<std::int32_t> ArrayServer::GetCell(const server::Tx& tx, std::uint32_t cell) {
-  return Call<std::int32_t>(tx, "GetCell", [this, tx, cell]() -> Result<std::int32_t> {
+std::function<Result<std::int32_t>()> ArrayServer::ReadOp(const server::Tx& tx,
+                                                          std::uint32_t cell) {
+  return [this, tx, cell]() -> Result<std::int32_t> {
     if (cell >= cells_) {
       return Status::kOutOfRange;
     }
@@ -31,11 +32,12 @@ Result<std::int32_t> ArrayServer::GetCell(const server::Tx& tx, std::uint32_t ce
     std::int32_t value;
     std::memcpy(&value, v.data(), sizeof value);
     return value;
-  });
+  };
 }
 
-Status ArrayServer::SetCell(const server::Tx& tx, std::uint32_t cell, std::int32_t value) {
-  auto r = Call<bool>(tx, "SetCell", [this, tx, cell, value]() -> Result<bool> {
+std::function<Result<bool>()> ArrayServer::WriteOp(const server::Tx& tx, std::uint32_t cell,
+                                                   std::int32_t value) {
+  return [this, tx, cell, value]() -> Result<bool> {
     if (cell >= cells_) {
       return Status::kOutOfRange;
     }
@@ -48,8 +50,47 @@ Status ArrayServer::SetCell(const server::Tx& tx, std::uint32_t cell, std::int32
     std::memcpy(Staged(tx, obj).data(), &value, sizeof value);  // obj.ptr^ := value
     LogAndUnPin(tx, obj);
     return true;
-  });
+  };
+}
+
+Result<std::int32_t> ArrayServer::GetCell(const server::Tx& tx, std::uint32_t cell) {
+  return Call<std::int32_t>(tx, "GetCell", ReadOp(tx, cell));
+}
+
+Status ArrayServer::SetCell(const server::Tx& tx, std::uint32_t cell, std::int32_t value) {
+  auto r = Call<bool>(tx, "SetCell", WriteOp(tx, cell, value));
   return r.ok() ? Status::kOk : r.status();
+}
+
+sim::FuturePtr<Result<std::int32_t>> ArrayServer::AsyncGetCell(const server::Tx& tx,
+                                                               std::uint32_t cell) {
+  return AsyncCall<std::int32_t>(tx, "GetCell", ReadOp(tx, cell));
+}
+
+sim::FuturePtr<Result<bool>> ArrayServer::AsyncSetCell(const server::Tx& tx,
+                                                       std::uint32_t cell,
+                                                       std::int32_t value) {
+  return AsyncCall<bool>(tx, "SetCell", WriteOp(tx, cell, value));
+}
+
+std::vector<sim::FuturePtr<Result<std::vector<Result<std::int32_t>>>>>
+ArrayServer::AsyncGetCells(const server::Tx& tx, const std::vector<std::uint32_t>& cells) {
+  std::vector<std::function<Result<std::int32_t>()>> ops;
+  ops.reserve(cells.size());
+  for (std::uint32_t cell : cells) {
+    ops.push_back(ReadOp(tx, cell));
+  }
+  return AsyncCallChunks<std::int32_t>(tx, "GetCells", std::move(ops));
+}
+
+std::vector<sim::FuturePtr<Result<std::vector<Result<bool>>>>> ArrayServer::AsyncSetCells(
+    const server::Tx& tx, const std::vector<std::pair<std::uint32_t, std::int32_t>>& writes) {
+  std::vector<std::function<Result<bool>()>> ops;
+  ops.reserve(writes.size());
+  for (const auto& [cell, value] : writes) {
+    ops.push_back(WriteOp(tx, cell, value));
+  }
+  return AsyncCallChunks<bool>(tx, "SetCells", std::move(ops));
 }
 
 }  // namespace tabs::servers

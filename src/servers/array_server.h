@@ -11,6 +11,8 @@
 #define TABS_SERVERS_ARRAY_SERVER_H_
 
 #include <cstdint>
+#include <utility>
+#include <vector>
 
 #include "src/server/data_server.h"
 
@@ -28,12 +30,31 @@ class ArrayServer : public server::DataServer {
   // PROCEDURE SetCell(cellNum: integer; value: integer)
   Status SetCell(const server::Tx& tx, std::uint32_t cell, std::int32_t value);
 
+  // Asynchronous variants (the communication fast path): the operation is
+  // pipelined when this server is remote from `tx`; Await/AsyncOps joins it.
+  sim::FuturePtr<Result<std::int32_t>> AsyncGetCell(const server::Tx& tx, std::uint32_t cell);
+  sim::FuturePtr<Result<bool>> AsyncSetCell(const server::Tx& tx, std::uint32_t cell,
+                                            std::int32_t value);
+
+  // Coalesced batches: independent cells travel together, chunked by the
+  // origin CM's op_coalesce_batch. One future per wire message.
+  std::vector<sim::FuturePtr<Result<std::vector<Result<std::int32_t>>>>> AsyncGetCells(
+      const server::Tx& tx, const std::vector<std::uint32_t>& cells);
+  std::vector<sim::FuturePtr<Result<std::vector<Result<bool>>>>> AsyncSetCells(
+      const server::Tx& tx, const std::vector<std::pair<std::uint32_t, std::int32_t>>& writes);
+
   // The cell's ObjectId (address arithmetic, exposed for tests/benches).
   ObjectId CellOid(std::uint32_t cell) const {
     return CreateObjectId(cell * sizeof(std::int32_t), sizeof(std::int32_t));
   }
 
  private:
+  // The operation bodies, shared by the synchronous and pipelined entry
+  // points (identical locking, paging, and logging either way).
+  std::function<Result<std::int32_t>()> ReadOp(const server::Tx& tx, std::uint32_t cell);
+  std::function<Result<bool>()> WriteOp(const server::Tx& tx, std::uint32_t cell,
+                                        std::int32_t value);
+
   std::uint32_t cells_;
 };
 

@@ -115,6 +115,18 @@ class Metrics {
   double page_writes_foreground() const { return page_writes_foreground_; }
   double page_writes_background() const { return page_writes_background_; }
 
+  // Asynchronous-communication accounting. An async call is *issued* when a
+  // transaction puts a pipelined session call on the wire without blocking;
+  // a message is *coalesced* when an operation travelled inside another
+  // operation's session instead of paying its own (a batch of k coalesces
+  // k-1). Like the force and page-write counters these are not Primitives:
+  // with the knobs at their paper-faithful defaults both stay zero and the
+  // regenerated paper tables keep their shape.
+  void CountAsyncCall() { ++async_calls_issued_; }
+  void CountMessagesCoalesced(double n = 1.0) { messages_coalesced_ += n; }
+  double async_calls_issued() const { return async_calls_issued_; }
+  double messages_coalesced() const { return messages_coalesced_; }
+
   // Fault-injection and recovery accounting. Like the force and page-write
   // counters these are deliberately not Primitives: with faults off every
   // counter stays zero and the regenerated paper tables keep their shape.
@@ -148,6 +160,8 @@ class Metrics {
     forces_absorbed_ = 0;
     page_writes_foreground_ = 0;
     page_writes_background_ = 0;
+    async_calls_issued_ = 0;
+    messages_coalesced_ = 0;
     faults_injected_ = {};
     crash_recoveries_ = 0;
     log_tail_truncations_ = 0;
@@ -161,6 +175,8 @@ class Metrics {
   double forces_absorbed_ = 0;
   double page_writes_foreground_ = 0;
   double page_writes_background_ = 0;
+  double async_calls_issued_ = 0;
+  double messages_coalesced_ = 0;
   std::array<double, kFaultKindCount> faults_injected_{};
   double crash_recoveries_ = 0;
   double log_tail_truncations_ = 0;

@@ -19,6 +19,7 @@
 #ifndef TABS_SIM_SCHEDULER_H_
 #define TABS_SIM_SCHEDULER_H_
 
+#include <cassert>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -26,6 +27,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
@@ -179,6 +181,64 @@ class Scheduler {
   bool shutting_down_ = false;
   ClockObserver* observer_ = nullptr;
 };
+
+// A single-assignment promise/future: the rendezvous of the asynchronous
+// communication fast path. Fulfil publishes the value (at most once) and
+// wakes every waiter in FIFO order; Await blocks until fulfilled or until
+// `timeout` virtual time passes. A waiter resumes no earlier than the
+// fulfiller's clock — so the completion time of a pipelined remote call
+// composes into the caller's clock exactly like a Channel push, and a task
+// awaiting several futures resumes at the max of their completion times.
+template <typename T>
+class Future {
+ public:
+  explicit Future(Scheduler& sched) : sched_(sched) {}
+  Future(const Future&) = delete;
+  Future& operator=(const Future&) = delete;
+
+  bool ready() const { return value_.has_value(); }
+
+  void Fulfil(T v) {
+    assert(!ready() && "a future is fulfilled at most once");
+    value_.emplace(std::move(v));
+    sched_.NotifyAll(queue_);
+  }
+
+  // Blocks until ready; with `timeout >= 0` gives up after that much virtual
+  // time. Returns ready() — false means the producer never delivered (e.g.
+  // its node crashed with the call in flight).
+  bool Await(SimTime timeout = -1) {
+    if (timeout < 0) {
+      while (!ready()) {
+        sched_.Wait(queue_);
+      }
+      return true;
+    }
+    SimTime deadline = sched_.Now() + timeout;
+    while (!ready()) {
+      SimTime remaining = deadline - sched_.Now();
+      if (remaining <= 0 || !sched_.Wait(queue_, remaining)) {
+        break;
+      }
+    }
+    return ready();
+  }
+
+  T& value() {
+    assert(ready());
+    return *value_;
+  }
+
+ private:
+  Scheduler& sched_;
+  WaitQueue queue_;
+  std::optional<T> value_;
+};
+
+// Futures are shared between the issuing task and the delivery task (which
+// may outlive the issuer if its node crashes), so they live on the heap.
+template <typename T>
+using FuturePtr = std::shared_ptr<Future<T>>;
 
 // A typed rendezvous channel: producers Push values (waking a consumer),
 // consumers Pop (blocking while empty). Used for RPC replies and vote

@@ -12,6 +12,7 @@
 #include <exception>
 #include <functional>
 #include <utility>
+#include <vector>
 
 #include "src/comm/comm_manager.h"
 #include "src/common/result.h"
@@ -68,11 +69,91 @@ class Application {
                              const RetryPolicy& policy);
   RunResult RunTransactional(const std::function<Status(const server::Tx&)>& body);
 
+  class AsyncOps;
+  // A joiner for the asynchronous fast path (see class below).
+  AsyncOps Parallel();
+
  private:
   NodeId node_;
   txn::TransactionManager* tm_;
   comm::CommManager* cm_;
 };
+
+// The join half of the parallel-ops API: collects futures minted by the
+// servers' Async* operations and awaits them all. Add() registers a pending
+// operation; Join() waits for every one (in issue order, so the caller's
+// clock advances to the latest completion) and returns kOk or the first
+// failure. A future left empty by a destination crash surfaces as kNodeDown
+// after a session timeout, exactly like a blocked synchronous call.
+//
+// Join() must be called before the transaction Ends: TABS pipelines only
+// within the pre-commit phase, so every operation's verdict is known before
+// the commit protocol starts (the paper's failure semantics are unchanged).
+class Application::AsyncOps {
+ public:
+  explicit AsyncOps(SimTime timeout = comm::Network::kDefaultSessionTimeout)
+      : timeout_(timeout) {}
+
+  // A single pipelined operation.
+  template <typename R>
+  void Add(sim::FuturePtr<Result<R>> f) {
+    waits_.push_back([f = std::move(f), timeout = timeout_]() -> Status {
+      if (!f->Await(timeout)) {
+        return Status::kNodeDown;  // broken session: the reply never came
+      }
+      return f->value().status();
+    });
+  }
+
+  // A coalesced chunk (DataServer::AsyncCallChunks): the outer Result is the
+  // session verdict, the inner per-op Results are each operation's own.
+  template <typename R>
+  void AddBatch(sim::FuturePtr<Result<std::vector<Result<R>>>> f) {
+    waits_.push_back([f = std::move(f), timeout = timeout_]() -> Status {
+      if (!f->Await(timeout)) {
+        return Status::kNodeDown;
+      }
+      if (!f->value().ok()) {
+        return f->value().status();
+      }
+      for (const Result<R>& r : f->value().value()) {
+        if (!r.ok()) {
+          return r.status();
+        }
+      }
+      return Status::kOk;
+    });
+  }
+  template <typename R>
+  void AddBatch(std::vector<sim::FuturePtr<Result<std::vector<Result<R>>>>> fs) {
+    for (auto& f : fs) {
+      AddBatch<R>(std::move(f));
+    }
+  }
+
+  size_t pending() const { return waits_.size(); }
+
+  // Awaits everything added so far, in issue order. Returns the first
+  // non-kOk status (later operations are still awaited, so the window fully
+  // drains and the caller's clock reflects every completion).
+  Status Join() {
+    Status first = Status::kOk;
+    for (auto& wait : waits_) {
+      Status s = wait();
+      if (s != Status::kOk && first == Status::kOk) {
+        first = s;
+      }
+    }
+    waits_.clear();
+    return first;
+  }
+
+ private:
+  SimTime timeout_;
+  std::vector<std::function<Status()>> waits_;
+};
+
+inline Application::AsyncOps Application::Parallel() { return AsyncOps(); }
 
 // An RAII transaction handle: the constructor Begins (optionally as a
 // subtransaction), Commit()/Abort() finish it explicitly, and the destructor

@@ -57,6 +57,7 @@ void World::BuildRuntime(NodeId id) {
   rt.rm = std::make_unique<recovery::RecoveryManager>(node(id));
   rt.rm->SetPageCleaner(rt.cleaner.get());
   rt.cm = std::make_unique<comm::CommManager>(id, *network_);
+  rt.cm->ConfigurePipeline(options_.max_outstanding_calls, options_.op_coalesce_batch);
   rt.tm = std::make_unique<txn::TransactionManager>(node(id), *rt.rm, *rt.cm);
   rt.ns = std::make_unique<name::NameServer>(*rt.cm);
   rt.gc = std::make_unique<log::GroupCommit>(id, rt.rm->log(),

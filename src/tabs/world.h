@@ -67,6 +67,15 @@ struct WorldOptions {
   SimTime page_clean_interval_us = 0;
   // Pages written per cleaning pass (one elevator sweep).
   int page_clean_batch = 16;
+  // Asynchronous communication fast path (CommManager). A transaction may
+  // hold this many pipelined session calls in flight at once; 1 (the
+  // default) is the paper's strictly sequential remote-call behaviour —
+  // every table5_* number is unchanged.
+  int max_outstanding_calls = 1;
+  // Up to this many independent same-server operations coalesce into one
+  // large message instead of paying a session call each; 1 (the default)
+  // keeps the paper's one-operation-per-message model.
+  int op_coalesce_batch = 1;
   // Commit-protocol vote/ack wait budget (TransactionManager). Fault sweeps
   // tighten it so a lost vote aborts in microseconds instead of 10 virtual
   // seconds; the default is the protocol's historical timeout.

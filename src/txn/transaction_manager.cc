@@ -210,7 +210,7 @@ void TransactionManager::AppendTxnRecord(RecordType type, const Txn& txn, bool f
   rec.top = txn.top;
   rec.parent_node = txn.parent_node;
   rec.siblings = txn.siblings;
-  auto info = cm_.InfoFor(txn.top);
+  const auto& info = cm_.InfoFor(txn.top);
   rec.children.assign(info.children.begin(), info.children.end());
   for (CommitParticipant* s : txn.servers) {
     rec.local_servers.push_back(s->participant_name());

@@ -13,6 +13,7 @@
 // returns to the application as soon as the commit record is stable and the
 // commit datagrams are on the wire.
 
+#include <algorithm>
 #include <cassert>
 #include <memory>
 
@@ -51,7 +52,7 @@ Status TransactionManager::CommitTopLevel(Txn& txn) {
   sub.ChargeSystemMessage(sim::Primitive::kSmallMessage, 1);  // app -> TM: commit
   txn.state = TxnState::kPreparing;
 
-  auto info = cm_.InfoFor(txn.top);
+  const auto& info = cm_.InfoFor(txn.top);
   if (!info.children.empty()) {
     // The CM hands the TM the complete site list (a pointer message).
     sub.Charge(sim::Primitive::kPointerMessage, 1);
@@ -94,7 +95,7 @@ TransactionManager::Vote TransactionManager::PrepareSubtree(Txn& txn) {
   sim::Scheduler& sched = sub.scheduler();
   sim::SpanGuard span(sub.tracer(), sim::Component::kTransactionManager, "2pc.prepare",
                       sub.tracer().enabled() ? ToString(txn.top) : std::string());
-  auto info = cm_.InfoFor(txn.top);
+  const auto& info = cm_.InfoFor(txn.top);
   FAULT_POINT(sub, "2pc.prepare.begin");
 
   // Phase one downward: prepare datagrams to every child, in parallel. The
@@ -145,9 +146,16 @@ TransactionManager::Vote TransactionManager::PrepareSubtree(Txn& txn) {
   FAULT_POINT(sub, "2pc.prepare.before_votes");
   bool any_no = false;
   bool child_updates = false;
+  // One deadline across ALL votes: children prepared in parallel, so the
+  // coordinator's wait budget must not scale with the child count (a lost
+  // vote previously restarted the timeout per child, waiting up to
+  // children x vote_timeout_). A vote already queued consumes none of it.
+  SimTime vote_deadline = sched.Now() + vote_timeout_;
   for (int i = 0; i < expected; ++i) {
     std::pair<NodeId, Vote> v;
-    if (!votes->PopWithTimeout(vote_timeout_, &v)) {
+    // A zero budget still pops an already-delivered vote without waiting.
+    SimTime remaining = std::max<SimTime>(vote_deadline - sched.Now(), 0);
+    if (!votes->PopWithTimeout(remaining, &v)) {
       any_no = true;  // lost vote or crashed child: abort is always safe
       break;
     }
@@ -309,7 +317,7 @@ void TransactionManager::AbortSubtree(Txn& txn, bool notify_children) {
   sim::SpanGuard span(sub.tracer(), sim::Component::kTransactionManager, "2pc.abort",
                       sub.tracer().enabled() ? ToString(txn.top) : std::string());
   if (notify_children) {
-    auto info = cm_.InfoFor(txn.top);
+    const auto& info = cm_.InfoFor(txn.top);
     for (NodeId child : info.children) {
       TransactionManager* child_tm = Peer(child);
       if (child_tm == nullptr) {
@@ -376,7 +384,7 @@ void TransactionManager::CommitSubtransaction(Txn& txn) {
 
   // Remote participants of the top-level transaction inherit the
   // subtransaction's locks and undo records too.
-  auto info = cm_.InfoFor(txn.top);
+  const auto& info = cm_.InfoFor(txn.top);
   for (NodeId child : info.children) {
     TransactionManager* child_tm = Peer(child);
     if (child_tm == nullptr) {

@@ -212,6 +212,64 @@ TEST(SchedulerTest, ManySequentialTasks) {
   EXPECT_EQ(count, 200);
 }
 
+TEST(FutureTest, FulfilBeforeAwaitReturnsWithoutWaiting) {
+  Scheduler sched;
+  sched.Spawn("t", 1, 0, [&] {
+    Future<int> f(sched);
+    EXPECT_FALSE(f.ready());
+    f.Fulfil(7);
+    EXPECT_TRUE(f.ready());
+    SimTime t0 = sched.Now();
+    EXPECT_TRUE(f.Await(100));
+    EXPECT_EQ(sched.Now(), t0);  // already ready: no virtual time passes
+    EXPECT_EQ(f.value(), 7);
+  });
+  EXPECT_EQ(sched.Run(), 0);
+}
+
+TEST(FutureTest, AwaitBlocksUntilFulfilledAndAdoptsFulfillerClock) {
+  Scheduler sched;
+  auto f = std::make_shared<Future<int>>(sched);
+  bool resumed = false;
+  sched.Spawn("waiter", 1, 0, [&] {
+    EXPECT_TRUE(f->Await());
+    EXPECT_EQ(f->value(), 42);
+    // The waiter resumes no earlier than the fulfiller's clock.
+    EXPECT_EQ(sched.Now(), 500);
+    resumed = true;
+  });
+  sched.Spawn("producer", 2, 500, [&] { f->Fulfil(42); });
+  EXPECT_EQ(sched.Run(), 0);
+  EXPECT_TRUE(resumed);
+}
+
+TEST(FutureTest, AwaitTimesOutWhenNeverFulfilled) {
+  Scheduler sched;
+  auto f = std::make_shared<Future<int>>(sched);
+  sched.Spawn("waiter", 1, 0, [&] {
+    SimTime t0 = sched.Now();
+    EXPECT_FALSE(f->Await(250));
+    EXPECT_EQ(sched.Now(), t0 + 250);
+    EXPECT_FALSE(f->ready());
+  });
+  EXPECT_EQ(sched.Run(), 0);
+}
+
+TEST(FutureTest, ManyWaitersAllWake) {
+  Scheduler sched;
+  auto f = std::make_shared<Future<int>>(sched);
+  int woken = 0;
+  for (int i = 0; i < 4; ++i) {
+    sched.Spawn("waiter", 1, 0, [&] {
+      EXPECT_TRUE(f->Await());
+      ++woken;
+    });
+  }
+  sched.Spawn("producer", 2, 10, [&] { f->Fulfil(1); });
+  EXPECT_EQ(sched.Run(), 0);
+  EXPECT_EQ(woken, 4);
+}
+
 TEST(SchedulerTest, DestructorUnwindsBlockedTasks) {
   auto sched = std::make_unique<Scheduler>();
   WaitQueue q;
