@@ -16,6 +16,7 @@
 
 #include "src/servers/array_server.h"
 #include "src/servers/weak_queue_server.h"
+#include "src/tabs/service_handle.h"
 #include "src/tabs/world.h"
 
 namespace tabs {
@@ -36,17 +37,25 @@ struct Outcome {
 Outcome Run(int terminals, int remote_percent) {
   int nodes = remote_percent > 0 ? 2 : 1;
   World world(nodes);
-  auto* accounts = world.AddServerOf<servers::ArrayServer>(
-      1, "accounts", kBranches * kAccountsPerBranch);
-  auto* tellers = world.AddServerOf<servers::ArrayServer>(
-      1, "tellers", kBranches * kTellersPerBranch);
-  auto* branches = world.AddServerOf<servers::ArrayServer>(1, "branches", kBranches);
+  // Every array is a (single-shard) logical service: terminals open them by
+  // name through the handle API instead of holding server pointers. The
+  // remote-branch accounts live on node 2, reached by resolution + routing.
+  world.AddShardedServiceOf<servers::ArrayServer>(
+      "accounts", {1}, 1, std::uint64_t{kBranches * kAccountsPerBranch});
+  world.AddShardedServiceOf<servers::ArrayServer>(
+      "tellers", {1}, 1, std::uint64_t{kBranches * kTellersPerBranch});
+  world.AddShardedServiceOf<servers::ArrayServer>("branches", {1}, 1,
+                                                  std::uint64_t{kBranches});
   auto* history = world.AddServerOf<servers::WeakQueueServer>(1, "history", 4096u);
-  servers::ArrayServer* remote_accounts = nullptr;
   if (nodes == 2) {
-    remote_accounts = world.AddServerOf<servers::ArrayServer>(
-        2, "remote-accounts", kBranches * kAccountsPerBranch);
+    world.AddShardedServiceOf<servers::ArrayServer>(
+        "remote-accounts", {2}, 1, std::uint64_t{kBranches * kAccountsPerBranch});
   }
+
+  ArrayService accounts = OpenArray(world, "accounts");
+  ArrayService tellers = OpenArray(world, "tellers");
+  ArrayService branches = OpenArray(world, "branches");
+  ArrayService remote_accounts = OpenArray(world, "remote-accounts");
 
   Outcome out;
   for (int t = 0; t < terminals; ++t) {
@@ -57,28 +66,27 @@ Outcome Run(int terminals, int remote_percent) {
         std::uint32_t teller = branch * kTellersPerBranch + rng() % kTellersPerBranch;
         std::uint32_t account = branch * kAccountsPerBranch + rng() % kAccountsPerBranch;
         auto delta = static_cast<std::int32_t>(rng() % 1000) - 500;
-        bool remote = remote_accounts != nullptr &&
-                      static_cast<int>(rng() % 100) < remote_percent;
+        bool remote = nodes == 2 && static_cast<int>(rng() % 100) < remote_percent;
         Status s = app.Transaction([&](const server::Tx& tx) {
-          servers::ArrayServer* acct_server = remote ? remote_accounts : accounts;
-          auto bal = acct_server->GetCell(tx, account);
+          ArrayService& acct_service = remote ? remote_accounts : accounts;
+          auto bal = acct_service.Get(tx, account);
           if (!bal.ok()) {
             return bal.status();
           }
-          Status w = acct_server->SetCell(tx, account, bal.value() + delta);
+          Status w = acct_service.Set(tx, account, bal.value() + delta);
           if (w != Status::kOk) {
             return w;
           }
-          auto tb = tellers->GetCell(tx, teller);
+          auto tb = tellers.Get(tx, teller);
           if (!tb.ok()) {
             return tb.status();
           }
-          tellers->SetCell(tx, teller, tb.value() + delta);
-          auto bb = branches->GetCell(tx, branch);
+          tellers.Set(tx, teller, tb.value() + delta);
+          auto bb = branches.Get(tx, branch);
           if (!bb.ok()) {
             return bb.status();
           }
-          branches->SetCell(tx, branch, bb.value() + delta);
+          branches.Set(tx, branch, bb.value() + delta);
           return history->Enqueue(tx, delta);
         });
         if (s == Status::kOk) {

@@ -50,13 +50,13 @@ void Run() {
     auto* srv = world.AddServerOf<servers::ArrayServer>(1, "a", 16u);
     SimTime t = 0;
     world.RunApp(1, [&](Application& app) {
-      TransactionId tid = app.Begin();
-      server::Tx tx = app.MakeTx(tid);
+      TxnScope scope(app);
+      server::Tx tx = scope.tx();
       srv->GetCell(tx, 0);  // join + first-touch out of the way
       SimTime t0 = world.scheduler().Now();
       srv->GetCell(tx, 0);
       t = world.scheduler().Now() - t0;
-      app.End(tid);
+      scope.Commit();
     });
     row(Primitive::kDataServerCall, t);
   }
@@ -67,13 +67,13 @@ void Run() {
     auto* srv = world.AddServerOf<servers::ArrayServer>(2, "a", 16u);
     SimTime t = 0;
     world.RunApp(1, [&](Application& app) {
-      TransactionId tid = app.Begin();
-      server::Tx tx = app.MakeTx(tid);
+      TxnScope scope(app);
+      server::Tx tx = scope.tx();
       srv->GetCell(tx, 0);
       SimTime t0 = world.scheduler().Now();
       srv->GetCell(tx, 0);
       t = world.scheduler().Now() - t0;
-      app.End(tid);
+      scope.Commit();
     });
     row(Primitive::kInterNodeDataServerCall, t);
   }

@@ -87,8 +87,9 @@ void RunOps(const BenchmarkDef& def, BenchState& state, const server::Tx& tx,
 // asynchronous batches and joined before the transaction body returns. Cells
 // are picked in the same order as the sequential path so the two variants
 // touch identical data.
-void RunOpsPipelined(const BenchmarkDef& def, BenchState& state, const server::Tx& tx,
-                     ArrayServer* local, ArrayServer* remote, ArrayServer* third) {
+void RunOpsPipelined(const BenchmarkDef& def, BenchState& state, Application& app,
+                     const server::Tx& tx, ArrayServer* local, ArrayServer* remote,
+                     ArrayServer* third) {
   for (int i = 0; i < def.local_ops; ++i) {
     std::uint32_t cell = PickCell(def, state, 0);
     if (def.write) {
@@ -97,7 +98,7 @@ void RunOpsPipelined(const BenchmarkDef& def, BenchState& state, const server::T
       local->GetCell(tx, cell);
     }
   }
-  Application::AsyncOps ops;
+  Application::AsyncOps ops = app.Parallel();
   auto issue = [&](ArrayServer* target, int which, int count) {
     if (target == nullptr || count == 0) {
       return;
@@ -151,9 +152,9 @@ BenchResult RunBenchmark(const BenchmarkDef& def, const sim::CostModel& costs,
   BenchResult result;
   BenchState state;
   int measured = 0;
-  auto run_ops = [&](const server::Tx& tx) {
+  auto run_ops = [&](Application& app, const server::Tx& tx) {
     if (def.pipelined) {
-      RunOpsPipelined(def, state, tx, local, remote, third);
+      RunOpsPipelined(def, state, app, tx, local, remote, third);
     } else {
       RunOps(def, state, tx, local, remote, third);
     }
@@ -168,7 +169,7 @@ BenchResult RunBenchmark(const BenchmarkDef& def, const sim::CostModel& costs,
     // paper likewise discarded start-of-test transients.
     for (int i = 0; i < warmup; ++i) {
       app.RunTransactional([&](const server::Tx& tx) {
-        run_ops(tx);
+        run_ops(app, tx);
         return Status::kOk;
       });
     }
@@ -181,7 +182,7 @@ BenchResult RunBenchmark(const BenchmarkDef& def, const sim::CostModel& costs,
       // uncontended client never aborts, so the success path is identical
       // to plain Transaction() and the paper-table numbers are unchanged.
       app.RunTransactional([&](const server::Tx& tx) {
-        run_ops(tx);
+        run_ops(app, tx);
         return Status::kOk;
       });
       if (def.write && def.paging == Paging::kNone) {

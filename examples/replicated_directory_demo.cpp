@@ -3,10 +3,16 @@
 // write quorum 2). One node fails; the directory stays readable and
 // writable. The failed node recovers stale and is brought current by the
 // version numbers.
+//
+// The representatives are registered as one logical service ("directory",
+// one representative per node) and the client-linked voting module is built
+// by resolving that service through the Name Server — no hand-plumbed node
+// or instance names on the client side.
 
 #include <cstdio>
 
 #include "src/servers/replicated_directory.h"
+#include "src/tabs/service_handle.h"
 #include "src/tabs/world.h"
 
 using namespace tabs;  // NOLINT: example brevity
@@ -14,35 +20,28 @@ using servers::BTreeServer;
 using servers::DirectoryRep;
 using servers::ReplicatedDirectory;
 
-namespace {
-
-ReplicatedDirectory BuildClientModule(World& world) {
-  std::vector<ReplicatedDirectory::Replica> reps;
-  for (NodeId n = 1; n <= 3; ++n) {
-    auto* rep = world.Server<DirectoryRep>(n, "dir-rep");
-    rep->SetStorage(world.Server<BTreeServer>(n, "dir-btree"));
-    reps.push_back({rep, n});
-  }
-  return ReplicatedDirectory(std::move(reps), /*read_quorum=*/2, /*write_quorum=*/2);
-}
-
-}  // namespace
-
 int main() {
   World world(3);
   for (NodeId n = 1; n <= 3; ++n) {
     world.AddServerOf<BTreeServer>(n, "dir-btree", 200u);
     World* w = &world;
-    world.AddServer(n, "dir-rep", [w, n](const server::ServerContext& ctx) {
-      return std::make_unique<DirectoryRep>(ctx, w->Server<BTreeServer>(n, "dir-btree"), 1);
-    });
+    world.AddServiceShard(n, "directory", /*shard=*/n - 1, /*shard_count=*/3, "dir-rep",
+                          [w, n](const server::ServerContext& ctx) {
+                            return std::make_unique<DirectoryRep>(
+                                ctx, w->Server<BTreeServer>(n, "dir-btree"), 1);
+                          });
   }
-  auto dir = BuildClientModule(world);
 
   world.RunApp(1, [&](Application& app) {
+    auto dir = OpenReplicatedDirectory(world, 1, "directory", /*read_quorum=*/2,
+                                       /*write_quorum=*/2);
+    if (!dir.ok()) {
+      std::printf("open failed: %s\n", StatusName(dir.status()));
+      return;
+    }
     Status s = app.Transaction([&](const server::Tx& tx) {
-      dir.Insert(tx, "mail-server", "perq7");
-      dir.Insert(tx, "print-server", "perq3");
+      dir.value().Insert(tx, "mail-server", "perq7");
+      dir.value().Insert(tx, "print-server", "perq3");
       return Status::kOk;
     });
     std::printf("initial inserts: %s\n", StatusName(s));
@@ -51,27 +50,34 @@ int main() {
     world.CrashNode(3);
 
     app.Transaction([&](const server::Tx& tx) {
-      auto v = dir.Lookup(tx, "mail-server");
+      auto v = dir.value().Lookup(tx, "mail-server");
       std::printf("lookup with 2/3 representatives: mail-server -> %s\n",
                   v.ok() ? v.value().c_str() : StatusName(v.status()));
       return Status::kOk;
     });
     s = app.Transaction(
-        [&](const server::Tx& tx) { return dir.Update(tx, "mail-server", "perq9"); });
+        [&](const server::Tx& tx) { return dir.value().Update(tx, "mail-server", "perq9"); });
     std::printf("update with 2/3 representatives: %s\n", StatusName(s));
   });
 
   world.RunApp(1, [&](Application& app) {
     world.RecoverNode(3);
-    auto dir2 = BuildClientModule(world);
+    // Re-open: resolution now finds all three representatives again (the
+    // recovered node re-registered its binding during recovery).
+    auto dir2 = OpenReplicatedDirectory(world, 1, "directory", 2, 2);
+    if (!dir2.ok()) {
+      std::printf("re-open failed: %s\n", StatusName(dir2.status()));
+      return;
+    }
     app.Transaction([&](const server::Tx& tx) {
-      auto v = dir2.Lookup(tx, "mail-server");
+      auto v = dir2.value().Lookup(tx, "mail-server");
       std::printf("after node 3 recovers (stale copy outvoted): mail-server -> %s\n",
                   v.ok() ? v.value().c_str() : StatusName(v.status()));
       return Status::kOk;
     });
     // A write brings the recovered representative current again.
-    app.Transaction([&](const server::Tx& tx) { return dir2.Update(tx, "mail-server", "perq9"); });
+    app.Transaction(
+        [&](const server::Tx& tx) { return dir2.value().Update(tx, "mail-server", "perq9"); });
     app.Transaction([&](const server::Tx& tx) {
       auto* rep3 = world.Server<DirectoryRep>(3, "dir-rep");
       auto e = rep3->RepRead(tx, "mail-server");

@@ -33,6 +33,7 @@
 
 #include "src/comm/network.h"
 #include "src/common/types.h"
+#include "src/sim/fault_injector.h"
 
 namespace tabs::comm {
 
@@ -128,6 +129,10 @@ class CommManager {
       return FailedFuture<R>();  // a lost in-flight call never freed a slot
     }
     sub.metrics().CountAsyncCall();
+    // Crash window: the remote node is already in the spanning tree but the
+    // request has not left this node yet (a shard fan-out may die here with
+    // earlier calls of the same transaction in flight).
+    FAULT_POINT(sub, "comm.async-issue");
     NodeId from = self_;
     TransactionId tid_copy = tid;
     CommManager* remote_ptr = &remote;
@@ -173,6 +178,9 @@ class CommManager {
       sub.Charge(sim::Primitive::kLargeMessage);
       sub.metrics().CountMessagesCoalesced(static_cast<double>(k - 1));
     }
+    // Crash window: a coalesced batch is about to leave for one shard while
+    // sibling shards' batches may already be in flight.
+    FAULT_POINT(sub, "comm.batch-issue");
     NodeId from = self_;
     TransactionId tid_copy = tid;
     CommManager* remote_ptr = &remote;
@@ -181,6 +189,9 @@ class CommManager {
         self_, remote.self_, std::move(what),
         [remote_ptr, tid_copy, from, k, subp,
          ops = std::move(ops)]() -> Result<std::vector<Result<R>>> {
+          // Crash window on the receiving shard: the batch arrived, the
+          // sender believes it is in flight, nothing has executed yet.
+          FAULT_POINT(*subp, "comm.batch-dispatch");
           remote_ptr->NoteParent(tid_copy, from);
           if (k > 1) {
             subp->Charge(sim::Primitive::kLargeMessage);  // unmarshal the batch

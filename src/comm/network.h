@@ -116,10 +116,16 @@ class Network {
     SimTime half = substrate_.CostOf(sim::Primitive::kInterNodeDataServerCall) / 2;
     sched.Charge(half);  // outbound transit
     auto channel = std::make_shared<sim::Channel<Result<R>>>(sched);
-    sched.Spawn(std::move(what), to, sched.Now(), [this, to, half, channel,
+    sched.Spawn(std::move(what), to, sched.Now(), [this, from, to, half, channel,
                                                    handler = std::move(handler)] {
       if (!IsAlive(to)) {
         return;  // destination died in transit; the session will time out
+      }
+      if (!IsAlive(from)) {
+        // Sender died in transit: the connection-oriented session is gone and
+        // nobody can consume a reply. Executing the request would only create
+        // orphan transaction state, so the session layer discards it.
+        return;
       }
       Result<R> r = handler();
       {
@@ -191,10 +197,14 @@ class Network {
     SimTime half = substrate_.CostOf(sim::Primitive::kInterNodeDataServerCall) / 2;
     sched.Charge(half);  // outbound transit — sends serialize at the sender
     sched.Spawn(std::move(what), to, sched.Now(),
-                [this, to, half, future, handler = std::move(handler),
+                [this, from, to, half, future, handler = std::move(handler),
                  on_complete = std::move(on_complete)] {
                   if (!IsAlive(to)) {
                     return;  // died in transit; the caller's Await times out
+                  }
+                  if (!IsAlive(from)) {
+                    return;  // sender died in transit: no session to reply
+                             // on — discard instead of creating orphan state
                   }
                   Result<R> r = handler();
                   {

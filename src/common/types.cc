@@ -8,8 +8,11 @@ std::string ToString(const TransactionId& tid) {
   std::ostringstream os;
   if (tid.IsNull()) {
     os << "T(null)";
+  } else if (tid.incarnation() == 0) {
+    os << "T(" << tid.node << "." << tid.counter() << ")";
   } else {
-    os << "T(" << tid.node << "." << tid.sequence << ")";
+    // Post-recovery epochs print explicitly: T(node.incarnation.counter).
+    os << "T(" << tid.node << "." << tid.incarnation() << "." << tid.counter() << ")";
   }
   return os.str();
 }

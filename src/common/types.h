@@ -53,13 +53,29 @@ struct PageId {
 // node allocates these; `node` is the birth node of the (sub)transaction and
 // `sequence` is unique on that node across restarts (Section 3.2.3).
 //
+// Uniqueness across restarts is load-bearing: the high bits of `sequence`
+// carry the minting node's incarnation (its crash-recovery epoch). A
+// coordinator that began a transaction, involved only remote servers, and
+// crashed before logging anything locally leaves no local trace of the ids
+// it handed out — but remote participants still hold locks and undo state
+// under them. Restarting the counter alone would re-mint such an id and
+// alias the orphan's remote state (its locks grant to the impostor as lock
+// conversions; its updates commit with the impostor's 2PC). The incarnation
+// is bumped and durably logged on every crash recovery, so re-minting is
+// impossible even for ids the crashed incarnation never logged.
+//
 // The null TID is the special value passed to BeginTransaction to create a
 // new top-level transaction (Table 3-2).
+constexpr std::uint64_t kIncarnationShift = 32;
+constexpr std::uint64_t kSequenceCounterMask = (std::uint64_t{1} << kIncarnationShift) - 1;
+
 struct TransactionId {
   NodeId node = kInvalidNode;
   std::uint64_t sequence = 0;
 
   bool IsNull() const { return node == kInvalidNode && sequence == 0; }
+  std::uint64_t incarnation() const { return sequence >> kIncarnationShift; }
+  std::uint64_t counter() const { return sequence & kSequenceCounterMask; }
 
   friend bool operator==(const TransactionId&, const TransactionId&) = default;
   friend auto operator<=>(const TransactionId&, const TransactionId&) = default;

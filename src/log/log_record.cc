@@ -24,6 +24,8 @@ const char* RecordTypeName(RecordType t) {
       return "SUBTXN_COMMIT";
     case RecordType::kCheckpoint:
       return "CHECKPOINT";
+    case RecordType::kNodeEpoch:
+      return "NODE_EPOCH";
   }
   return "?";
 }

@@ -46,6 +46,8 @@ enum class RecordType : std::uint8_t {
   kTxnEnd,              // all participants acknowledged; forget the txn
   kSubtxnCommit,        // subtransaction committed into its parent
   kCheckpoint,          // active-txn table + dirty-page table snapshot
+  kNodeEpoch,           // new TM incarnation after crash recovery (owner's
+                        // sequence carries the incarnation in its high bits)
 };
 
 const char* RecordTypeName(RecordType t);

@@ -1,0 +1,55 @@
+#include "src/placement/shard_map.h"
+
+namespace tabs::placement {
+
+std::string ShardInstanceName(const std::string& service, std::uint32_t shard) {
+  return service + "#" + std::to_string(shard);
+}
+
+std::uint64_t ShardMap::HashKey(std::string_view key) {
+  // FNV-1a: deterministic across platforms and runs, which the simulator's
+  // reproducibility contract requires (std::hash is not).
+  std::uint64_t h = 14695981039346656037ull;
+  for (char c : key) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+Result<ShardMap> ShardMap::FromBindings(std::string service,
+                                        const std::vector<name::Binding>& bindings) {
+  if (bindings.empty()) {
+    return Status::kNotFound;
+  }
+  // The shard count rides in every binding's object id (length field); the
+  // shard index in its offset field.
+  std::uint32_t count = bindings.front().object.length;
+  if (count == 0) {
+    return Status::kInternal;
+  }
+  std::vector<name::Binding> shards(count);
+  std::vector<bool> seen(count, false);
+  for (const name::Binding& b : bindings) {
+    std::uint32_t shard = b.object.offset;
+    if (b.object.length != count || shard >= count) {
+      return Status::kInternal;  // bindings disagree about the service shape
+    }
+    if (seen[shard]) {
+      if (!(shards[shard] == b)) {
+        return Status::kInternal;  // two distinct bindings claim one shard
+      }
+      continue;
+    }
+    seen[shard] = true;
+    shards[shard] = b;
+  }
+  for (bool s : seen) {
+    if (!s) {
+      return Status::kNotFound;  // partial set: some shard's node is missing
+    }
+  }
+  return ShardMap(std::move(service), std::move(shards));
+}
+
+}  // namespace tabs::placement

@@ -1,0 +1,95 @@
+// Placement: how one logical service spans several nodes.
+//
+// TABS names already allow one name -> many <node, server, object> bindings
+// (the replicated directory registers one binding per representative,
+// Section 3.1.3). The placement layer reuses exactly that mechanism for
+// *partitioned* services: a logical service registers one binding per shard,
+// and each binding's logical object id encodes the shard's position —
+// ObjectId{segment, shard_index, shard_count} — so a resolver can tell a
+// complete shard set from a partial one without any new protocol.
+//
+// Routing is fixed (no rebalancing): dense integer keyspaces interleave
+// (global index i lives on shard i % count at local position i / count, an
+// invertible mapping that spreads hot dense prefixes evenly), and string
+// keyspaces hash (FNV-1a, key travels unchanged). A ShardMap is the
+// client-side routing table built from the resolved bindings; a ShardSlice
+// is the server-side view a sharded data server sizes itself with.
+
+#ifndef TABS_PLACEMENT_SHARD_MAP_H_
+#define TABS_PLACEMENT_SHARD_MAP_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/name/name_server.h"
+
+namespace tabs::placement {
+
+// The slice of a logical keyspace one shard instance owns. Handed to the
+// sharded data-server constructors so each instance sizes itself for its
+// share of the space. The default slice is "shard 0 of 1": a whole,
+// unsharded service — which is why every pre-existing single-node server is
+// already a degenerate sharded service.
+struct ShardSlice {
+  std::uint32_t index = 0;  // this shard's position, 0 .. count-1
+  std::uint32_t count = 1;  // total shards in the service
+
+  // How many elements of a dense `total`-element keyspace this slice owns
+  // under interleaved partitioning (i % count == index).
+  std::uint64_t LocalSize(std::uint64_t total) const {
+    if (total <= index) {
+      return 0;
+    }
+    return (total - index + count - 1) / count;
+  }
+
+  friend bool operator==(const ShardSlice&, const ShardSlice&) = default;
+};
+
+// The instance name a shard's data server registers under: "svc#3". The
+// logical service name itself resolves to the full binding set.
+std::string ShardInstanceName(const std::string& service, std::uint32_t shard);
+
+// The client-side routing table for one logical service: one binding per
+// shard, ordered by shard index. Built from Name Server bindings whose
+// object ids carry <segment, shard_index, shard_count>.
+class ShardMap {
+ public:
+  // Validates and orders `bindings` into a map. Fails with kNotFound when
+  // the set is incomplete (some shard has no binding — e.g. its node is down
+  // and could not answer the broadcast) and kInternal when the bindings
+  // disagree about the shard count or two claim the same shard.
+  static Result<ShardMap> FromBindings(std::string service,
+                                       const std::vector<name::Binding>& bindings);
+
+  const std::string& service() const { return service_; }
+  std::uint32_t shard_count() const { return static_cast<std::uint32_t>(shards_.size()); }
+  const name::Binding& binding(std::uint32_t shard) const { return shards_[shard]; }
+  const std::vector<name::Binding>& bindings() const { return shards_; }
+
+  // Dense integer keyspaces interleave.
+  std::uint32_t ShardOfIndex(std::uint64_t index) const {
+    return static_cast<std::uint32_t>(index % shards_.size());
+  }
+  std::uint64_t LocalIndex(std::uint64_t index) const { return index / shards_.size(); }
+
+  // String keyspaces hash; the key itself travels unchanged.
+  std::uint32_t ShardOfKey(std::string_view key) const {
+    return static_cast<std::uint32_t>(HashKey(key) % shards_.size());
+  }
+  static std::uint64_t HashKey(std::string_view key);  // FNV-1a, 64-bit
+
+ private:
+  ShardMap(std::string service, std::vector<name::Binding> shards)
+      : service_(std::move(service)), shards_(std::move(shards)) {}
+
+  std::string service_;
+  std::vector<name::Binding> shards_;  // indexed by shard
+};
+
+}  // namespace tabs::placement
+
+#endif  // TABS_PLACEMENT_SHARD_MAP_H_

@@ -53,6 +53,7 @@ Lsn RecoveryManager::AnalysisPass(TxnOutcomeSource& outcomes, RecoveryStats* sta
       case RecordType::kTxnAbort:
       case RecordType::kTxnEnd:
       case RecordType::kSubtxnCommit:
+      case RecordType::kNodeEpoch:
         outcomes.ObserveTxnRecord(*rec);
         break;
       case RecordType::kOperationUpdate:

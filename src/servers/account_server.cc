@@ -41,6 +41,12 @@ AccountServer::AccountServer(const server::ServerContext& ctx, std::uint32_t acc
   });
 }
 
+AccountServer::AccountServer(const server::ServerContext& ctx, placement::ShardSlice slice,
+                             std::uint64_t total_accounts)
+    : AccountServer(ctx, static_cast<std::uint32_t>(slice.LocalSize(total_accounts))) {
+  slice_ = slice;
+}
+
 std::int64_t AccountServer::CurrentBalance(std::uint32_t account) {
   Bytes b = ReadObject(BalanceOid(account));
   std::int64_t v;

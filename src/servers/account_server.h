@@ -31,6 +31,7 @@
 #include <cstdint>
 #include <map>
 
+#include "src/placement/shard_map.h"
 #include "src/server/data_server.h"
 
 namespace tabs::servers {
@@ -42,8 +43,13 @@ class AccountServer : public server::DataServer {
   static constexpr lock::LockMode kDecrement = 3;
 
   AccountServer(const server::ServerContext& ctx, std::uint32_t accounts);
+  // Sharded-service constructor: this instance holds its slice's share of a
+  // `total_accounts`-account logical bank (interleaved partitioning).
+  AccountServer(const server::ServerContext& ctx, placement::ShardSlice slice,
+                std::uint64_t total_accounts);
 
   std::uint32_t account_count() const { return accounts_; }
+  const placement::ShardSlice& shard() const { return slice_; }
 
   Status Deposit(const server::Tx& tx, std::uint32_t account, std::int64_t amount);
   // kConflict when the escrow test fails (would risk overdraft).
@@ -77,6 +83,7 @@ class AccountServer : public server::DataServer {
   using PerAccount = std::map<std::uint32_t, std::int64_t>;
 
   std::uint32_t accounts_;
+  placement::ShardSlice slice_;  // {0, 1} unless service-sharded
   // Escrow bookkeeping: uncommitted withdrawals and deposits per account.
   // Volatile — the undo lists in the log are the durable truth; this only
   // guards admission. A withdrawal is admitted against the balance minus

@@ -17,6 +17,13 @@ ArrayServer::ArrayServer(const server::ServerContext& ctx, std::uint32_t cells,
                          size_t buffer_frames)
     : DataServer(ctx, MakeOptions(cells, buffer_frames)), cells_(cells) {}
 
+ArrayServer::ArrayServer(const server::ServerContext& ctx, placement::ShardSlice slice,
+                         std::uint64_t total_cells, size_t buffer_frames)
+    : ArrayServer(ctx, static_cast<std::uint32_t>(slice.LocalSize(total_cells)),
+                  buffer_frames) {
+  slice_ = slice;
+}
+
 std::function<Result<std::int32_t>()> ArrayServer::ReadOp(const server::Tx& tx,
                                                           std::uint32_t cell) {
   return [this, tx, cell]() -> Result<std::int32_t> {

@@ -14,6 +14,7 @@
 #include <utility>
 #include <vector>
 
+#include "src/placement/shard_map.h"
 #include "src/server/data_server.h"
 
 namespace tabs::servers {
@@ -22,8 +23,14 @@ class ArrayServer : public server::DataServer {
  public:
   ArrayServer(const server::ServerContext& ctx, std::uint32_t cells,
               size_t buffer_frames = 1024);
+  // Sharded-service constructor: this instance holds its slice's share of a
+  // `total_cells`-cell logical array (interleaved partitioning; the handle
+  // routes global indices and sends local ones).
+  ArrayServer(const server::ServerContext& ctx, placement::ShardSlice slice,
+              std::uint64_t total_cells, size_t buffer_frames = 1024);
 
   std::uint32_t max_cell() const { return cells_; }
+  const placement::ShardSlice& shard() const { return slice_; }
 
   // FUNCTION GetCell(cellNum: integer): integer
   Result<std::int32_t> GetCell(const server::Tx& tx, std::uint32_t cell);
@@ -56,6 +63,7 @@ class ArrayServer : public server::DataServer {
                                         std::int32_t value);
 
   std::uint32_t cells_;
+  placement::ShardSlice slice_;  // {0, 1} unless service-sharded
 };
 
 }  // namespace tabs::servers

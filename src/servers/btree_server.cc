@@ -96,6 +96,12 @@ BTreeServer::BTreeServer(const server::ServerContext& ctx, PageNumber pool_pages
   assert(32 + pool_pages_ <= kPageSize && "allocator byte map must fit in the meta page");
 }
 
+BTreeServer::BTreeServer(const server::ServerContext& ctx, placement::ShardSlice slice,
+                         PageNumber pool_pages)
+    : BTreeServer(ctx, pool_pages) {
+  slice_ = slice;
+}
+
 std::uint32_t BTreeServer::ReadU32(const ObjectId& oid) {
   Bytes b = ReadObject(oid);
   std::uint32_t v;

@@ -26,6 +26,7 @@
 #include <string>
 #include <vector>
 
+#include "src/placement/shard_map.h"
 #include "src/server/data_server.h"
 
 namespace tabs::servers {
@@ -36,6 +37,12 @@ class BTreeServer : public server::DataServer {
   static constexpr std::uint32_t kMaxValue = 64;
 
   BTreeServer(const server::ServerContext& ctx, PageNumber pool_pages = 256);
+  // Sharded-service constructor: this instance holds the keys that hash to
+  // its slice (keys travel unchanged; each shard is an independent tree).
+  BTreeServer(const server::ServerContext& ctx, placement::ShardSlice slice,
+              PageNumber pool_pages = 256);
+
+  const placement::ShardSlice& shard() const { return slice_; }
 
   // All operations run under the caller's transaction with strict 2PL on a
   // tree lock (shared for reads, exclusive for updates).
@@ -87,6 +94,7 @@ class BTreeServer : public server::DataServer {
                         const std::string& value, bool allow_exists, bool require_exists);
 
   PageNumber pool_pages_;
+  placement::ShardSlice slice_;  // {0, 1} unless service-sharded
 };
 
 }  // namespace tabs::servers

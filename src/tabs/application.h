@@ -70,8 +70,10 @@ class Application {
   RunResult RunTransactional(const std::function<Status(const server::Tx&)>& body);
 
   class AsyncOps;
-  // A joiner for the asynchronous fast path (see class below).
-  AsyncOps Parallel();
+  // A joiner for the asynchronous fast path (see class below). `timeout`
+  // bounds each awaited future — callers with their own session budget pass
+  // it here instead of hardcoding Network::kDefaultSessionTimeout.
+  AsyncOps Parallel(SimTime timeout = comm::Network::kDefaultSessionTimeout);
 
  private:
   NodeId node_;
@@ -153,7 +155,9 @@ class Application::AsyncOps {
   std::vector<std::function<Status()>> waits_;
 };
 
-inline Application::AsyncOps Application::Parallel() { return AsyncOps(); }
+inline Application::AsyncOps Application::Parallel(SimTime timeout) {
+  return AsyncOps(timeout);
+}
 
 // An RAII transaction handle: the constructor Begins (optionally as a
 // subtransaction), Commit()/Abort() finish it explicitly, and the destructor

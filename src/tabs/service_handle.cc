@@ -1,0 +1,322 @@
+#include "src/tabs/service_handle.h"
+
+namespace tabs {
+
+Status ServiceHandle::EnsureResolved(const server::Tx& tx) {
+  if (map_) {
+    return Status::kOk;
+  }
+  name::Resolver::ServiceResolution res =
+      resolver_.ResolveService(world_->names(tx.origin), service_);
+  if (res.bindings.empty()) {
+    return Status::kNotFound;
+  }
+  if (!res.complete()) {
+    return Status::kNodeDown;  // some shard's node could not answer
+  }
+  Result<placement::ShardMap> map = placement::ShardMap::FromBindings(service_, res.bindings);
+  if (!map.ok()) {
+    return map.status();
+  }
+  map_ = std::move(map.value());
+  return Status::kOk;
+}
+
+namespace {
+
+// Converts a Status-returning attempt into the Result<bool> shape Routed
+// wants, and back.
+Status AsStatus(const Result<bool>& r) { return r.ok() ? Status::kOk : r.status(); }
+
+}  // namespace
+
+// --- ArrayService ---------------------------------------------------------------
+
+Result<std::int32_t> ArrayService::Get(const server::Tx& tx, std::uint64_t index) {
+  return Routed<std::int32_t>(tx, [&](const placement::ShardMap& map) -> Result<std::int32_t> {
+    Result<servers::ArrayServer*> srv = ShardServer<servers::ArrayServer>(map.ShardOfIndex(index));
+    if (!srv.ok()) {
+      return srv.status();
+    }
+    return srv.value()->GetCell(tx, static_cast<std::uint32_t>(map.LocalIndex(index)));
+  });
+}
+
+Status ArrayService::Set(const server::Tx& tx, std::uint64_t index, std::int32_t value) {
+  return AsStatus(Routed<bool>(tx, [&](const placement::ShardMap& map) -> Result<bool> {
+    Result<servers::ArrayServer*> srv = ShardServer<servers::ArrayServer>(map.ShardOfIndex(index));
+    if (!srv.ok()) {
+      return srv.status();
+    }
+    Status s = srv.value()->SetCell(tx, static_cast<std::uint32_t>(map.LocalIndex(index)), value);
+    if (s != Status::kOk) {
+      return s;
+    }
+    return true;
+  }));
+}
+
+Result<std::vector<std::int32_t>> ArrayService::GetMany(
+    const server::Tx& tx, const std::vector<std::uint64_t>& indices) {
+  using Chunk = sim::FuturePtr<Result<std::vector<Result<std::int32_t>>>>;
+  return Routed<std::vector<std::int32_t>>(
+      tx, [&](const placement::ShardMap& map) -> Result<std::vector<std::int32_t>> {
+        std::vector<std::vector<std::uint32_t>> locals(map.shard_count());
+        std::vector<std::vector<size_t>> positions(map.shard_count());
+        for (size_t i = 0; i < indices.size(); ++i) {
+          std::uint32_t shard = map.ShardOfIndex(indices[i]);
+          locals[shard].push_back(static_cast<std::uint32_t>(map.LocalIndex(indices[i])));
+          positions[shard].push_back(i);
+        }
+        // Issue every shard's chunks before awaiting any.
+        struct ShardBatch {
+          std::vector<Chunk> chunks;
+          const std::vector<size_t>* pos;
+        };
+        std::vector<ShardBatch> batches;
+        Status failed = Status::kOk;
+        for (std::uint32_t shard = 0; shard < map.shard_count(); ++shard) {
+          if (locals[shard].empty()) {
+            continue;
+          }
+          Result<servers::ArrayServer*> srv = ShardServer<servers::ArrayServer>(shard);
+          if (!srv.ok()) {
+            failed = srv.status();  // still drain what is already on the wire
+            break;
+          }
+          batches.push_back({srv.value()->AsyncGetCells(tx, locals[shard]), &positions[shard]});
+        }
+        // Await in issue order, draining everything even after a failure so
+        // the pipeline window empties (exactly like AsyncOps::Join).
+        std::vector<std::int32_t> out(indices.size());
+        for (ShardBatch& b : batches) {
+          size_t k = 0;
+          for (Chunk& f : b.chunks) {
+            if (!f->Await(timeout_)) {
+              if (failed == Status::kOk) failed = Status::kNodeDown;
+              continue;
+            }
+            const Result<std::vector<Result<std::int32_t>>>& chunk = f->value();
+            if (!chunk.ok()) {
+              if (failed == Status::kOk) failed = chunk.status();
+              continue;
+            }
+            for (const Result<std::int32_t>& r : chunk.value()) {
+              if (r.ok()) {
+                out[(*b.pos)[k]] = r.value();
+              } else if (failed == Status::kOk) {
+                failed = r.status();
+              }
+              ++k;
+            }
+          }
+        }
+        if (failed != Status::kOk) {
+          return failed;
+        }
+        return out;
+      });
+}
+
+Status ArrayService::SetMany(const server::Tx& tx,
+                             const std::vector<std::pair<std::uint64_t, std::int32_t>>& writes) {
+  using Chunk = sim::FuturePtr<Result<std::vector<Result<bool>>>>;
+  return AsStatus(Routed<bool>(tx, [&](const placement::ShardMap& map) -> Result<bool> {
+    std::vector<std::vector<std::pair<std::uint32_t, std::int32_t>>> locals(map.shard_count());
+    for (const auto& [index, value] : writes) {
+      locals[map.ShardOfIndex(index)].push_back(
+          {static_cast<std::uint32_t>(map.LocalIndex(index)), value});
+    }
+    std::vector<Chunk> chunks;
+    Status failed = Status::kOk;
+    for (std::uint32_t shard = 0; shard < map.shard_count(); ++shard) {
+      if (locals[shard].empty()) {
+        continue;
+      }
+      Result<servers::ArrayServer*> srv = ShardServer<servers::ArrayServer>(shard);
+      if (!srv.ok()) {
+        failed = srv.status();  // still drain what is already on the wire
+        break;
+      }
+      for (Chunk& c : srv.value()->AsyncSetCells(tx, locals[shard])) {
+        chunks.push_back(std::move(c));
+      }
+    }
+    for (Chunk& f : chunks) {
+      if (!f->Await(timeout_)) {
+        if (failed == Status::kOk) failed = Status::kNodeDown;
+        continue;
+      }
+      const Result<std::vector<Result<bool>>>& chunk = f->value();
+      if (!chunk.ok()) {
+        if (failed == Status::kOk) failed = chunk.status();
+        continue;
+      }
+      for (const Result<bool>& r : chunk.value()) {
+        if (!r.ok() && failed == Status::kOk) {
+          failed = r.status();
+        }
+      }
+    }
+    if (failed != Status::kOk) {
+      return failed;
+    }
+    return true;
+  }));
+}
+
+// --- AccountService -------------------------------------------------------------
+
+Status AccountService::Deposit(const server::Tx& tx, std::uint64_t account,
+                               std::int64_t amount) {
+  return AsStatus(Routed<bool>(tx, [&](const placement::ShardMap& map) -> Result<bool> {
+    Result<servers::AccountServer*> srv =
+        ShardServer<servers::AccountServer>(map.ShardOfIndex(account));
+    if (!srv.ok()) {
+      return srv.status();
+    }
+    Status s = srv.value()->Deposit(tx, static_cast<std::uint32_t>(map.LocalIndex(account)),
+                                    amount);
+    if (s != Status::kOk) {
+      return s;
+    }
+    return true;
+  }));
+}
+
+Status AccountService::Withdraw(const server::Tx& tx, std::uint64_t account,
+                                std::int64_t amount) {
+  return AsStatus(Routed<bool>(tx, [&](const placement::ShardMap& map) -> Result<bool> {
+    Result<servers::AccountServer*> srv =
+        ShardServer<servers::AccountServer>(map.ShardOfIndex(account));
+    if (!srv.ok()) {
+      return srv.status();
+    }
+    Status s = srv.value()->Withdraw(tx, static_cast<std::uint32_t>(map.LocalIndex(account)),
+                                     amount);
+    if (s != Status::kOk) {
+      return s;
+    }
+    return true;
+  }));
+}
+
+Result<std::int64_t> AccountService::Balance(const server::Tx& tx, std::uint64_t account) {
+  return Routed<std::int64_t>(tx, [&](const placement::ShardMap& map) -> Result<std::int64_t> {
+    Result<servers::AccountServer*> srv =
+        ShardServer<servers::AccountServer>(map.ShardOfIndex(account));
+    if (!srv.ok()) {
+      return srv.status();
+    }
+    return srv.value()->ReadBalance(tx, static_cast<std::uint32_t>(map.LocalIndex(account)));
+  });
+}
+
+// --- BTreeService ---------------------------------------------------------------
+
+Status BTreeService::Insert(const server::Tx& tx, const std::string& key,
+                            const std::string& value) {
+  return AsStatus(Routed<bool>(tx, [&](const placement::ShardMap& map) -> Result<bool> {
+    Result<servers::BTreeServer*> srv = ShardServer<servers::BTreeServer>(map.ShardOfKey(key));
+    if (!srv.ok()) {
+      return srv.status();
+    }
+    Status s = srv.value()->Insert(tx, key, value);
+    if (s != Status::kOk) {
+      return s;
+    }
+    return true;
+  }));
+}
+
+Status BTreeService::Update(const server::Tx& tx, const std::string& key,
+                            const std::string& value) {
+  return AsStatus(Routed<bool>(tx, [&](const placement::ShardMap& map) -> Result<bool> {
+    Result<servers::BTreeServer*> srv = ShardServer<servers::BTreeServer>(map.ShardOfKey(key));
+    if (!srv.ok()) {
+      return srv.status();
+    }
+    Status s = srv.value()->Update(tx, key, value);
+    if (s != Status::kOk) {
+      return s;
+    }
+    return true;
+  }));
+}
+
+Status BTreeService::Upsert(const server::Tx& tx, const std::string& key,
+                            const std::string& value) {
+  return AsStatus(Routed<bool>(tx, [&](const placement::ShardMap& map) -> Result<bool> {
+    Result<servers::BTreeServer*> srv = ShardServer<servers::BTreeServer>(map.ShardOfKey(key));
+    if (!srv.ok()) {
+      return srv.status();
+    }
+    Status s = srv.value()->Upsert(tx, key, value);
+    if (s != Status::kOk) {
+      return s;
+    }
+    return true;
+  }));
+}
+
+Status BTreeService::Remove(const server::Tx& tx, const std::string& key) {
+  return AsStatus(Routed<bool>(tx, [&](const placement::ShardMap& map) -> Result<bool> {
+    Result<servers::BTreeServer*> srv = ShardServer<servers::BTreeServer>(map.ShardOfKey(key));
+    if (!srv.ok()) {
+      return srv.status();
+    }
+    Status s = srv.value()->Remove(tx, key);
+    if (s != Status::kOk) {
+      return s;
+    }
+    return true;
+  }));
+}
+
+Result<std::string> BTreeService::Lookup(const server::Tx& tx, const std::string& key) {
+  return Routed<std::string>(tx, [&](const placement::ShardMap& map) -> Result<std::string> {
+    Result<servers::BTreeServer*> srv = ShardServer<servers::BTreeServer>(map.ShardOfKey(key));
+    if (!srv.ok()) {
+      return srv.status();
+    }
+    return srv.value()->Lookup(tx, key);
+  });
+}
+
+// --- open functions -------------------------------------------------------------
+
+ArrayService OpenArray(World& world, std::string service) {
+  return ArrayService(world, std::move(service));
+}
+
+AccountService OpenAccounts(World& world, std::string service) {
+  return AccountService(world, std::move(service));
+}
+
+BTreeService OpenBTree(World& world, std::string service) {
+  return BTreeService(world, std::move(service));
+}
+
+Result<servers::ReplicatedDirectory> OpenReplicatedDirectory(World& world, NodeId from,
+                                                             const std::string& service,
+                                                             int read_quorum,
+                                                             int write_quorum) {
+  name::Resolver resolver;
+  name::Resolver::ServiceResolution res = resolver.ResolveService(world.names(from), service);
+  std::vector<servers::ReplicatedDirectory::Replica> replicas;
+  for (const name::Binding& b : res.bindings) {
+    if (!world.NodeAlive(b.node)) {
+      continue;
+    }
+    auto* rep = world.Server<servers::DirectoryRep>(b.node, b.server);
+    if (rep != nullptr) {
+      replicas.push_back({rep, b.node});
+    }
+  }
+  if (replicas.empty()) {
+    return Status::kNotFound;
+  }
+  return servers::ReplicatedDirectory(std::move(replicas), read_quorum, write_quorum);
+}
+
+}  // namespace tabs

@@ -90,12 +90,20 @@ void World::WirePeers() {
   }
 }
 
-server::DataServer* World::AddServer(NodeId node_id, const std::string& name,
-                                     ServerFactory factory) {
-  Blueprint bp;
-  bp.name = name;
+void World::RegisterBindings(NodeId node_id, const Blueprint& bp, name::NameServer& ns) {
+  ns.Register(bp.name, name::Binding{node_id, bp.name, ObjectId{bp.segment, 0, 1}});
+  if (!bp.service.empty()) {
+    // The logical service binding: the shard's position and the service's
+    // shard count ride in the object id, so a resolver can reconstruct the
+    // whole shard map from the gathered bindings alone.
+    ns.Register(bp.service,
+                name::Binding{node_id, bp.name,
+                              ObjectId{bp.segment, bp.shard, bp.shard_count}});
+  }
+}
+
+server::DataServer* World::InstallServer(NodeId node_id, Blueprint bp) {
   bp.segment = node(node_id).AllocateSegment();
-  bp.factory = std::move(factory);
 
   server::ServerContext ctx;
   ctx.node = &node(node_id);
@@ -104,14 +112,36 @@ server::DataServer* World::AddServer(NodeId node_id, const std::string& name,
   ctx.tm = rt.tm.get();
   ctx.cm = rt.cm.get();
   ctx.segment = bp.segment;
-  ctx.name = name;
+  ctx.name = bp.name;
 
   auto server = bp.factory(ctx);
   server::DataServer* raw = server.get();
-  rt.servers[name] = std::move(server);
-  rt.ns->Register(name, name::Binding{node_id, name, ObjectId{bp.segment, 0, 1}});
+  rt.servers[bp.name] = std::move(server);
+  RegisterBindings(node_id, bp, *rt.ns);
   blueprints_[node_id].push_back(std::move(bp));
   return raw;
+}
+
+server::DataServer* World::AddServer(NodeId node_id, const std::string& name,
+                                     ServerFactory factory) {
+  Blueprint bp;
+  bp.name = name;
+  bp.factory = std::move(factory);
+  return InstallServer(node_id, std::move(bp));
+}
+
+server::DataServer* World::AddServiceShard(NodeId node_id, const std::string& service,
+                                           std::uint32_t shard, std::uint32_t shard_count,
+                                           const std::string& instance,
+                                           ServerFactory factory) {
+  assert(shard < shard_count && "shard index out of range");
+  Blueprint bp;
+  bp.name = instance;
+  bp.factory = std::move(factory);
+  bp.service = service;
+  bp.shard = shard;
+  bp.shard_count = shard_count;
+  return InstallServer(node_id, std::move(bp));
 }
 
 server::DataServer* World::FindServer(NodeId node_id, const std::string& name) {
@@ -138,6 +168,21 @@ void World::CrashNode(NodeId node_id) {
   runtime(node_id).dead = true;
   WirePeers();
   node(node_id).set_alive(false);
+  // Surviving nodes presume-abort the dead node's orphans: active
+  // transactions it coordinated here can never prepare (its volatile state
+  // is gone), so their locks and dirty values must not linger. Runs as a
+  // task per survivor, charging the undo work to that survivor; the session
+  // layer drops the dead node's still-in-flight requests, so a late arrival
+  // cannot resurrect an orphan after this sweep. Spawned before KillWhere:
+  // if the caller runs on the dying node, KillWhere ends it by throwing.
+  for (auto& [id, rt] : runtimes_) {
+    if (id == node_id || rt.dead) {
+      continue;
+    }
+    txn::TransactionManager* tm = rt.tm.get();
+    scheduler_.Spawn("orphan-abort", id, scheduler_.Now(),
+                     [tm, node_id] { tm->AbortRemoteOrphansOf(node_id); });
+  }
   // Every process on the node dies with it. (If the caller runs on this
   // node, KillWhere throws TaskKilled after marking the others.)
   scheduler_.KillWhere([node_id](const sim::Task& t) { return t.node == node_id; });
@@ -165,13 +210,17 @@ recovery::RecoveryStats World::RecoverNode(NodeId node_id, bool resolve_in_doubt
     ctx.name = bp.name;
     auto server = bp.factory(ctx);
     participants[bp.name] = server.get();
-    rt.ns->Register(bp.name, name::Binding{node_id, bp.name, ObjectId{bp.segment, 0, 1}});
+    RegisterBindings(node_id, bp, *rt.ns);
     rt.servers[bp.name] = std::move(server);
   }
 
   // Log-driven crash recovery, then transaction-level repair.
   recovery::RecoveryStats stats = rt.rm->Recover(*rt.tm);
   rt.tm->PostRecovery(stats, participants);
+  // The node restarts in a fresh transaction-id incarnation: ids the dead
+  // incarnation minted but never logged locally (they live on as orphan
+  // state at remote participants) must never be re-minted.
+  rt.tm->BeginNewIncarnation();
   for (auto& [name, server] : rt.servers) {
     server->Recover();
   }
@@ -254,7 +303,7 @@ recovery::RecoveryStats World::RecoverServer(NodeId node_id, const std::string& 
   auto server = bp->factory(ctx);
   server::DataServer* raw = server.get();
   rt.servers[name] = std::move(server);
-  rt.ns->Register(name, name::Binding{node_id, name, ObjectId{bp->segment, 0, 1}});
+  RegisterBindings(node_id, *bp, *rt.ns);
 
   recovery::RecoveryStats stats = rt.rm->Recover(*rt.tm, &name);
   std::map<std::string, txn::CommitParticipant*> participants{{name, raw}};

@@ -26,6 +26,7 @@
 #include "src/lock/deadlock_detector.h"
 #include "src/sim/fault_injector.h"
 #include "src/name/name_server.h"
+#include "src/placement/shard_map.h"
 #include "src/server/data_server.h"
 #include "src/tabs/application.h"
 
@@ -134,6 +135,40 @@ class World {
     return static_cast<T*>(FindServer(node, name));
   }
 
+  // --- sharded services ------------------------------------------------------------
+  // Installs one shard (or replica) of a logical service: like AddServer,
+  // but additionally registers a *service* binding
+  // <node, instance, {segment, shard, shard_count}> under the logical name.
+  // Both bindings re-register when the node recovers, so resolution heals
+  // with the node. The shard index/count ride in the binding's object id —
+  // the resolver reads the service's shape straight out of the Name Server.
+  server::DataServer* AddServiceShard(NodeId node, const std::string& service,
+                                      std::uint32_t shard, std::uint32_t shard_count,
+                                      const std::string& instance, ServerFactory factory);
+
+  // Installs a whole sharded service of concrete type T, constructible as
+  // T(const ServerContext&, placement::ShardSlice, Args...): shard i lands
+  // on nodes[i % nodes.size()] under the instance name "service#i". Open it
+  // from application code with OpenArray / OpenAccounts / OpenBTree
+  // (src/tabs/service_handle.h).
+  template <typename T, typename... Args>
+  std::vector<T*> AddShardedServiceOf(const std::string& service,
+                                      const std::vector<NodeId>& nodes,
+                                      std::uint32_t shard_count, Args... args) {
+    std::vector<T*> out;
+    out.reserve(shard_count);
+    for (std::uint32_t i = 0; i < shard_count; ++i) {
+      placement::ShardSlice slice{i, shard_count};
+      out.push_back(static_cast<T*>(AddServiceShard(
+          nodes[i % nodes.size()], service, i, shard_count,
+          placement::ShardInstanceName(service, i),
+          [slice, args...](const server::ServerContext& ctx) {
+            return std::make_unique<T>(ctx, slice, args...);
+          })));
+    }
+    return out;
+  }
+
   // --- running work -------------------------------------------------------------------
   // Spawns `body` as an application task on `node` and drains the scheduler.
   // Returns the number of tasks still blocked (0 on clean completion). Must
@@ -212,11 +247,20 @@ class World {
     std::string name;
     SegmentId segment;
     ServerFactory factory;
+    // Logical-service membership (empty service: a plain standalone server).
+    // Kept in the blueprint so the service binding re-registers on recovery.
+    std::string service;
+    std::uint32_t shard = 0;
+    std::uint32_t shard_count = 0;
   };
 
   Runtime& runtime(NodeId id);
   void BuildRuntime(NodeId id);
   void WirePeers();
+  server::DataServer* InstallServer(NodeId node_id, Blueprint bp);
+  // (Re-)registers a blueprint's name bindings with `ns`: the physical
+  // instance name always, the logical service name when it is a shard.
+  void RegisterBindings(NodeId node_id, const Blueprint& bp, name::NameServer& ns);
 
   WorldOptions options_;
   sim::Scheduler scheduler_;

@@ -32,7 +32,7 @@ TransactionId TransactionManager::Begin(const TransactionId& parent) {
                       "txn.begin");
   // Application -> TM request and reply (two small local messages).
   node_.substrate().ChargeSystemMessage(sim::Primitive::kSmallMessage, 2);
-  TransactionId tid{node_.id(), next_sequence_++};
+  TransactionId tid{node_.id(), (incarnation_ << kIncarnationShift) | next_sequence_++};
   Txn txn;
   txn.tid = tid;
   txn.parent = parent;
@@ -267,9 +267,23 @@ void TransactionManager::ObserveTxnRecord(const LogRecord& rec) {
     default:
       break;
   }
-  // Sequence numbers must stay unique across restarts.
-  next_sequence_ = std::max(next_sequence_, rec.owner.sequence + 1);
-  next_sequence_ = std::max(next_sequence_, rec.top.sequence + 1);
+  // Sequence numbers must stay unique across restarts: track the highest
+  // (incarnation, counter) this node is known to have minted. Only ids born
+  // here matter — a participant's log is full of remote coordinators' ids,
+  // which live in those nodes' sequence spaces.
+  auto note = [this](const TransactionId& t) {
+    if (t.node != node_.id()) {
+      return;
+    }
+    if (t.incarnation() > incarnation_) {
+      incarnation_ = t.incarnation();
+      next_sequence_ = t.counter() + 1;
+    } else if (t.incarnation() == incarnation_) {
+      next_sequence_ = std::max(next_sequence_, t.counter() + 1);
+    }
+  };
+  note(rec.owner);
+  note(rec.top);
 }
 
 TxnOutcome TransactionManager::OutcomeOf(const TransactionId& top) {
@@ -300,6 +314,32 @@ void TransactionManager::PostRecovery(
   }
   for (const TransactionId& loser : stats.losers) {
     logged_outcomes_[loser] = TxnOutcome::kAborted;
+  }
+}
+
+void TransactionManager::BeginNewIncarnation() {
+  ++incarnation_;
+  next_sequence_ = 1;
+  // Durable before the first new id is minted: if this node crashes again
+  // before logging anything else, the next recovery still replays this
+  // record and starts at incarnation_ + 1.
+  LogRecord rec;
+  rec.type = RecordType::kNodeEpoch;
+  rec.owner = TransactionId{node_.id(), incarnation_ << kIncarnationShift};
+  rec.top = rec.owner;
+  rm_.log().Append(std::move(rec));
+  rm_.log().ForceAll();
+}
+
+void TransactionManager::AbortRemoteOrphansOf(NodeId dead) {
+  std::vector<TransactionId> doomed;
+  for (const auto& [tid, txn] : txns_) {
+    if (txn.state == TxnState::kActive && !txn.born_here && txn.parent_node == dead) {
+      doomed.push_back(tid);
+    }
+  }
+  for (const TransactionId& tid : doomed) {
+    Abort(tid);  // undo through the RM, release locks, notify our children
   }
 }
 

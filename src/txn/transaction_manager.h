@@ -129,6 +129,19 @@ class TransactionManager : public comm::TransactionTreeListener,
   // through the named participants and remembers them for resolution.
   void PostRecovery(const recovery::RecoveryStats& stats,
                     const std::map<std::string, CommitParticipant*>& participants);
+  // Crash recovery only (not single-server repair, not first boot): moves
+  // this node into a fresh transaction-id incarnation and forces a NODE_EPOCH
+  // record so the bump survives another crash. Guarantees that ids the dead
+  // incarnation minted but never logged — alive only as orphan state on
+  // remote participants — can never be re-minted and aliased.
+  void BeginNewIncarnation();
+  // Presumed abort for orphans: rolls back every ACTIVE transaction whose
+  // spanning-tree parent is `dead` and that was initiated remotely. Such a
+  // transaction can never prepare (its coordinator's volatile state died
+  // with it), so aborting is safe the instant the session layer reports the
+  // node down. Prepared transactions are untouched — they are in doubt and
+  // resolve through ResolveInDoubt.
+  void AbortRemoteOrphansOf(NodeId dead);
   // Contacts the in-doubt transaction's parent node for the verdict and
   // applies it locally. Returns the outcome, or kNodeDown if still unreachable.
   Status ResolveInDoubt(const TransactionId& tid);
@@ -191,6 +204,10 @@ class TransactionManager : public comm::TransactionTreeListener,
   const std::map<NodeId, TransactionManager*>* peers_ = nullptr;
   log::GroupCommit* group_commit_ = nullptr;
 
+  // Transaction ids are (incarnation_ << kIncarnationShift) | next_sequence_.
+  // The counter restarts at 1 with every incarnation; the incarnation only
+  // moves forward (replay of NODE_EPOCH records, then BeginNewIncarnation).
+  std::uint64_t incarnation_ = 0;
   std::uint64_t next_sequence_ = 1;
   std::map<TransactionId, Txn> txns_;
 

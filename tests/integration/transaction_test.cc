@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include "src/name/resolver.h"
 #include "src/servers/array_server.h"
 #include "src/tabs/world.h"
 
@@ -269,15 +270,20 @@ TEST_F(TransactionTest, SubtransactionRemoteWriteFollowsParentOutcome) {
 
 TEST_F(TransactionTest, NameServerFindsLocalAndRemoteBindings) {
   world_.RunApp(1, [&](Application& app) {
-    auto local = world_.names(1).LookUp("array1", 1, 1'000'000);
+    name::Resolver resolver(/*max_wait=*/200'000);
+    auto local = resolver.Resolve(world_.names(1), "array1", 1);
     ASSERT_EQ(local.size(), 1u);
     EXPECT_EQ(local[0].node, 1u);
-    // Remote name resolved by broadcast.
-    auto remote = world_.names(1).LookUp("array3", 1, 1'000'000);
+    // Remote name resolved by broadcast (and cached: the repeat is a hit,
+    // not a second broadcast).
+    auto remote = resolver.Resolve(world_.names(1), "array3", 1);
     ASSERT_EQ(remote.size(), 1u);
     EXPECT_EQ(remote[0].node, 3u);
+    resolver.Resolve(world_.names(1), "array3", 1);
+    EXPECT_EQ(resolver.stats().lookups, 2u);
+    EXPECT_EQ(resolver.stats().cache_hits, 1u);
     // Unknown names come back empty after the broadcast wait.
-    EXPECT_TRUE(world_.names(1).LookUp("no-such-server", 1, 200'000).empty());
+    EXPECT_TRUE(resolver.Resolve(world_.names(1), "no-such-server", 1).empty());
   });
 }
 
