@@ -1,0 +1,307 @@
+// simspeed: a meta-benchmark of the simulator substrate itself.
+//
+// Every other bench measures the modeled system in virtual time; this one
+// measures how fast the simulator turns wall-clock time into simulated
+// events. Three profiles exercise the substrate's distinct hot paths:
+//
+//  * local-debitcredit  — one node, four concurrent clients hammering an
+//    AccountServer with typed-lock transfers: scheduler hand-off, lock
+//    manager, log, and buffer paths with no network.
+//  * remote-2pc-fanout  — three nodes, every transaction writes locally and
+//    on two remote arrays, then runs a two-participant distributed commit:
+//    session-call task spawning and datagram fan-out dominate. This is the
+//    profile the ISSUE's >=3x events/sec target is measured on.
+//  * scaleout-32        — a 32-node slice of the scale-out curve (sharded
+//    accounts, one client per node): many nodes, name resolution, routed
+//    calls, cross-shard 2PC.
+//
+// Reported per profile:
+//   events    — scheduler steps (task resumes), exact and deterministic
+//   txns      — committed transactions, exact
+//   sim_us    — virtual time simulated, exact
+//   wall_ms, events_per_sec, sim_per_wall — wall-clock derived, noisy; the
+//   CI gate compares them under a relative tolerance while the exact fields
+//   are compared byte-for-byte (determinism is the invariant).
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <random>
+#include <vector>
+
+#include "bench/bench_json.h"
+#include "src/servers/account_server.h"
+#include "src/servers/array_server.h"
+#include "src/tabs/service_handle.h"
+#include "src/tabs/world.h"
+
+namespace tabs {
+namespace {
+
+struct Row {
+  std::string name;
+  std::uint64_t txns = 0;
+  std::uint64_t events = 0;     // scheduler steps, exact
+  SimTime sim_us = 0;           // virtual time covered, exact
+  double wall_ms = 0;           // noisy
+
+  double events_per_sec() const {
+    return wall_ms > 0 ? events / (wall_ms / 1000.0) : 0;
+  }
+  // Virtual seconds simulated per wall second ("faster than real time" ratio).
+  double sim_per_wall() const {
+    return wall_ms > 0 ? (sim_us / 1000.0) / wall_ms : 0;
+  }
+};
+
+class WallTimer {
+ public:
+  WallTimer() : start_(std::chrono::steady_clock::now()) {}
+  double ElapsedMs() const {
+    auto d = std::chrono::steady_clock::now() - start_;
+    return std::chrono::duration<double, std::milli>(d).count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+// One node, four closed-loop clients transferring between accounts of a
+// typed-locking AccountServer. Increment/decrement modes commute, so the
+// clients genuinely interleave — pure scheduler/lock/log churn.
+Row RunLocalDebitCredit() {
+  const int kClients = 4;
+  const int kTxnsPerClient = bench::SmokeMode() ? 150 : 1500;
+  const std::uint32_t kAccounts = 64;
+
+  Row row;
+  row.name = "local-debitcredit";
+
+  World world(1);
+  world.AddServerOf<servers::AccountServer>(1, "bank", kAccounts);
+  world.RunApp(1, [&](Application& app) {
+    auto* bank = world.Server<servers::AccountServer>(1, "bank");
+    app.RunTransactional([&](const server::Tx& tx) {
+      for (std::uint32_t a = 0; a < kAccounts; ++a) {
+        Status s = bank->Deposit(tx, a, 1'000'000);
+        if (s != Status::kOk) {
+          return s;
+        }
+      }
+      return Status::kOk;
+    });
+  });
+
+  std::uint64_t steps0 = world.scheduler().steps();
+  SimTime end_clock = 0;
+  WallTimer timer;
+  for (int c = 0; c < kClients; ++c) {
+    world.SpawnApp(1, "client", [&world, &row, &end_clock, c, kTxnsPerClient,
+                                 kAccounts](Application& app) {
+      auto* bank = world.Server<servers::AccountServer>(1, "bank");
+      std::mt19937 rng(static_cast<std::uint32_t>(7'000 + c));
+      for (int i = 0; i < kTxnsPerClient; ++i) {
+        std::uint32_t from = rng() % kAccounts;
+        std::uint32_t to = (from + 1 + rng() % (kAccounts - 1)) % kAccounts;
+        auto r = app.RunTransactional([&](const server::Tx& tx) {
+          Status w = bank->Withdraw(tx, from, 5);
+          if (w != Status::kOk) {
+            return w;
+          }
+          return bank->Deposit(tx, to, 5);
+        });
+        if (r.ok()) {
+          ++row.txns;
+        }
+      }
+      end_clock = std::max(end_clock, world.scheduler().Now());
+    });
+  }
+  world.Drain();
+  row.wall_ms = timer.ElapsedMs();
+  row.events = world.scheduler().steps() - steps0;
+  row.sim_us = end_clock;
+  return row;
+}
+
+// Three nodes: each transaction writes the local array once and each of two
+// remote arrays twice, then commits with both remote nodes as 2PC
+// participants. Per transaction the substrate spawns session-handler tasks
+// for every remote operation plus the prepare/commit datagram fan-out — the
+// task-spawn hot path the tentpole targets.
+Row RunRemote2pcFanout() {
+  const int kTxns = bench::SmokeMode() ? 120 : 1200;
+  const std::uint32_t kCells = 128;
+
+  Row row;
+  row.name = "remote-2pc-fanout";
+
+  World world(3);
+  auto* local = world.AddServerOf<servers::ArrayServer>(1, "a1", kCells);
+  auto* remote = world.AddServerOf<servers::ArrayServer>(2, "a2", kCells);
+  auto* third = world.AddServerOf<servers::ArrayServer>(3, "a3", kCells);
+
+  std::uint64_t steps0 = world.scheduler().steps();
+  SimTime end_clock = 0;
+  WallTimer timer;
+  world.SpawnApp(1, "fanout", [&](Application& app) {
+    for (int i = 0; i < kTxns; ++i) {
+      auto v = static_cast<std::int32_t>(i);
+      auto r = app.RunTransactional([&](const server::Tx& tx) {
+        local->SetCell(tx, static_cast<std::uint32_t>(i) % kCells, v);
+        for (int k = 0; k < 2; ++k) {
+          std::uint32_t cell = static_cast<std::uint32_t>(i + k * 31) % kCells;
+          Status s = remote->SetCell(tx, cell, v);
+          if (s != Status::kOk) {
+            return s;
+          }
+          s = third->SetCell(tx, cell, v);
+          if (s != Status::kOk) {
+            return s;
+          }
+        }
+        return Status::kOk;
+      });
+      if (r.ok()) {
+        ++row.txns;
+      }
+    }
+    end_clock = world.scheduler().Now();
+  });
+  world.Drain();
+  row.wall_ms = timer.ElapsedMs();
+  row.events = world.scheduler().steps() - steps0;
+  row.sim_us = end_clock;
+  return row;
+}
+
+// A 32-node slice of bench/scaleout: one sharded account service, one client
+// per node, each running a fixed count of random transfers (most spanning
+// two shards: name resolution, routed remote calls, multi-node 2PC).
+Row RunScaleout32() {
+  const int kNodes = 32;
+  const int kTxnsPerClient = bench::SmokeMode() ? 6 : 30;
+  const std::uint32_t kAccountsPerShard = 4;
+  const std::uint64_t kTotalAccounts =
+      static_cast<std::uint64_t>(kAccountsPerShard) * kNodes;
+
+  Row row;
+  row.name = "scaleout-32";
+
+  World world(kNodes);
+  std::vector<NodeId> all_nodes;
+  for (int n = 1; n <= kNodes; ++n) {
+    all_nodes.push_back(static_cast<NodeId>(n));
+  }
+  world.AddShardedServiceOf<servers::AccountServer>(
+      "accounts", all_nodes, static_cast<std::uint32_t>(kNodes), kTotalAccounts);
+
+  // Shard-local seeding, exactly like bench/scaleout.
+  for (int n = 1; n <= kNodes; ++n) {
+    world.SpawnApp(static_cast<NodeId>(n), "seed", [&world, n, kNodes](Application& app) {
+      AccountService accounts = OpenAccounts(world, "accounts");
+      app.RunTransactional([&](const server::Tx& tx) {
+        for (std::uint32_t k = 0; k < kAccountsPerShard; ++k) {
+          std::uint64_t account = static_cast<std::uint64_t>(n - 1) +
+                                  static_cast<std::uint64_t>(k) * kNodes;
+          Status s = accounts.Deposit(tx, account, 1'000'000);
+          if (s != Status::kOk) {
+            return s;
+          }
+        }
+        return Status::kOk;
+      });
+    });
+  }
+  world.Drain();
+
+  std::uint64_t steps0 = world.scheduler().steps();
+  SimTime end_clock = 0;
+  WallTimer timer;
+  for (int c = 0; c < kNodes; ++c) {
+    NodeId home = static_cast<NodeId>(c + 1);
+    world.SpawnApp(home, "client", [&world, &row, &end_clock, c, kTxnsPerClient,
+                                    kTotalAccounts](Application& app) {
+      AccountService accounts = OpenAccounts(world, "accounts");
+      std::mt19937 rng(static_cast<std::uint32_t>(9'000'000 + c));
+      for (int i = 0; i < kTxnsPerClient; ++i) {
+        std::uint64_t from = rng() % kTotalAccounts;
+        std::uint64_t to = rng() % kTotalAccounts;
+        if (to == from) {
+          to = (to + 1) % kTotalAccounts;
+        }
+        auto r = app.RunTransactional([&](const server::Tx& tx) {
+          Status w = accounts.Withdraw(tx, from, 1);
+          if (w != Status::kOk) {
+            return w;
+          }
+          return accounts.Deposit(tx, to, 1);
+        });
+        if (r.ok()) {
+          ++row.txns;
+        }
+      }
+      end_clock = std::max(end_clock, world.scheduler().Now());
+    }, c * 1'000);
+  }
+  world.Drain();
+  row.wall_ms = timer.ElapsedMs();
+  row.events = world.scheduler().steps() - steps0;
+  row.sim_us = end_clock;
+  return row;
+}
+
+void Run() {
+  std::printf("simspeed: substrate events/sec over three profiles%s\n\n",
+              bench::SmokeMode() ? " (smoke)" : "");
+  std::printf("%-20s %10s %12s %12s %10s %12s %10s\n", "profile", "txns",
+              "events", "sim ms", "wall ms", "events/s", "sim/wall");
+  std::printf("%.92s\n",
+              "--------------------------------------------------------------"
+              "------------------------------");
+
+  bench::JsonWriter json;
+  json.BeginObject();
+  json.String("bench", "simspeed");
+  json.Bool("smoke", bench::SmokeMode());
+  json.BeginArray("rows");
+
+  std::vector<Row> rows;
+  rows.push_back(RunLocalDebitCredit());
+  rows.push_back(RunRemote2pcFanout());
+  rows.push_back(RunScaleout32());
+
+  for (const Row& row : rows) {
+    std::printf("%-20s %10llu %12llu %12.1f %10.1f %12.0f %10.1f\n",
+                row.name.c_str(), static_cast<unsigned long long>(row.txns),
+                static_cast<unsigned long long>(row.events), row.sim_us / 1000.0,
+                row.wall_ms, row.events_per_sec(), row.sim_per_wall());
+    json.BeginObject();
+    json.String("name", row.name);
+    json.Number("txns", row.txns);
+    json.Number("events", row.events);
+    json.Number("sim_us", static_cast<std::uint64_t>(row.sim_us));
+    json.Number("wall_ms", row.wall_ms);
+    json.Number("events_per_sec", row.events_per_sec());
+    json.Number("sim_per_wall", row.sim_per_wall());
+    json.EndObject();
+  }
+  json.EndArray();
+  json.EndObject();
+
+  std::printf(
+      "\nevents = scheduler steps (task resumes): exact and deterministic,\n"
+      "gated byte-for-byte. wall-clock columns are noisy and gated under a\n"
+      "relative tolerance (tools/check_bench.py --tolerance).\n");
+  if (json.WriteFile("BENCH_simspeed.json")) {
+    std::printf("\nwrote BENCH_simspeed.json\n");
+  }
+}
+
+}  // namespace
+}  // namespace tabs
+
+int main() {
+  tabs::Run();
+  return 0;
+}

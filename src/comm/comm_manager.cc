@@ -49,7 +49,10 @@ std::shared_ptr<CommManager::CallWindow> CommManager::AcquireSlot(const Transact
   }
   ++win->outstanding;
   if (sub.tracer().enabled()) {
-    sub.tracer().histograms().Sample("cm.outstanding-calls", win->outstanding);
+    if (outstanding_hist_ == nullptr) {
+      outstanding_hist_ = sub.tracer().histograms().Register("cm.outstanding-calls");
+    }
+    outstanding_hist_->Record(win->outstanding);
   }
   return win;
 }

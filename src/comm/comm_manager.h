@@ -279,6 +279,8 @@ class CommManager {
   // containers are safe and keep the per-message lookups O(1).
   std::unordered_map<TransactionId, TreeInfo> trees_;
   std::unordered_map<TransactionId, std::shared_ptr<CallWindow>> windows_;
+  // Interned once on first use; AcquireSlot is on every remote call's path.
+  sim::HistogramRegistry::Histogram* outstanding_hist_ = nullptr;
 };
 
 }  // namespace tabs::comm

@@ -1,5 +1,6 @@
 #include "src/kernel/recoverable_segment.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cstring>
 
@@ -175,10 +176,18 @@ bool RecoverableSegment::IsPinned(PageNumber page) const {
 }
 
 void RecoverableSegment::FlushAll() {
+  // Ascending page order: the write-back sequence decides which WAL forces
+  // are no-ops (forcing through a high LSN first absorbs later ones), so the
+  // order must stay deterministic and match the original sorted-map walk.
+  std::vector<PageNumber> dirty;
   for (auto& [page, frame] : frames_) {
     if (frame.dirty) {
-      WriteBack(page, frame, /*sequential=*/false, /*background=*/false);
+      dirty.push_back(page);
     }
+  }
+  std::sort(dirty.begin(), dirty.end());
+  for (PageNumber page : dirty) {
+    WriteBack(page, frames_.at(page), /*sequential=*/false, /*background=*/false);
   }
 }
 
@@ -189,6 +198,10 @@ std::vector<RecoverableSegment::CleanCandidate> RecoverableSegment::CleanCandida
       out.push_back({page, frame.recovery_lsn});
     }
   }
+  // Page order, as documented: the cleaner flushes these as one elevator
+  // sweep and FlushPages requires ascending addresses.
+  std::sort(out.begin(), out.end(),
+            [](const CleanCandidate& a, const CleanCandidate& b) { return a.page < b.page; });
   return out;
 }
 

@@ -26,6 +26,7 @@
 #include <list>
 #include <map>
 #include <stdexcept>
+#include <unordered_map>
 #include <vector>
 
 #include "src/common/bytes.h"
@@ -160,7 +161,12 @@ class RecoverableSegment {
   PageNumber page_count_;
   size_t buffer_frames_;
   WriteAheadHooks* hooks_ = nullptr;
-  std::map<PageNumber, Frame> frames_;
+  // Hashed: FaultIn is a point lookup on every object Read/Write. Walks that
+  // need an order (FlushAll's write-back sequence, CleanCandidates' sweep
+  // order) sort explicitly; the remaining iterations (EvictOne's LRU scan
+  // over unique lru_ticks, UnpinAll, dirty_page_count, DirtyPages into a
+  // std::map) are order-insensitive.
+  std::unordered_map<PageNumber, Frame> frames_;
   std::uint64_t lru_clock_ = 0;
   std::uint64_t faults_ = 0;
   PageNumber last_faulted_ = static_cast<PageNumber>(-2);

@@ -5,6 +5,9 @@
 namespace tabs::sim {
 
 void FaultInjector::OnPoint(Substrate& sub, const char* name) {
+  if (!armed_) {
+    return;  // idle injector: FaultPointHit normally filters this already
+  }
   int hit = ++counts_[name];
   if (hit == 1) {
     order_.emplace_back(name);
@@ -24,6 +27,7 @@ void FaultInjector::OnPoint(Substrate& sub, const char* name) {
   if (it != plan_.end() && hit == it->second.hit) {
     Armed armed = it->second;
     plan_.erase(it);  // each armed action fires exactly once
+    RecomputeArmed();
     if (armed.crash) {
       CrashCurrentNode(sub, name);
       return;  // reached only when no crash handler is wired
@@ -47,11 +51,13 @@ void FaultInjector::OnPoint(Substrate& sub, const char* name) {
 void FaultInjector::ArmCrash(const std::string& point, int hit) {
   assert(hit >= 1);
   plan_[point] = Armed{/*crash=*/true, /*delay_us=*/0, hit};
+  RecomputeArmed();
 }
 
 void FaultInjector::ArmDelay(const std::string& point, SimTime delay_us, int hit) {
   assert(hit >= 1 && delay_us > 0);
   plan_[point] = Armed{/*crash=*/false, delay_us, hit};
+  RecomputeArmed();
 }
 
 void FaultInjector::ArmTornLogForce(int durable_sectors) {
@@ -65,6 +71,7 @@ void FaultInjector::Disarm() {
   delays_seeded_ = false;
   delay_probability_ = 0;
   max_delay_us_ = 0;
+  RecomputeArmed();
 }
 
 void FaultInjector::SeedDelays(std::uint64_t seed, double probability,
@@ -74,6 +81,7 @@ void FaultInjector::SeedDelays(std::uint64_t seed, double probability,
   rng_.seed(seed);
   delay_probability_ = probability;
   max_delay_us_ = max_delay_us;
+  RecomputeArmed();
 }
 
 void FaultInjector::CrashCurrentNode(Substrate& sub, const char* why) {

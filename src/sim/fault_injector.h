@@ -43,12 +43,25 @@ class FaultInjector {
   // delay, or do nothing. Crash and delay actions only fire inside a task.
   void OnPoint(Substrate& sub, const char* name);
 
+  // True while anything could observe or act on a hit: recording, a scripted
+  // plan, or seeded delays. FaultPointHit checks this before calling OnPoint,
+  // so a disarmed injector costs one flag load per FAULT_POINT — no string
+  // key, no map touch. Hit counting is therefore also gated on armed():
+  // every consumer of counts (the two-pass exploration tests) starts
+  // recording/arms its plan at the same post-setup position in both passes,
+  // so per-point hit numbers stay pass-consistent.
+  bool armed() const { return armed_; }
+
   // --- recording (crash-point enumeration pass) ---------------------------
   void StartRecording() {
     recording_ = true;
     hits_.clear();
+    RecomputeArmed();
   }
-  void StopRecording() { recording_ = false; }
+  void StopRecording() {
+    recording_ = false;
+    RecomputeArmed();
+  }
   const std::vector<PointHit>& recorded_hits() const { return hits_; }
   // Distinct points in first-hit order (tracked whether or not recording).
   const std::vector<std::string>& distinct_points() const { return order_; }
@@ -101,6 +114,9 @@ class FaultInjector {
     int hit = 1;
   };
 
+  void RecomputeArmed() { armed_ = recording_ || !plan_.empty() || delays_seeded_; }
+
+  bool armed_ = false;
   std::map<std::string, Armed> plan_;
   std::map<std::string, int> counts_;
   std::vector<std::string> order_;
@@ -117,10 +133,12 @@ class FaultInjector {
 };
 
 // The hook the load-bearing windows compile in. Free when no injector is
-// installed: one pointer load and branch, zero virtual time.
+// installed or the installed one is idle: a pointer load plus a flag load,
+// zero virtual time, no map or string work.
 inline void FaultPointHit(Substrate& sub, const char* name) {
-  if (sub.faults() != nullptr) {
-    sub.faults()->OnPoint(sub, name);
+  FaultInjector* f = sub.faults();
+  if (f != nullptr && f->armed()) {
+    f->OnPoint(sub, name);
   }
 }
 

@@ -5,6 +5,25 @@
 
 namespace tabs::sim {
 
+namespace {
+// Cap on recycled Task objects kept between spawns. Enough that steady-state
+// RPC traffic never allocates; bounded so a one-off fan-out burst does not
+// pin memory forever.
+constexpr std::size_t kMaxPooledTasks = 256;
+}  // namespace
+
+WaitQueue::~WaitQueue() {
+  // Every task in waiters_ is blocked with waiting_on == this (wake and
+  // timer-fire erase eagerly), and blocked tasks are never reaped, so the
+  // pointers are live. Runs either inside the sole running task or outside
+  // Run() entirely — never concurrently with scheduler mutation.
+  for (Task* t : waiters_) {
+    if (t->waiting_on == this) {
+      t->waiting_on = nullptr;
+    }
+  }
+}
+
 Scheduler::~Scheduler() { Shutdown(); }
 
 void Scheduler::Shutdown() {
@@ -19,123 +38,115 @@ void Scheduler::Shutdown() {
           w.erase(std::remove(w.begin(), w.end(), t.get()), w.end());
           t->waiting_on = nullptr;
         }
+        CancelTimerLocked(t.get());
         t->state = Task::State::kReady;
+        PushReadyLocked(t.get());
       }
     }
   }
   // Give every remaining task one turn so its stack unwinds via TaskKilled.
   Run();
-  std::lock_guard<std::mutex> lock(mu_);
-  for (auto& t : tasks_) {
-    if (t->thread.joinable()) {
-      t->thread.join();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& w : workers_) {
+      w->exit = true;
+      w->cv.notify_one();
     }
   }
+  for (auto& w : workers_) {
+    if (w->thread.joinable()) {
+      w->thread.join();
+    }
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  workers_.clear();
+  free_workers_.clear();
+  task_pool_.clear();
 }
 
 TaskId Scheduler::Spawn(std::string name, NodeId node, SimTime start_time,
                         std::function<void()> fn) {
   std::lock_guard<std::mutex> lock(mu_);
-  auto task = std::make_unique<Task>();
+  std::unique_ptr<Task> task;
+  if (!task_pool_.empty()) {
+    task = std::move(task_pool_.back());
+    task_pool_.pop_back();
+  } else {
+    task = std::make_unique<Task>();
+  }
   task->id = next_id_++;
   task->name = std::move(name);
   task->node = node;
-  task->time = start_time;
   task->state = Task::State::kReady;
+  task->time = start_time;
+  task->timed_out = false;
+  task->killed = false;
+  task->timer_armed = false;
+  task->waiting_on = nullptr;
   task->fn = std::move(fn);
   task->scheduler = this;
   Task* raw = task.get();
-  task->thread = std::thread(&Scheduler::TaskMain, raw);
+  Worker* w;
+  if (!free_workers_.empty()) {
+    w = free_workers_.back();
+    free_workers_.pop_back();
+  } else {
+    workers_.push_back(std::make_unique<Worker>());
+    w = workers_.back().get();
+    w->thread = std::thread(&Scheduler::WorkerMain, this, w);
+  }
+  w->task = raw;
+  raw->worker = w;
+  raw->index = tasks_.size();
   tasks_.push_back(std::move(task));
+  PushReadyLocked(raw);
   if (observer_ != nullptr) {
     observer_->OnSpawn(*raw, current_, start_time);
   }
   return raw->id;
 }
 
-void Scheduler::TaskMain(Task* t) {
-  Scheduler* sched = t->scheduler;
-  {
-    std::unique_lock<std::mutex> lock(sched->mu_);
-    t->cv.wait(lock, [&] { return sched->current_ == t; });
-  }
-  if (!t->killed) {
-    try {
-      t->fn();
-    } catch (const TaskKilled&) {
-      // Node crash or shutdown: the task dies with its stack unwound.
+void Scheduler::WorkerMain(Scheduler* sched, Worker* w) {
+  std::unique_lock<std::mutex> lock(sched->mu_);
+  for (;;) {
+    w->cv.wait(lock, [&] {
+      return w->exit || (w->task != nullptr && sched->current_ == w->task);
+    });
+    if (w->exit) {
+      return;
     }
+    Task* t = w->task;
+    if (!t->killed) {
+      lock.unlock();
+      try {
+        t->fn();
+      } catch (const TaskKilled&) {
+        // Node crash or shutdown: the task dies with its stack unwound.
+      }
+      lock.lock();
+    }
+    if (sched->observer_ != nullptr) {
+      sched->observer_->OnDone(*t);
+    }
+    t->state = Task::State::kDone;
+    t->fn = nullptr;
+    t->worker = nullptr;
+    w->task = nullptr;
+    sched->done_.push_back(t);
+    sched->free_workers_.push_back(w);
+    sched->current_ = nullptr;
+    sched->ScheduleNextLocked();
   }
-  std::lock_guard<std::mutex> lock(sched->mu_);
-  if (sched->observer_ != nullptr) {
-    sched->observer_->OnDone(*t);
-  }
-  t->state = Task::State::kDone;
-  sched->current_ = nullptr;
-  sched->sched_cv_.notify_one();
 }
 
 int Scheduler::Run() {
   std::unique_lock<std::mutex> lock(mu_);
   assert(current_ == nullptr && "Run() must not be called from inside a task");
-  for (;;) {
-    ReapDoneLocked();
-
-    Task* best = nullptr;
-    for (auto& t : tasks_) {
-      if (t->state != Task::State::kReady) {
-        continue;
-      }
-      if (best == nullptr || t->time < best->time ||
-          (t->time == best->time && t->id < best->id)) {
-        best = t.get();
-      }
-    }
-
-    // A pending lock-wait timeout fires if it precedes every runnable task.
-    while (!timers_.empty()) {
-      auto it = timers_.begin();
-      Task* victim = it->second.first;
-      std::uint64_t gen = it->second.second;
-      if (victim->state != Task::State::kBlocked || victim->timer_generation != gen) {
-        timers_.erase(it);  // stale: the task was woken or re-blocked since
-        continue;
-      }
-      if (best != nullptr && best->time <= it->first) {
-        break;  // a runnable task precedes the earliest timeout
-      }
-      // Fire the timeout: pull the victim out of its wait queue.
-      SimTime deadline = it->first;
-      timers_.erase(it);
-      if (victim->waiting_on != nullptr) {
-        auto& w = victim->waiting_on->waiters_;
-        w.erase(std::remove(w.begin(), w.end(), victim), w.end());
-        victim->waiting_on = nullptr;
-      }
-      victim->timed_out = true;
-      victim->state = Task::State::kReady;
-      if (deadline > victim->time) {
-        SimTime from = victim->time;
-        victim->time = deadline;
-        if (observer_ != nullptr) {
-          observer_->OnTimeout(*victim, from, deadline);
-        }
-      }
-      if (best == nullptr || victim->time < best->time ||
-          (victim->time == best->time && victim->id < best->id)) {
-        best = victim;
-      }
-    }
-
-    if (best == nullptr) {
-      break;  // quiescent: either all done or the rest are blocked forever
-    }
-
-    best->state = Task::State::kRunning;
-    current_ = best;
-    best->cv.notify_one();
-    sched_cv_.wait(lock, [&] { return current_ == nullptr; });
-  }
+  idle_ = false;
+  // Hand off to the first task; from here tasks chain directly worker to
+  // worker and this thread sleeps until the system goes quiescent.
+  ScheduleNextLocked();
+  sched_cv_.wait(lock, [&] { return idle_; });
   ReapDoneLocked();
   int blocked = 0;
   for (auto& t : tasks_) {
@@ -146,17 +157,101 @@ int Scheduler::Run() {
   return blocked;
 }
 
-void Scheduler::ReapDoneLocked() {
-  for (auto it = tasks_.begin(); it != tasks_.end();) {
-    if ((*it)->state == Task::State::kDone) {
-      if ((*it)->thread.joinable()) {
-        (*it)->thread.join();
+void Scheduler::PushReadyLocked(Task* t) {
+  assert(t->state == Task::State::kReady);
+  ready_.push_back(ReadyEntry{t->time, t->id, t});
+  std::push_heap(ready_.begin(), ready_.end(), ReadyAfter{});
+}
+
+Task* Scheduler::PeekReadyLocked() {
+  while (!ready_.empty()) {
+    const ReadyEntry& e = ready_.front();
+    // An entry is pushed when its task becomes ready and popped when the
+    // task is selected to run, so the top is normally live; the guard only
+    // protects against a recycled Task object (fresh id) behind a stale
+    // pointer.
+    if (e.task->state == Task::State::kReady && e.task->id == e.id) {
+      assert(e.task->time == e.time && "a ready task's clock is immutable");
+      return e.task;
+    }
+    std::pop_heap(ready_.begin(), ready_.end(), ReadyAfter{});
+    ready_.pop_back();
+  }
+  return nullptr;
+}
+
+void Scheduler::ScheduleNextLocked() {
+  assert(current_ == nullptr);
+  ReapDoneLocked();
+  Task* best = PeekReadyLocked();
+
+  // A pending lock-wait timeout fires if it precedes every runnable task.
+  while (!timers_.empty()) {
+    auto it = timers_.begin();
+    if (best != nullptr && best->time <= it->deadline) {
+      break;  // a runnable task precedes the earliest timeout
+    }
+    // Fire the timeout: pull the victim out of its wait queue. Entries are
+    // erased eagerly on cancellation, so the victim is always still blocked.
+    Task* victim = it->task;
+    SimTime deadline = it->deadline;
+    assert(victim->state == Task::State::kBlocked && victim->timer_armed);
+    timers_.erase(it);
+    victim->timer_armed = false;
+    if (victim->waiting_on != nullptr) {
+      auto& w = victim->waiting_on->waiters_;
+      w.erase(std::remove(w.begin(), w.end(), victim), w.end());
+      victim->waiting_on = nullptr;
+    }
+    victim->timed_out = true;
+    victim->state = Task::State::kReady;
+    if (deadline > victim->time) {
+      SimTime from = victim->time;
+      victim->time = deadline;
+      if (observer_ != nullptr) {
+        observer_->OnTimeout(*victim, from, deadline);
       }
-      it = tasks_.erase(it);
-    } else {
-      ++it;
+    }
+    PushReadyLocked(victim);
+    best = PeekReadyLocked();
+  }
+
+  if (best == nullptr) {
+    // Quiescent: either all done or the rest are blocked forever.
+    idle_ = true;
+    sched_cv_.notify_one();
+    return;
+  }
+  assert(ready_.front().task == best);
+  std::pop_heap(ready_.begin(), ready_.end(), ReadyAfter{});
+  ready_.pop_back();
+  best->state = Task::State::kRunning;
+  current_ = best;
+  ++steps_;
+  best->worker->cv.notify_one();
+}
+
+void Scheduler::ReapDoneLocked() {
+  if (done_.empty()) {
+    return;
+  }
+  for (Task* t : done_) {
+    assert(!t->timer_armed);
+    std::size_t idx = t->index;
+    assert(tasks_[idx].get() == t);
+    std::unique_ptr<Task> owned = std::move(tasks_[idx]);
+    if (idx + 1 != tasks_.size()) {
+      tasks_[idx] = std::move(tasks_.back());
+      tasks_[idx]->index = idx;
+    }
+    tasks_.pop_back();
+    if (task_pool_.size() < kMaxPooledTasks) {
+      owned->name.clear();
+      owned->waiting_on = nullptr;
+      task_pool_.push_back(std::move(owned));
     }
   }
+  done_.clear();
 }
 
 SimTime Scheduler::Now() const {
@@ -194,8 +289,11 @@ void Scheduler::AdvanceTo(SimTime t) {
 
 void Scheduler::ParkCurrent(std::unique_lock<std::mutex>& lock, Task* t) {
   current_ = nullptr;
-  sched_cv_.notify_one();
-  t->cv.wait(lock, [&] { return current_ == t; });
+  // The parking thread selects and wakes its successor directly; if the
+  // selection picks `t` itself (a Yield with nothing earlier), the wait
+  // predicate is already true and no OS context switch happens at all.
+  ScheduleNextLocked();
+  t->worker->cv.wait(lock, [&] { return current_ == t; });
   if (t->killed) {
     throw TaskKilled{};
   }
@@ -212,17 +310,27 @@ bool Scheduler::Wait(WaitQueue& q, SimTime timeout) {
   t->timed_out = false;
   t->waiting_on = &q;
   q.waiters_.push_back(t);
-  ++t->timer_generation;
+  assert(!t->timer_armed && "a task arms at most one timer");
   if (timeout >= 0) {
-    timers_.insert({t->time + timeout, {t, t->timer_generation}});
+    t->timer_armed = true;
+    t->timer_deadline = t->time + timeout;
+    t->timer_seq = ++timer_seq_;
+    timers_.insert(TimerKey{t->timer_deadline, t->timer_seq, t});
   }
   ParkCurrent(lock, t);
   return !t->timed_out;
 }
 
+void Scheduler::CancelTimerLocked(Task* t) {
+  if (t->timer_armed) {
+    timers_.erase(TimerKey{t->timer_deadline, t->timer_seq, nullptr});
+    t->timer_armed = false;
+  }
+}
+
 void Scheduler::WakeLocked(Task* t, SimTime wake_time) {
   t->waiting_on = nullptr;
-  ++t->timer_generation;  // cancel any pending timeout
+  CancelTimerLocked(t);  // purge the pending timeout eagerly
   t->state = Task::State::kReady;
   if (wake_time > t->time) {
     SimTime from = t->time;
@@ -231,6 +339,7 @@ void Scheduler::WakeLocked(Task* t, SimTime wake_time) {
       observer_->OnWake(*t, current_, from, wake_time);
     }
   }
+  PushReadyLocked(t);
 }
 
 void Scheduler::NotifyOne(WaitQueue& q) {
@@ -260,6 +369,7 @@ void Scheduler::Yield() {
   }
   std::unique_lock<std::mutex> lock(mu_);
   t->state = Task::State::kReady;
+  PushReadyLocked(t);
   ParkCurrent(lock, t);
 }
 
@@ -283,8 +393,9 @@ void Scheduler::KillWhere(const std::function<bool(const Task&)>& pred) {
           w.erase(std::remove(w.begin(), w.end(), t.get()), w.end());
           t->waiting_on = nullptr;
         }
-        ++t->timer_generation;
+        CancelTimerLocked(t.get());
         t->state = Task::State::kReady;  // resumes, sees killed, unwinds
+        PushReadyLocked(t.get());
       }
     }
   }

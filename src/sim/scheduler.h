@@ -6,15 +6,23 @@
 // application, a data-server request, a commit-protocol participant) is a
 // Task with its own virtual clock. Exactly one task runs at a time; a task
 // runs until it blocks (lock wait, message wait) or finishes, and the
-// scheduler always resumes the runnable task with the smallest virtual time.
-// This makes every run — including multi-node two-phase commits and crash
+// scheduler always resumes the runnable task with the smallest virtual time
+// (ties broken by task id, i.e. spawn order — a deterministic FIFO). This
+// makes every run — including multi-node two-phase commits and crash
 // recoveries — bit-for-bit reproducible while still modelling genuine
 // parallelism across nodes (each task advances its own clock; a task that
 // waits for several replies resumes at the max of their arrival times).
 //
-// Tasks are implemented as parked OS threads with strict hand-off: only one
-// thread is ever unparked, so no data races are possible and no per-platform
-// context-switch assembly is needed.
+// Execution substrate: tasks run on a pool of parked OS worker threads with
+// strict hand-off — only one thread is ever unparked, so no data races are
+// possible and no per-platform context-switch assembly is needed. A parking
+// or finishing task selects its successor and wakes it directly (one OS
+// context switch per simulated event, not a bounce through a scheduler
+// thread), and workers are reused across tasks, so spawning a task costs a
+// freelist pop rather than an OS thread creation. Runnable tasks live in a
+// binary min-heap keyed (virtual time, task id); pending Wait() timeouts
+// live in an ordered set that is purged eagerly when a timer is cancelled.
+// Task objects themselves are recycled through a freelist.
 
 #ifndef TABS_SIM_SCHEDULER_H_
 #define TABS_SIM_SCHEDULER_H_
@@ -24,10 +32,10 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <map>
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <set>
 #include <string>
 #include <thread>
 #include <vector>
@@ -51,6 +59,10 @@ constexpr TaskId kInvalidTask = 0;
 class WaitQueue {
  public:
   WaitQueue() = default;
+  // A queue may die before tasks blocked on it (e.g. a stack queue going out
+  // of scope ahead of the scheduler): detach the waiters' back-pointers so
+  // shutdown and timer-fire never touch the dead queue.
+  ~WaitQueue();
   WaitQueue(const WaitQueue&) = delete;
   WaitQueue& operator=(const WaitQueue&) = delete;
 
@@ -60,6 +72,16 @@ class WaitQueue {
   friend class Scheduler;
   struct Task* Front() { return waiters_.empty() ? nullptr : waiters_.front(); }
   std::deque<struct Task*> waiters_;
+};
+
+// A pooled OS thread that executes tasks. Workers outlive the tasks they
+// run: when a task finishes, its worker returns to the scheduler's free list
+// and picks up the next spawned task without an OS thread creation.
+struct Worker {
+  std::thread thread;
+  std::condition_variable cv;
+  struct Task* task = nullptr;  // the task currently assigned to this worker
+  bool exit = false;
 };
 
 struct Task {
@@ -72,11 +94,13 @@ struct Task {
   SimTime time = 0;             // the task's virtual clock
   bool timed_out = false;       // set when a Wait() ended by timeout
   bool killed = false;
-  std::uint64_t timer_generation = 0;
+  bool timer_armed = false;     // a Wait() timeout is pending in the timer set
+  SimTime timer_deadline = 0;   // valid while timer_armed
+  std::uint64_t timer_seq = 0;  // arming order: deterministic same-deadline tie-break
+  std::size_t index = 0;        // position in Scheduler::tasks_ (swap-erase)
   WaitQueue* waiting_on = nullptr;
   std::function<void()> fn;
-  std::thread thread;
-  std::condition_variable cv;
+  Worker* worker = nullptr;
   Scheduler* scheduler = nullptr;
 };
 
@@ -151,33 +175,82 @@ class Scheduler {
   bool in_task() const { return current_ != nullptr; }
   int blocked_count() const;
 
+  // Scheduling steps executed so far: one step per task resume (the unit the
+  // simspeed meta-bench reports as "events"). Deterministic for a given
+  // workload — byte-identical runs execute byte-identical step counts.
+  std::uint64_t steps() const { return steps_; }
+
   // Installs (or, with nullptr, removes) the clock observer. Callable only
   // while no task is being scheduled concurrently with the change — in this
   // strict hand-off model any point where the caller runs qualifies.
   void SetClockObserver(ClockObserver* observer) { observer_ = observer; }
 
   // Kills every task and runs until all stacks have unwound, then joins the
-  // task threads. Idempotent; the destructor calls it. Owners whose tasks
+  // worker threads. Idempotent; the destructor calls it. Owners whose tasks
   // reference shorter-lived state (e.g. the tracer, destroyed before the
   // scheduler member in World) call this first so tasks unwind while that
   // state is still alive. Must not be called from inside a task.
   void Shutdown();
 
  private:
-  static void TaskMain(Task* t);
-  // Parks the current task (state already updated) and waits to be resumed.
-  // Must be called with mu_ held via the unique_lock.
+  // Runnable tasks, a binary min-heap over (virtual time, task id). Entries
+  // are pushed when a task becomes ready and popped exactly when it is
+  // selected to run, so an entry's key is immutable while it is in the heap
+  // (a ready task's clock cannot advance). Max-comparator: std::push_heap
+  // builds a max-heap, so "after" means "scheduled later".
+  struct ReadyEntry {
+    SimTime time;
+    TaskId id;
+    Task* task;
+  };
+  struct ReadyAfter {
+    bool operator()(const ReadyEntry& a, const ReadyEntry& b) const {
+      return a.time > b.time || (a.time == b.time && a.id > b.id);
+    }
+  };
+  // Pending Wait() timeouts, ordered (deadline, arming seq) — the arming
+  // sequence reproduces the old multimap's insertion-order tie-break. An
+  // entry is erased eagerly the moment its timer is cancelled (wake, kill,
+  // shutdown) or fires, so the set only ever holds live timers.
+  struct TimerKey {
+    SimTime deadline;
+    std::uint64_t seq;
+    Task* task;
+    bool operator<(const TimerKey& o) const {
+      return deadline < o.deadline || (deadline == o.deadline && seq < o.seq);
+    }
+  };
+
+  static void WorkerMain(Scheduler* sched, Worker* w);
+  // Parks the current task (state already updated), hands off to the next
+  // runnable task, and waits to be resumed. Must be called with mu_ held via
+  // the unique_lock.
   void ParkCurrent(std::unique_lock<std::mutex>& lock, Task* t);
   void WakeLocked(Task* t, SimTime wake_time);
+  void PushReadyLocked(Task* t);
+  void CancelTimerLocked(Task* t);
+  Task* PeekReadyLocked();
+  // The heart of the hand-off: fires due timers, selects the runnable task
+  // with the smallest (time, id), and wakes its worker — or, when nothing is
+  // runnable, signals quiescence to Run(). Called by the parking/finishing
+  // thread itself, so a hand-off costs one OS context switch.
+  void ScheduleNextLocked();
   void ReapDoneLocked();
 
   mutable std::mutex mu_;
   std::condition_variable sched_cv_;
-  std::vector<std::unique_ptr<Task>> tasks_;
-  // (deadline, (task id, timer generation)) — stale generations are skipped.
-  std::multimap<SimTime, std::pair<Task*, std::uint64_t>> timers_;
+  std::vector<std::unique_ptr<Task>> tasks_;      // live tasks (swap-erase order)
+  std::vector<std::unique_ptr<Task>> task_pool_;  // recycled Task objects
+  std::vector<Task*> done_;                       // finished, awaiting reap
+  std::vector<ReadyEntry> ready_;                 // min-heap via ReadyAfter
+  std::set<TimerKey> timers_;
+  std::uint64_t timer_seq_ = 0;
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::vector<Worker*> free_workers_;
   Task* current_ = nullptr;
   TaskId next_id_ = 1;
+  std::uint64_t steps_ = 0;
+  bool idle_ = true;
   bool shutting_down_ = false;
   ClockObserver* observer_ = nullptr;
 };

@@ -14,7 +14,7 @@
 #define TABS_SIM_SIM_DISK_H_
 
 #include <cstdint>
-#include <map>
+#include <unordered_map>
 #include <vector>
 
 #include "src/common/types.h"
@@ -82,7 +82,9 @@ class SimDisk {
   DiskPage& PageRef(PageId page);
 
   Substrate& substrate_;
-  std::map<SegmentId, std::vector<DiskPage>> segments_;
+  // Hashed: every access is a point lookup (ReadPage/WritePage on the I/O
+  // hot path); nothing iterates, so ordering is never protocol-visible.
+  std::unordered_map<SegmentId, std::vector<DiskPage>> segments_;
   int lost_writes_pending_ = 0;
   int lost_writes_after_ = 0;
 };

@@ -43,9 +43,8 @@ class Substrate {
     auto cost = static_cast<SimTime>(static_cast<double>(costs_.Of(p)) * n);
     sched_.Charge(cost);
     if (tracer_.enabled() && sched_.in_task()) {
-      tracer_.Record(sched_.Now(), sched_.current()->node, PrimitiveName(p),
-                     sched_.current()->name);
-      tracer_.histograms().Sample(std::string("primitive.") + PrimitiveName(p), cost);
+      tracer_.RecordPrimitive(p, sched_.Now(), sched_.current()->node, sched_.current()->name,
+                              cost);
     }
   }
 

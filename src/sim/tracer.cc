@@ -57,27 +57,34 @@ const char* ComponentName(Component c) {
   return "?";
 }
 
-std::map<std::string, HistogramRegistry::Stats> HistogramRegistry::AllStats() const {
+std::map<std::string, HistogramRegistry::Stats> HistogramRegistry::AllStats() {
   std::map<std::string, Stats> out;
-  for (const auto& [name, samples] : samples_) {
+  for (auto& [name, hist] : series_) {
+    std::vector<SimTime>& samples = hist->samples_;
     if (samples.empty()) {
       continue;
     }
-    std::vector<SimTime> sorted = samples;
-    std::sort(sorted.begin(), sorted.end());
+    std::sort(samples.begin(), samples.end());
     Stats s;
-    s.count = sorted.size();
-    for (SimTime v : sorted) {
+    s.count = samples.size();
+    for (SimTime v : samples) {
       s.total += v;
     }
-    s.min = sorted.front();
-    s.max = sorted.back();
-    s.p50 = Quantile(sorted, 50);
-    s.p90 = Quantile(sorted, 90);
-    s.p99 = Quantile(sorted, 99);
+    s.min = samples.front();
+    s.max = samples.back();
+    s.p50 = Quantile(samples, 50);
+    s.p90 = Quantile(samples, 90);
+    s.p99 = Quantile(samples, 99);
     out.emplace(name, s);
   }
   return out;
+}
+
+Tracer::Tracer() {
+  for (int p = 0; p < kPrimitiveCount; ++p) {
+    primitive_hists_[p] =
+        histograms_.Register(std::string("primitive.") + PrimitiveName(static_cast<Primitive>(p)));
+  }
 }
 
 Tracer::~Tracer() {
@@ -208,6 +215,7 @@ std::uint32_t Tracer::OpenSpan(Component component, const char* name, std::strin
   rec.depth = static_cast<int>(s.open_spans.size());
   rec.name = name;
   rec.detail = std::move(detail);
+  rec.hist = SpanHistogram(name);
   spans_.push_back(std::move(rec));
   s.open_spans.push_back(index);
   s.current = component;
@@ -230,7 +238,15 @@ void Tracer::CloseSpan(std::uint32_t index, std::uint64_t generation) {
     it->second.current =
         open.empty() ? Component::kApplication : spans_[open.back()].component;
   }
-  histograms_.Sample(std::string("span.") + span.name, span.end - span.begin);
+  span.hist->Record(span.end - span.begin);
+}
+
+HistogramRegistry::Histogram* Tracer::SpanHistogram(const char* name) {
+  auto [it, inserted] = span_hists_.try_emplace(name, nullptr);
+  if (inserted) {
+    it->second = histograms_.Register(std::string("span.") + name);
+  }
+  return it->second;
 }
 
 SpanGuard::SpanGuard(Tracer& tracer, Component component, const char* name, std::string detail) {

@@ -42,11 +42,14 @@
 #include <array>
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <sstream>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "src/common/types.h"
+#include "src/sim/cost_model.h"
 #include "src/sim/scheduler.h"
 
 namespace tabs::sim {
@@ -77,23 +80,15 @@ struct TraceEvent {
   Component component = Component::kApplication;
 };
 
-// One nested interval of component work inside one task.
-struct SpanRecord {
-  SimTime begin = 0;
-  SimTime end = -1;  // -1 while open
-  NodeId node = kInvalidNode;
-  Component component = Component::kApplication;
-  TaskId task = kInvalidTask;
-  std::uint64_t seq = 0;  // global open order; tie-breaker for sorting
-  int depth = 0;          // nesting depth within the opening task
-  std::string name;
-  std::string detail;
-};
-
 // Exact-quantile histograms keyed by name. All samples are retained (bench
 // scales are small); quantiles are computed by sorting on demand, so they are
 // exact rather than bucket-approximate — regressions of a single microsecond
 // are visible.
+//
+// Hot paths resolve a name to a Histogram* once, at registration, and record
+// through the handle — a pointer deref and a vector push, no map lookup and
+// no string construction per sample. Handles stay valid (and keep feeding the
+// same series) across Clear() for the registry's lifetime.
 class HistogramRegistry {
  public:
   struct Stats {
@@ -106,20 +101,70 @@ class HistogramRegistry {
     SimTime p99 = 0;
   };
 
-  void Sample(const std::string& name, SimTime value) { samples_[name].push_back(value); }
-  void Clear() { samples_.clear(); }
-  bool empty() const { return samples_.empty(); }
+  class Histogram {
+   public:
+    void Record(SimTime value) { samples_.push_back(value); }
 
-  // Exact stats per histogram, in name order (deterministic).
-  std::map<std::string, Stats> AllStats() const;
+   private:
+    friend class HistogramRegistry;
+    std::vector<SimTime> samples_;
+  };
+
+  // Finds or creates the named series; the returned handle is stable.
+  Histogram* Register(const std::string& name) {
+    auto [it, inserted] = series_.try_emplace(name);
+    if (inserted) {
+      it->second = std::make_unique<Histogram>();
+    }
+    return it->second.get();
+  }
+
+  // Name-keyed convenience for cold paths (pays the map lookup per call).
+  void Sample(const std::string& name, SimTime value) { Register(name)->Record(value); }
+
+  // Drops all samples; registered handles survive and keep recording.
+  void Clear() {
+    for (auto& [name, h] : series_) {
+      h->samples_.clear();
+    }
+  }
+  bool empty() const {
+    for (const auto& [name, h] : series_) {
+      if (!h->samples_.empty()) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  // Exact stats per non-empty histogram, in name order (deterministic).
+  // Sorts each series in place rather than copying every sample vector;
+  // sample insertion order is not meaningful, so this is observably pure.
+  std::map<std::string, Stats> AllStats();
 
  private:
-  std::map<std::string, std::vector<SimTime>> samples_;
+  std::map<std::string, std::unique_ptr<Histogram>> series_;
+};
+
+// One nested interval of component work inside one task.
+struct SpanRecord {
+  SimTime begin = 0;
+  SimTime end = -1;  // -1 while open
+  NodeId node = kInvalidNode;
+  Component component = Component::kApplication;
+  TaskId task = kInvalidTask;
+  std::uint64_t seq = 0;  // global open order; tie-breaker for sorting
+  int depth = 0;          // nesting depth within the opening task
+  std::string name;
+  std::string detail;
+  // Interned "span.<name>" series, resolved at open so close is a pointer
+  // deref rather than a string build plus map lookup. Not serialized.
+  HistogramRegistry::Histogram* hist = nullptr;
 };
 
 class Tracer : public ClockObserver {
  public:
-  Tracer() = default;
+  Tracer();  // registers the per-primitive histogram handles once
   ~Tracer() override;
   Tracer(const Tracer&) = delete;
   Tracer& operator=(const Tracer&) = delete;
@@ -138,6 +183,18 @@ class Tracer : public ClockObserver {
       return;
     }
     events_.push_back({time, node, std::move(category), std::move(detail), CurrentComponent()});
+  }
+
+  // Substrate::Charge's hot path: one timeline event plus one histogram
+  // sample through the handle interned at construction — no "primitive.*"
+  // string is built and no map is consulted per charge.
+  void RecordPrimitive(Primitive p, SimTime time, NodeId node, const std::string& task_name,
+                       SimTime cost) {
+    if (!enabled_) {
+      return;
+    }
+    events_.push_back({time, node, PrimitiveName(p), task_name, CurrentComponent()});
+    primitive_hists_[static_cast<int>(p)]->Record(cost);
   }
 
   const std::vector<TraceEvent>& events() const { return events_; }
@@ -219,6 +276,11 @@ class Tracer : public ClockObserver {
   std::uint32_t OpenSpan(Component component, const char* name, std::string detail);
   void CloseSpan(std::uint32_t index, std::uint64_t generation);
 
+  // Interned "span.<name>" handle, cached by the name literal's address (span
+  // names are string literals; duplicate literals across TUs just produce
+  // extra cache entries pointing at the same registered series).
+  HistogramRegistry::Histogram* SpanHistogram(const char* name);
+
   bool enabled_ = false;
   std::vector<TraceEvent> events_;
   Scheduler* sched_ = nullptr;
@@ -226,8 +288,10 @@ class Tracer : public ClockObserver {
   std::uint64_t generation_ = 0;  // bumped by Clear(); invalidates live guards
   std::uint64_t next_seq_ = 0;
   std::vector<SpanRecord> spans_;
-  std::map<TaskId, TaskState> task_states_;
+  std::unordered_map<TaskId, TaskState> task_states_;
   HistogramRegistry histograms_;
+  std::array<HistogramRegistry::Histogram*, kPrimitiveCount> primitive_hists_{};
+  std::unordered_map<const void*, HistogramRegistry::Histogram*> span_hists_;
 };
 
 // RAII span: opens a component interval on the running task at construction,

@@ -200,6 +200,14 @@ TransactionManager::Vote TransactionManager::HandlePrepare(const TransactionId& 
   txn.state = TxnState::kPreparing;
 
   Vote v = PrepareSubtree(txn);
+  // PrepareSubtree blocks awaiting child votes, and the prepare force below
+  // blocks too: either wait can overlap the coordinator's vote timeout, whose
+  // abort message rolls this subtree back and erases the Txn while we sleep.
+  // Re-resolve the entry after every blocking window — a stale vote must not
+  // touch (or resurrect) a transaction that was aborted and forgotten.
+  if (Find(tid) == nullptr) {
+    return Vote::kNo;
+  }
   if (v == Vote::kNo) {
     AbortSubtree(txn, /*notify_children=*/true);
     ForgetTxn(tid);
@@ -224,6 +232,9 @@ TransactionManager::Vote TransactionManager::HandlePrepare(const TransactionId& 
   // Prepared and in doubt: a crash here must leave the updates locked until
   // the coordinator's verdict is learned.
   FAULT_POINT(sub, "2pc.vote.after_record");
+  if (Find(tid) == nullptr) {
+    return Vote::kNo;  // aborted and forgotten during the prepare force
+  }
   txn.state = TxnState::kPrepared;
   logged_outcomes_[tid] = TxnOutcome::kPrepared;
   logged_parent_node_[tid] = parent_node;

@@ -9,6 +9,7 @@
 #include <sstream>
 
 #include "src/log/group_commit.h"
+#include "src/servers/account_server.h"
 #include "src/servers/array_server.h"
 #include "src/servers/weak_queue_server.h"
 #include "src/tabs/world.h"
@@ -144,6 +145,70 @@ TEST(DeterminismTest, GroupCommitBatchesAreDeterministic) {
   EXPECT_EQ(first, run(11));
   // The fingerprint actually recorded flushes (batching engaged).
   EXPECT_NE(first.find(":batch="), std::string::npos);
+}
+
+// The table5_4 debit-credit workload shape, fingerprinted by everything the
+// bench serializes from the simulation: per-transaction status and commit
+// time, final balances, event (scheduler step) count, and predicted time.
+std::string RunDebitCreditFingerprint(bool tracing) {
+  World world(2);
+  auto* local = world.AddServerOf<servers::AccountServer>(1, "bank", 32u);
+  auto* remote = world.AddServerOf<servers::AccountServer>(2, "rembank", 32u);
+  world.substrate().tracer().Enable(tracing);
+  world.RunApp(1, [&](Application& app) {
+    for (std::uint32_t a = 0; a < 32; ++a) {
+      app.Transaction([&](const server::Tx& tx) {
+        local->Deposit(tx, a, 1'000);
+        return remote->Deposit(tx, a, 1'000);
+      });
+    }
+  });
+  std::uint64_t steps_before = world.scheduler().steps();
+  std::ostringstream trace;
+  for (int c = 0; c < 3; ++c) {
+    world.SpawnApp(1, "client", [&, c](Application& app) {
+      std::mt19937 rng(500 + static_cast<unsigned>(c));
+      for (int i = 0; i < 8; ++i) {
+        Status s = app.Transaction([&](const server::Tx& tx) {
+          std::uint32_t acct = rng() % 32;
+          if (rng() % 2 == 0) {
+            return local->Deposit(tx, acct, 10);
+          }
+          local->Withdraw(tx, acct, 5);
+          return remote->Deposit(tx, acct, 5);
+        });
+        trace << c << ":" << i << ":" << StatusName(s) << "@" << world.scheduler().Now()
+              << ";";
+      }
+    }, c * 1'000);
+  }
+  world.Drain();
+  world.RunApp(1, [&](Application& app) {
+    app.Transaction([&](const server::Tx& tx) {
+      for (std::uint32_t a = 0; a < 32; ++a) {
+        trace << local->ReadBalance(tx, a).value() << ",";
+        trace << remote->ReadBalance(tx, a).value() << ",";
+      }
+      return Status::kOk;
+    });
+  });
+  trace << "|steps=" << world.scheduler().steps() - steps_before
+        << "|total=" << world.metrics().Total().PredictedTime(sim::CostModel::Baseline());
+  return trace.str();
+}
+
+TEST(DeterminismTest, DebitCreditByteIdenticalAcrossRuns) {
+  std::string first = RunDebitCreditFingerprint(/*tracing=*/true);
+  EXPECT_EQ(first, RunDebitCreditFingerprint(/*tracing=*/true));
+  EXPECT_NE(first.find("steps="), std::string::npos);
+}
+
+TEST(DeterminismTest, TracingOnOrOffDoesNotPerturbTheSchedule) {
+  // The monitor must be observation-only: enabling it may not move a single
+  // commit time, balance, or scheduler step. This is the property that lets
+  // the benches run traced while the goldens stay byte-identical.
+  EXPECT_EQ(RunDebitCreditFingerprint(/*tracing=*/false),
+            RunDebitCreditFingerprint(/*tracing=*/true));
 }
 
 }  // namespace

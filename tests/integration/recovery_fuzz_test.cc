@@ -138,8 +138,8 @@ TEST_P(DistributedFuzzTest, TransfersAreAtomicAcrossCrashes) {
     // Occasionally lose a commit-protocol datagram as well.
     if (rng() % 3 == 0) {
       int drop_after = static_cast<int>(rng() % 3);
-      int count = 0;
-      world.network().SetDatagramLoss([&count, drop_after](NodeId from, NodeId to) mutable {
+      // The filter outlives this block, so the counter must live inside it.
+      world.network().SetDatagramLoss([count = 0, drop_after](NodeId from, NodeId to) mutable {
         return ++count == drop_after + 1;
       });
     }

@@ -101,6 +101,111 @@ TEST(SchedulerTest, NotifyBeatsTimeout) {
   EXPECT_TRUE(notified);
 }
 
+TEST(SchedulerTest, TimersFireInDeadlineOrder) {
+  Scheduler sched;
+  WaitQueue q;
+  std::vector<std::string> order;
+  // Armed out of deadline order: the queue must fire them by deadline, not
+  // by arming order.
+  sched.Spawn("slow", 1, 0, [&] {
+    sched.Wait(q, 900);
+    order.push_back("slow@" + std::to_string(sched.Now()));
+  });
+  sched.Spawn("fast", 1, 0, [&] {
+    sched.Wait(q, 300);
+    order.push_back("fast@" + std::to_string(sched.Now()));
+  });
+  sched.Spawn("mid", 1, 0, [&] {
+    sched.Wait(q, 600);
+    order.push_back("mid@" + std::to_string(sched.Now()));
+  });
+  EXPECT_EQ(sched.Run(), 0);
+  EXPECT_EQ(order, (std::vector<std::string>{"fast@300", "mid@600", "slow@900"}));
+}
+
+TEST(SchedulerTest, SameDeadlineTimersFireInArmingOrder) {
+  Scheduler sched;
+  WaitQueue q;
+  std::vector<int> order;
+  // Both deadlines land at exactly t=500; the tie must break by arming
+  // order (first armed fires first), reproducing FIFO insertion order.
+  sched.Spawn("first", 1, 0, [&] {
+    sched.Wait(q, 500);
+    order.push_back(1);
+  });
+  sched.Spawn("second", 1, 100, [&] {
+    sched.Wait(q, 400);
+    order.push_back(2);
+  });
+  EXPECT_EQ(sched.Run(), 0);
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(SchedulerTest, SameTimeSelectionAlwaysPicksLowestId) {
+  Scheduler sched;
+  std::vector<std::string> trace;
+  // The tie-break at equal virtual times is (time, id) — ids are assigned in
+  // spawn order. A task yielding without advancing its clock is immediately
+  // re-selected while it holds the lowest id, so each task drains all its
+  // rounds before the next starts. Deterministic, and exactly the behaviour
+  // of the original O(n) ready-scan the event queue replaced.
+  for (int t = 0; t < 3; ++t) {
+    sched.Spawn("t", 1, 0, [&, t] {
+      for (int round = 0; round < 3; ++round) {
+        trace.push_back(std::to_string(t) + ":" + std::to_string(round));
+        sched.Yield();
+      }
+    });
+  }
+  EXPECT_EQ(sched.Run(), 0);
+  EXPECT_EQ(trace, (std::vector<std::string>{"0:0", "0:1", "0:2", "1:0", "1:1", "1:2",
+                                             "2:0", "2:1", "2:2"}));
+}
+
+TEST(SchedulerTest, CancelledTimerDoesNotFireLater) {
+  Scheduler sched;
+  WaitQueue q;
+  std::vector<std::string> events;
+  sched.Spawn("waiter", 1, 0, [&] {
+    // First wait is notified before its 10'000 deadline; the timer must be
+    // purged eagerly — a later wait with a nearer deadline must be the one
+    // that fires, and at its own time.
+    bool notified = sched.Wait(q, 10'000);
+    events.push_back(std::string(notified ? "notified" : "timeout") + "@" +
+                     std::to_string(sched.Now()));
+    notified = sched.Wait(q, 200);
+    events.push_back(std::string(notified ? "notified" : "timeout") + "@" +
+                     std::to_string(sched.Now()));
+  });
+  sched.Spawn("notifier", 1, 0, [&] {
+    sched.Charge(50);
+    sched.NotifyOne(q);
+  });
+  EXPECT_EQ(sched.Run(), 0);
+  EXPECT_EQ(events, (std::vector<std::string>{"notified@50", "timeout@250"}));
+}
+
+TEST(SchedulerTest, StepCountIsDeterministic) {
+  auto run = [] {
+    Scheduler sched;
+    WaitQueue q;
+    for (int t = 0; t < 4; ++t) {
+      sched.Spawn("t", 1, t * 10, [&] {
+        sched.Charge(25);
+        sched.Yield();
+        sched.Wait(q, 100);
+        sched.Charge(5);
+      });
+    }
+    sched.Spawn("waker", 1, 60, [&] { sched.NotifyAll(q); });
+    EXPECT_EQ(sched.Run(), 0);
+    return sched.steps();
+  };
+  std::uint64_t first = run();
+  EXPECT_GT(first, 0u);
+  EXPECT_EQ(first, run());
+}
+
 TEST(SchedulerTest, NotifyAllWakesEveryWaiter) {
   Scheduler sched;
   WaitQueue q;

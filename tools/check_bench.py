@@ -9,12 +9,17 @@ re-baselined (tools/refresh_baselines.sh, commit the diff with the PR that
 caused it).
 
 Usage:
-    tools/check_bench.py BASELINE CURRENT [--allow GLOB]...
+    tools/check_bench.py BASELINE CURRENT [--allow GLOB]... [--tolerance GLOB=REL]...
 
-  BASELINE  committed baseline JSON (bench/baselines/smoke/...)
-  CURRENT   freshly produced BENCH_*.json
-  --allow   fnmatch pattern of value paths to exclude from comparison
-            (repeatable), e.g. --allow 'rows/*/histograms/span.*'
+  BASELINE   committed baseline JSON (bench/baselines/smoke/...)
+  CURRENT    freshly produced BENCH_*.json
+  --allow    fnmatch pattern of value paths to exclude from comparison
+             (repeatable), e.g. --allow 'rows/*/histograms/span.*'
+  --tolerance  GLOB=REL: paths matching GLOB compare numerically with
+             relative tolerance REL instead of exactly (repeatable), e.g.
+             --tolerance 'rows/*/wall_ms=9.0'. For wall-clock metrics the
+             simulator cannot pin down: generous enough to absorb machine
+             variance, tight enough to catch order-of-magnitude regressions.
 
 The top-level "meta" object (generation provenance written by the refresh
 script) is always ignored. Exit status: 0 clean, 1 on any difference.
@@ -70,6 +75,9 @@ def main():
     ap.add_argument("current")
     ap.add_argument("--allow", action="append", default=[],
                     help="fnmatch pattern of paths to ignore (repeatable)")
+    ap.add_argument("--tolerance", action="append", default=[], metavar="GLOB=REL",
+                    help="paths matching GLOB compare with relative tolerance "
+                         "REL instead of exactly (repeatable)")
     args = ap.parse_args()
 
     base = load(args.baseline)
@@ -78,13 +86,32 @@ def main():
     def allowed(path):
         return any(fnmatch.fnmatch(path, pat) for pat in args.allow)
 
+    tolerances = []
+    for spec in args.tolerance:
+        glob, _, rel = spec.rpartition("=")
+        if not glob:
+            ap.error(f"--tolerance needs GLOB=REL, got {spec!r}")
+        tolerances.append((glob, float(rel)))
+
+    def tolerance_for(path):
+        """Largest matching relative tolerance, or None for exact paths."""
+        matched = [rel for glob, rel in tolerances if fnmatch.fnmatch(path, glob)]
+        return max(matched) if matched else None
+
+    def within(b, c, rel):
+        if not isinstance(b, (int, float)) or not isinstance(c, (int, float)):
+            return b == c
+        return abs(c - b) <= rel * abs(b)
+
     rows = []
     for path in sorted(base.keys() | cur.keys()):
         if allowed(path):
             continue
         b = base.get(path, "<missing>")
         c = cur.get(path, "<missing>")
-        if b != c:
+        rel = tolerance_for(path)
+        ok = within(b, c, rel) if rel is not None else b == c
+        if not ok:
             rows.append((path, b, c))
 
     if not rows:
