@@ -1,0 +1,144 @@
+// Ablation: Paxos Commit (non-blocking) against the paper's two-phase commit.
+//
+// Two-phase commit blocks: if the coordinator dies between collecting votes
+// and announcing the outcome, every prepared participant holds its locks until
+// the coordinator's log comes back. The kPaxosCommit mode removes that window
+// by running one Paxos instance per participant vote across 2F+1 acceptors —
+// any survivor can read the outcome from an acceptor quorum. The price is
+// paid on EVERY commit, crash or not: prepare/accept datagrams fan out to the
+// acceptors, and each acceptor forces its acceptance to its log before the
+// transaction can reach its commit point.
+//
+// This bench quantifies that price. Each workload runs on a 3-node world
+// (so the F=1 acceptor set {2F+1 = 3} spans real nodes) under both commit
+// modes, and reports per-transaction elapsed virtual time plus the
+// commit-phase primitive counts that differ: transaction-management
+// datagrams, forced log writes, and local small messages. The 2PC rows use
+// the exact paper-faithful path, so their numbers line up with the published
+// Table 5-4 shapes; the paxos rows show the non-blocking overhead.
+//
+// Alongside the table the bench writes BENCH_commit_ablation.json for the
+// CI bench gate.
+
+#include <cstdio>
+#include <string>
+
+#include "bench/bench_json.h"
+#include "bench/workloads.h"
+#include "src/sim/cost_model.h"
+#include "src/txn/paxos_commit.h"
+
+namespace tabs {
+namespace {
+
+void Run() {
+  const int iterations = bench::SmokeMode() ? 8 : 24;
+  const int warmup = bench::SmokeMode() ? 4 : 12;
+  const sim::CostModel costs = sim::CostModel::Baseline();
+  const sim::ArchitectureModel arch = sim::ArchitectureModel::Prototype();
+
+  struct Workload {
+    const char* label;
+    bool write;
+    int local_ops;
+    int remote_ops;
+    int third_ops;
+  };
+  // Debit-credit shapes: the local row is the branch-office fast path
+  // (teller, branch and account all on one node), the remote rows move the
+  // account — then a third participant — off-node. All worlds have 3 nodes
+  // so the acceptor set spans real machines in both modes.
+  const Workload workloads[] = {
+      {"1 local read", false, 1, 0, 0},
+      {"1 local write", true, 1, 0, 0},
+      {"1 lcl + 1 rem write", true, 1, 1, 0},
+      {"1 lcl + 1 + 1 write", true, 1, 1, 1},
+  };
+
+  struct Mode {
+    const char* label;
+    txn::CommitMode mode;
+  };
+  const Mode modes[] = {
+      {"2pc", txn::CommitMode::kTwoPhase},
+      {"paxos f=1", txn::CommitMode::kPaxosCommit},
+  };
+
+  bench::JsonWriter json;
+  json.BeginObject();
+  json.String("bench", "commit_ablation");
+  json.Number("iterations", iterations);
+  json.Bool("smoke", bench::SmokeMode());
+  json.BeginArray("rows");
+
+  std::printf("Commit-protocol ablation: %d measured transactions per row, 3-node world\n",
+              iterations);
+  for (const Workload& w : workloads) {
+    std::printf("\n%s\n", w.label);
+    std::printf("%-10s | %12s %9s | %10s %10s %10s\n", "mode", "elapsed ms",
+                "overhead", "dgram/txn", "force/txn", "smmsg/txn");
+    std::printf("%.70s\n",
+                "------------------------------------------------------------"
+                "----------");
+    SimTime twopc_us = 0;
+    for (const Mode& m : modes) {
+      bench::BenchmarkDef def;
+      def.name = w.label;
+      def.nodes = 3;
+      def.write = w.write;
+      def.paging = bench::Paging::kNone;
+      def.local_ops = w.local_ops;
+      def.remote_ops = w.remote_ops;
+      def.third_node_ops = w.third_ops;
+      def.commit_mode = m.mode;
+      def.paxos_f = 1;
+      bench::BenchResult r = bench::RunBenchmark(def, costs, arch, iterations, warmup);
+      if (m.mode == txn::CommitMode::kTwoPhase) {
+        twopc_us = r.elapsed_us;
+      }
+      double overhead = twopc_us > 0
+                            ? static_cast<double>(r.elapsed_us) / twopc_us
+                            : 0.0;
+      double dgram = r.commit.Of(sim::Primitive::kDatagram);
+      double force = r.commit.Of(sim::Primitive::kStableWrite);
+      double smmsg = r.commit.Of(sim::Primitive::kSmallMessage);
+      std::printf("%-10s | %12s %8.2fx | %10.2f %10.2f %10.2f\n", m.label,
+                  bench::FormatMs(r.elapsed_us).c_str(), overhead, dgram, force, smmsg);
+      json.BeginObject();
+      // Row key for tools/check_bench.py: workload + commit mode.
+      json.String("name", std::string(w.label) + " " + m.label);
+      json.String("workload", w.label);
+      json.String("mode", m.label);
+      json.Number("elapsed_us", static_cast<std::uint64_t>(r.elapsed_us));
+      json.Number("overhead_vs_2pc", overhead);
+      json.Number("commit_datagrams_per_txn", dgram);
+      json.Number("commit_forces_per_txn", force);
+      json.Number("commit_small_messages_per_txn", smmsg);
+      json.Number("precommit_datagrams_per_txn",
+                  r.precommit.Of(sim::Primitive::kDatagram));
+      json.EndObject();
+    }
+  }
+  json.EndArray();
+  json.EndObject();
+
+  std::printf(
+      "\nThe 2pc rows are the paper's commit path unchanged. The paxos rows\n"
+      "pay for non-blocking commit on every transaction: prepare and accept\n"
+      "datagrams fan out to the 2F+1 acceptors, and each acceptor forces its\n"
+      "acceptance before the commit point. In exchange, a coordinator crash\n"
+      "never strands a prepared participant — any survivor reads the outcome\n"
+      "from an acceptor quorum (see tests/integration/nonblocking_commit_test\n"
+      "and the paxos half of crash_point_exploration_test).\n");
+  if (json.WriteFile("BENCH_commit_ablation.json")) {
+    std::printf("\nwrote BENCH_commit_ablation.json\n");
+  }
+}
+
+}  // namespace
+}  // namespace tabs
+
+int main() {
+  tabs::Run();
+  return 0;
+}

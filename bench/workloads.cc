@@ -133,6 +133,8 @@ BenchResult RunBenchmark(const BenchmarkDef& def, const sim::CostModel& costs,
   options.arch = arch;
   options.max_outstanding_calls = def.max_outstanding_calls;
   options.op_coalesce_batch = def.op_coalesce_batch;
+  options.commit_mode = def.commit_mode;
+  options.paxos_f = def.paxos_f;
   World world(def.nodes, options);
 
   bool paging = def.paging != Paging::kNone;

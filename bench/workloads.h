@@ -19,6 +19,7 @@
 #include "src/sim/cost_model.h"
 #include "src/sim/metrics.h"
 #include "src/sim/tracer.h"
+#include "src/txn/paxos_commit.h"
 
 namespace tabs::bench {
 
@@ -39,6 +40,11 @@ struct BenchmarkDef {
   bool pipelined = false;          // issue remote/third-node ops via AsyncOps
   int max_outstanding_calls = 1;   // WorldOptions::max_outstanding_calls
   int op_coalesce_batch = 1;       // WorldOptions::op_coalesce_batch
+
+  // Commit protocol (commit_ablation only). The default is the paper's
+  // two-phase commit, so every Table 5-x output is unchanged.
+  txn::CommitMode commit_mode = txn::CommitMode::kTwoPhase;
+  int paxos_f = 1;                 // acceptor failures tolerated (kPaxosCommit)
 };
 
 // The fourteen benchmarks, in the paper's Table 5-2/5-4 order.

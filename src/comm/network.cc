@@ -42,6 +42,10 @@ void Network::SendDatagram(NodeId from, NodeId to, std::string what,
     substrate_.metrics().CountFault(sim::FaultKind::kDatagramDrop);
     return;
   }
+  if (tagged_drop_ && tagged_drop_(from, to, what)) {
+    substrate_.metrics().CountFault(sim::FaultKind::kDatagramDrop);
+    return;
+  }
   SimTime arrival = sched.Now() + substrate_.CostOf(sim::Primitive::kDatagram);
   int deliveries = 1;
   if (datagram_faults_enabled_) {

@@ -61,6 +61,14 @@ class Network {
     drop_ = std::move(drop);
   }
 
+  // Tag-aware drop filter: also sees the datagram's `what` label, so tests
+  // can lose one protocol message class (e.g. every "2pc-commit") while the
+  // rest of the traffic flows. Cleared by passing {}.
+  void SetDatagramLossTagged(
+      std::function<bool(NodeId from, NodeId to, const std::string& what)> drop) {
+    tagged_drop_ = std::move(drop);
+  }
+
   // Loss filter for session traffic (establishment and sends): a dropped
   // session call surfaces to the caller as kNodeDown — the session layer's
   // at-most-once machinery detects the break and gives up, rather than the
@@ -236,6 +244,7 @@ class Network {
   std::set<NodeId> alive_;
   std::set<std::pair<NodeId, NodeId>> partitions_;  // normalized (min,max)
   std::function<bool(NodeId, NodeId)> drop_;
+  std::function<bool(NodeId, NodeId, const std::string&)> tagged_drop_;
   std::function<bool(NodeId, NodeId)> session_drop_;
   DatagramFaults datagram_faults_;
   bool datagram_faults_enabled_ = false;

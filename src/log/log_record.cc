@@ -26,6 +26,12 @@ const char* RecordTypeName(RecordType t) {
       return "CHECKPOINT";
     case RecordType::kNodeEpoch:
       return "NODE_EPOCH";
+    case RecordType::kPaxosPromise:
+      return "PAXOS_PROMISE";
+    case RecordType::kPaxosAccept:
+      return "PAXOS_ACCEPT";
+    case RecordType::kPaxosLearn:
+      return "PAXOS_LEARN";
   }
   return "?";
 }
@@ -65,6 +71,19 @@ Bytes LogRecord::Serialize() const {
   }
   w.Tid(parent_tid);
   w.Blob(checkpoint_data);
+  // Optional Paxos tail: present iff any field is non-default, detected on
+  // read by bytes remaining. Records the default commit mode writes carry no
+  // tail and keep their exact historical layout.
+  if (!acceptors.empty() || paxos_participant != kInvalidNode || paxos_ballot != 0 ||
+      paxos_vote != 0) {
+    w.U32(static_cast<std::uint32_t>(acceptors.size()));
+    for (NodeId n : acceptors) {
+      w.U32(n);
+    }
+    w.U32(paxos_participant);
+    w.U32(static_cast<std::uint32_t>(paxos_ballot));
+    w.U8(static_cast<std::uint8_t>(paxos_vote));
+  }
   return w.Take();
 }
 
@@ -106,6 +125,15 @@ std::optional<LogRecord> LogRecord::Deserialize(std::span<const std::uint8_t> da
   }
   rec.parent_tid = r.Tid();
   rec.checkpoint_data = r.Blob();
+  if (r.ok() && r.remaining() > 0) {
+    std::uint32_t nacceptors = r.U32();
+    for (std::uint32_t i = 0; i < nacceptors && r.ok(); ++i) {
+      rec.acceptors.push_back(r.U32());
+    }
+    rec.paxos_participant = r.U32();
+    rec.paxos_ballot = static_cast<std::int32_t>(r.U32());
+    rec.paxos_vote = static_cast<std::int8_t>(r.U8());
+  }
   if (!r.ok()) {
     return std::nullopt;
   }

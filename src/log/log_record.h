@@ -48,6 +48,14 @@ enum class RecordType : std::uint8_t {
   kCheckpoint,          // active-txn table + dirty-page table snapshot
   kNodeEpoch,           // new TM incarnation after crash recovery (owner's
                         // sequence carries the incarnation in its high bits)
+  // Paxos Commit acceptor state (Gray & Lamport, "Consensus on Transaction
+  // Commit"). One Paxos instance per participant vote; an acceptor's promise
+  // and acceptance must be durable before its reply, so a crashed acceptor
+  // rejoins the same instance without contradicting itself.
+  kPaxosPromise,        // acceptor promised `paxos_ballot` for every instance of `top`
+  kPaxosAccept,         // acceptor accepted `paxos_vote` for `paxos_participant`'s
+                        // instance at `paxos_ballot`
+  kPaxosLearn,          // acceptor learned the decided outcome (paxos_vote: +1/-1)
 };
 
 const char* RecordTypeName(RecordType t);
@@ -83,6 +91,16 @@ struct LogRecord {
 
   // Checkpoint payload (opaque to the log; recovery interprets it).
   Bytes checkpoint_data;
+
+  // Paxos Commit fields. Serialized as an optional tail: records that carry
+  // none of them (every record the default kTwoPhase mode writes) keep their
+  // exact historical byte layout, so log sizes — and everything downstream
+  // of them, like reclamation timing — are unchanged unless Paxos is on.
+  std::vector<NodeId> acceptors;           // prepare: the 2F+1 acceptor set
+  NodeId paxos_participant = kInvalidNode; // accept: whose instance
+  std::int32_t paxos_ballot = 0;           // promise/accept: the ballot
+  std::int8_t paxos_vote = 0;              // accept: 1 prepared, 2 read-only,
+                                           // -1 abort; learn: +1/-1 outcome
 
   // Filled in by LogManager on append / on read.
   Lsn lsn = kNullLsn;

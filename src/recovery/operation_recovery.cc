@@ -54,6 +54,9 @@ Lsn RecoveryManager::AnalysisPass(TxnOutcomeSource& outcomes, RecoveryStats* sta
       case RecordType::kTxnEnd:
       case RecordType::kSubtxnCommit:
       case RecordType::kNodeEpoch:
+      case RecordType::kPaxosPromise:
+      case RecordType::kPaxosAccept:
+      case RecordType::kPaxosLearn:
         outcomes.ObserveTxnRecord(*rec);
         break;
       case RecordType::kOperationUpdate:

@@ -212,6 +212,13 @@ struct Application::RetryPolicy {
   SimTime initial_backoff_us = 10'000;   // 10 ms virtual
   double backoff_multiplier = 2.0;
   SimTime max_backoff_us = 1'280'000;    // cap: 1.28 s virtual
+  // Jitter: each wait is drawn uniformly from [backoff*(1-jitter), backoff],
+  // so applications that aborted each other don't retry in lockstep and
+  // re-collide on the same locks. Deterministic: the generator is seeded
+  // from `jitter_seed` and the first attempt's transaction id, both fixed
+  // per (seed, schedule) — same world seed, same waits. 0 disables.
+  double jitter = 0.5;
+  std::uint64_t jitter_seed = 0;
 
   // Transient outcomes worth a fresh attempt. kAborted covers deadlock
   // sacrifices (detector picks a victim) and peer-initiated aborts.

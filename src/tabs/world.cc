@@ -66,6 +66,7 @@ void World::BuildRuntime(NodeId id) {
   rt.tm->SetGroupCommit(rt.gc.get());
   rt.tm->SetCheckpointInterval(options_.checkpoint_interval);
   rt.tm->SetVoteTimeout(options_.vote_timeout_us);
+  rt.tm->SetCommitMode(options_.commit_mode, options_.paxos_f);
   if (options_.log_space_budget > 0) {
     txn::TransactionManager* tm = rt.tm.get();
     rt.rm->SetLogSpaceBudget(options_.log_space_budget,
@@ -182,6 +183,17 @@ void World::CrashNode(NodeId node_id) {
     txn::TransactionManager* tm = rt.tm.get();
     scheduler_.Spawn("orphan-abort", id, scheduler_.Now(),
                      [tm, node_id] { tm->AbortRemoteOrphansOf(node_id); });
+    if (options_.commit_mode == txn::CommitMode::kPaxosCommit) {
+      // The non-blocking guarantee: survivors drive the dead coordinator's
+      // prepared transactions to a decision through the acceptors, without
+      // waiting for the node to recover. Gated on the mode so default-mode
+      // schedules stay byte-identical. Staggered by node id so the usual
+      // case is one uncontended takeover whose verdict the later sweeps
+      // find already learned, rather than competing ballots.
+      scheduler_.Spawn("paxos-takeover", id,
+                       scheduler_.Now() + 10'000 * static_cast<SimTime>(id),
+                       [tm, node_id] { tm->ResolvePaxosOrphansOf(node_id); });
+    }
   }
   // Every process on the node dies with it. (If the caller runs on this
   // node, KillWhere throws TaskKilled after marking the others.)

@@ -81,6 +81,12 @@ struct WorldOptions {
   // tighten it so a lost vote aborts in microseconds instead of 10 virtual
   // seconds; the default is the protocol's historical timeout.
   SimTime vote_timeout_us = 10'000'000;
+  // Commit protocol. kPaxosCommit replicates every commit decision across
+  // 2F+1 acceptors so a coordinator crash never blocks an in-doubt
+  // transaction; the kTwoPhase default is paper-faithful and leaves every
+  // schedule byte-identical to the seed.
+  txn::CommitMode commit_mode = txn::CommitMode::kTwoPhase;
+  int paxos_f = 1;  // acceptor failures tolerated under kPaxosCommit
 };
 
 class World {

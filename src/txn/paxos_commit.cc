@@ -1,0 +1,842 @@
+// Paxos Commit (see paxos_commit.h for the protocol overview) and the
+// TransactionManager entry points that drive it: the coordinator path
+// (CommitTopLevelPaxos), the participant prepare handler, verdict delivery,
+// and the dead-coordinator takeover sweep.
+//
+// Everything here reuses the 2PC building blocks — PrepareSubtree for the
+// local and subtree prepare work, CommitSubtree/AbortSubtree for outcome
+// propagation, AppendTxnRecord for prepare/commit records — so a transaction
+// committed under kPaxosCommit pays exactly the 2PC prices plus the acceptor
+// traffic, which is what bench/commit_ablation measures.
+
+#include <algorithm>
+#include <cassert>
+#include <memory>
+#include <set>
+
+#include "src/log/group_commit.h"
+#include "src/sim/fault_injector.h"
+#include "src/txn/transaction_manager.h"
+
+namespace tabs::txn {
+
+using log::LogRecord;
+using log::RecordType;
+using recovery::TxnOutcome;
+
+namespace {
+// Ballot b belongs to node (b % kBallotStride) in round (b / kBallotStride):
+// concurrent takeover leaders can never mint the same ballot, and a leader
+// that loses phase 1 leapfrogs the winner by jumping past its round.
+constexpr Ballot kBallotStride = 1024;
+// Base unit of the takeover retry backoff: multiplied by the attempt number
+// and the node id, so no two nodes ever share a retry schedule.
+constexpr SimTime kTakeoverBackoffUs = 50'000;
+}  // namespace
+
+// --- PaxosCommit helpers -----------------------------------------------------
+
+NodeId PaxosCommit::self() const { return tm_.node_.id(); }
+
+Ballot PaxosCommit::NextBallot() {
+  ++takeover_round_;
+  return static_cast<Ballot>(takeover_round_) * kBallotStride +
+         static_cast<Ballot>(self() % kBallotStride);
+}
+
+std::vector<NodeId> PaxosCommit::ChooseAcceptors(const TransactionId& tid) const {
+  std::vector<NodeId> members;
+  if (tm_.peers_ != nullptr) {
+    for (const auto& [id, tm] : *tm_.peers_) {
+      members.push_back(id);  // includes dead nodes: pure function of membership
+    }
+  }
+  if (members.empty()) {
+    members.push_back(self());
+  }
+  size_t want = static_cast<size_t>(2 * f_ + 1);
+  if (want > members.size()) {
+    want = members.size();
+  }
+  if (want % 2 == 0) {
+    --want;  // an even set tolerates no more failures than the next odd one down
+  }
+  size_t start = tid.counter() % members.size();
+  std::vector<NodeId> out;
+  out.reserve(want);
+  for (size_t i = 0; i < want; ++i) {
+    out.push_back(members[(start + i) % members.size()]);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+Lsn PaxosCommit::AppendPaxosRecord(RecordType type, const TransactionId& tid,
+                                   NodeId participant, Ballot ballot, PaxosVote vote) {
+  LogRecord rec;
+  rec.type = type;
+  rec.owner = tid;
+  rec.top = tid;
+  rec.paxos_participant = participant;
+  rec.paxos_ballot = ballot;
+  rec.paxos_vote = static_cast<std::int8_t>(vote);
+  Lsn lsn = tm_.rm_.log().Append(std::move(rec));
+  AcceptorState& st = states_[tid];
+  if (st.first_lsn == kNullLsn) {
+    st.first_lsn = lsn;
+  }
+  return lsn;
+}
+
+void PaxosCommit::ForceLog(Lsn lsn) {
+  // TM -> RM force request and completion, then the stable write itself
+  // (charged by the log manager) — same price as a 2PC prepare force.
+  tm_.node_.substrate().ChargeSystemMessage(sim::Primitive::kSmallMessage, 2);
+  if (tm_.group_commit_ != nullptr) {
+    tm_.group_commit_->WaitStable(lsn);
+  } else {
+    tm_.rm_.log().ForceAll();
+  }
+}
+
+// --- participant/leader side -------------------------------------------------
+
+void PaxosCommit::CastVote(const TransactionId& tid, PaxosVote vote,
+                           const std::vector<NodeId>& acceptors, NodeId leader,
+                           AcceptChannelPtr replies) {
+  sim::Substrate& sub = tm_.node_.substrate();
+  sim::Scheduler& sched = sub.scheduler();
+  // The vote is computed but not yet on the wire to any acceptor: a crash
+  // here leaves the instance open, decided by takeover as Aborted.
+  FAULT_POINT(sub, "paxos.vote-send");
+  NodeId me = self();
+  bool first_send = true;
+  for (NodeId a : acceptors) {
+    if (a == me) {
+      AcceptVote(tid, me, 0, vote, leader, replies);
+      continue;
+    }
+    TransactionManager* atm = tm_.Peer(a);
+    if (atm == nullptr) {
+      continue;  // dead acceptor: a quorum of the others suffices
+    }
+    if (!first_send) {
+      sched.Charge(sub.CostOf(sim::Primitive::kDatagram) / 2);
+    }
+    first_send = false;
+    PaxosCommit* ap = atm->paxos_.get();
+    tm_.cm_.SendDatagram(a, "paxos-vote", [ap, tid, me, vote, leader, replies] {
+      ap->AcceptVote(tid, me, 0, vote, leader, replies);
+    });
+  }
+}
+
+int PaxosCommit::Resolve(const TransactionId& tid, const std::vector<NodeId>& participants,
+                         const std::vector<NodeId>& acceptors) {
+  if (acceptors.empty()) {
+    return 0;
+  }
+  // One takeover leader per transaction per node: the crash sweep and a
+  // manual ResolveInDoubt would otherwise duel each other with competing
+  // ballots from the SAME node. Later callers park until the verdict.
+  sim::Scheduler& sched = tm_.node_.substrate().scheduler();
+  if (resolving_.contains(tid)) {
+    auto verdict = std::make_shared<sim::Channel<int>>(sched);
+    resolve_waiters_[tid].push_back(verdict);
+    int v = 0;
+    verdict->PopWithTimeout(tm_.vote_timeout_, &v);
+    return v;  // 0 when the leader also gave up (or never answered)
+  }
+  resolving_.insert(tid);
+  int outcome = RunTakeover(tid, participants, acceptors);
+  resolving_.erase(tid);
+  auto it = resolve_waiters_.find(tid);
+  if (it != resolve_waiters_.end()) {
+    for (auto& ch : it->second) {
+      ch->Push(outcome);
+    }
+    resolve_waiters_.erase(it);
+  }
+  return outcome;
+}
+
+int PaxosCommit::RunTakeover(const TransactionId& tid,
+                             const std::vector<NodeId>& participants,
+                             const std::vector<NodeId>& acceptors) {
+  sim::Substrate& sub = tm_.node_.substrate();
+  sim::Scheduler& sched = sub.scheduler();
+  sim::PhaseScope commit_phase(sub.metrics(), sim::Phase::kCommit);
+  sim::SpanGuard span(sub.tracer(), sim::Component::kTransactionManager, "paxos.takeover",
+                      sub.tracer().enabled() ? ToString(tid) : std::string());
+  // Takeover is starting but nothing durable has happened: a crash here
+  // leaves the transaction in doubt for the next standby leader.
+  FAULT_POINT(sub, "paxos.takeover");
+  NodeId me = self();
+  const size_t quorum = Quorum(acceptors);
+
+  for (int attempt = 0; attempt < 3; ++attempt) {
+    if (attempt > 0) {
+      // Competing takeover leaders on different nodes would otherwise
+      // outpromise each other forever. A node-keyed backoff (deterministic:
+      // no randomness in the simulation) makes one leader retry strictly
+      // before the others, so its round runs uncontended.
+      sched.Charge(kTakeoverBackoffUs * static_cast<SimTime>(attempt) *
+                   static_cast<SimTime>(1 + self() % kBallotStride));
+      sched.Yield();
+    }
+    Ballot b = NextBallot();
+
+    // ---- phase 1: promises from an acceptor quorum ----
+    auto promises = std::make_shared<PromiseChannel>(sched);
+    size_t sent = 0;
+    bool first_send = true;
+    for (NodeId a : acceptors) {
+      if (a == me) {
+        promises->Push(Promise(tid, b));
+        ++sent;
+        continue;
+      }
+      TransactionManager* atm = tm_.Peer(a);
+      if (atm == nullptr) {
+        continue;
+      }
+      if (!first_send) {
+        sched.Charge(sub.CostOf(sim::Primitive::kDatagram) / 2);
+      }
+      first_send = false;
+      ++sent;
+      PaxosCommit* ap = atm->paxos_.get();
+      comm::CommManager* acm = &atm->cm_;
+      tm_.cm_.SendDatagram(a, "paxos-ballot", [ap, acm, tid, b, me, promises] {
+        PaxosPromise p = ap->Promise(tid, b);
+        acm->SendDatagram(me, "paxos-promise", [promises, p] { promises->Push(p); });
+      });
+    }
+
+    std::vector<PaxosPromise> oks;
+    Ballot highest = b;
+    SimTime deadline = sched.Now() + tm_.vote_timeout_;
+    for (size_t i = 0; i < sent && oks.size() < quorum; ++i) {
+      PaxosPromise p;
+      SimTime remaining = std::max<SimTime>(deadline - sched.Now(), 0);
+      if (!promises->PopWithTimeout(remaining, &p)) {
+        break;
+      }
+      sub.ChargeSystemMessage(sim::Primitive::kSmallMessage, 1);  // CM -> TM
+      if (p.learned != 0) {
+        return p.learned;  // an acceptor already knows the outcome: adopt it
+      }
+      if (p.ok) {
+        oks.push_back(std::move(p));
+      } else {
+        highest = std::max(highest, p.promised);
+      }
+    }
+    if (oks.size() < quorum) {
+      if (highest <= b) {
+        return 0;  // no quorum reachable: still in doubt, locks stay held
+      }
+      // A competing takeover holds a higher ballot: leapfrog its round.
+      takeover_round_ = std::max(takeover_round_, highest / kBallotStride);
+      continue;
+    }
+
+    // ---- value selection: for each instance the highest-ballot accepted
+    // vote anywhere in the quorum; Aborted for instances no quorum member
+    // has accepted (quorum intersection: a ballot-0 decision always leaves
+    // at least one acceptance in ANY quorum, so a free choice is safe).
+    std::vector<InstanceValue> values;
+    values.reserve(participants.size());
+    for (NodeId part : participants) {
+      InstanceValue chosen{part, 0, PaxosVote::kAborted};
+      bool found = false;
+      for (const PaxosPromise& p : oks) {
+        for (const InstanceValue& iv : p.accepted) {
+          if (iv.participant != part) {
+            continue;
+          }
+          if (!found || iv.ballot > chosen.ballot) {
+            chosen.ballot = iv.ballot;
+            chosen.vote = iv.vote;
+          }
+          found = true;
+        }
+      }
+      values.push_back(chosen);
+    }
+
+    // ---- phase 2: accept-all at ballot b ----
+    auto acks = std::make_shared<AcceptChannel>(sched);
+    size_t sent2 = 0;
+    first_send = true;
+    for (NodeId a : acceptors) {
+      if (a == me) {
+        PaxosAccepted r;
+        r.tid = tid;
+        r.acceptor = me;
+        r.ballot = b;
+        r.ok = AcceptAll(tid, b, values);
+        acks->Push(r);
+        ++sent2;
+        continue;
+      }
+      TransactionManager* atm = tm_.Peer(a);
+      if (atm == nullptr) {
+        continue;
+      }
+      if (!first_send) {
+        sched.Charge(sub.CostOf(sim::Primitive::kDatagram) / 2);
+      }
+      first_send = false;
+      ++sent2;
+      PaxosCommit* ap = atm->paxos_.get();
+      comm::CommManager* acm = &atm->cm_;
+      NodeId aid = a;
+      tm_.cm_.SendDatagram(a, "paxos-accept", [ap, acm, tid, b, me, aid, values, acks] {
+        PaxosAccepted r;
+        r.tid = tid;
+        r.acceptor = aid;
+        r.ballot = b;
+        r.ok = ap->AcceptAll(tid, b, values);
+        acm->SendDatagram(me, "paxos-accept-ack", [acks, r] { acks->Push(r); });
+      });
+    }
+
+    size_t got = 0;
+    bool nacked = false;
+    deadline = sched.Now() + tm_.vote_timeout_;
+    for (size_t i = 0; i < sent2 && got < quorum; ++i) {
+      PaxosAccepted r;
+      SimTime remaining = std::max<SimTime>(deadline - sched.Now(), 0);
+      if (!acks->PopWithTimeout(remaining, &r)) {
+        break;
+      }
+      sub.ChargeSystemMessage(sim::Primitive::kSmallMessage, 1);  // CM -> TM
+      if (r.ok) {
+        ++got;
+      } else {
+        nacked = true;
+      }
+    }
+    if (got < quorum) {
+      if (!nacked) {
+        return 0;  // acceptors fell silent mid-phase-2: still in doubt
+      }
+      continue;  // outpromised between our phases: retry with a fresh ballot
+    }
+
+    // ---- decided: F+1 acceptors logged every instance's value ----
+    int outcome = 1;
+    for (const InstanceValue& v : values) {
+      if (v.vote == PaxosVote::kAborted) {
+        outcome = -1;
+      }
+    }
+    // The decision stands at the acceptors but no learn/verdict datagram is
+    // out yet: a crash here re-resolves to the SAME outcome (phase 1 of the
+    // next takeover must see our phase-2 acceptances).
+    FAULT_POINT(sub, "paxos.learn");
+    BroadcastLearn(tid, outcome, acceptors);
+    bool committed = outcome > 0;
+    for (NodeId part : participants) {
+      if (part == me) {
+        continue;
+      }
+      TransactionManager* ptm = tm_.Peer(part);
+      if (ptm == nullptr) {
+        continue;  // dead participant learns through ResolveInDoubt at recovery
+      }
+      tm_.cm_.SendDatagram(part, "paxos-verdict", [ptm, tid, committed] {
+        ptm->HandlePaxosVerdict(tid, committed);
+      });
+    }
+    return outcome;
+  }
+  return 0;  // repeatedly outpromised: give up for now, a later sweep retries
+}
+
+void PaxosCommit::BroadcastLearn(const TransactionId& tid, int outcome,
+                                 const std::vector<NodeId>& acceptors) {
+  for (NodeId a : acceptors) {
+    if (a == self()) {
+      Learn(tid, outcome);
+      continue;
+    }
+    TransactionManager* atm = tm_.Peer(a);
+    if (atm == nullptr) {
+      continue;
+    }
+    PaxosCommit* ap = atm->paxos_.get();
+    tm_.cm_.SendDatagram(a, "paxos-learn", [ap, tid, outcome] { ap->Learn(tid, outcome); });
+  }
+}
+
+// --- acceptor side -----------------------------------------------------------
+
+void PaxosCommit::AcceptVote(const TransactionId& tid, NodeId participant, Ballot ballot,
+                             PaxosVote vote, NodeId leader, AcceptChannelPtr replies) {
+  sim::Substrate& sub = tm_.node_.substrate();
+  sim::PhaseScope commit_phase(sub.metrics(), sim::Phase::kCommit);
+  sim::SpanGuard span(sub.tracer(), sim::Component::kTransactionManager, "paxos.accept",
+                      sub.tracer().enabled() ? ToString(tid) : std::string());
+  sub.ChargeSystemMessage(sim::Primitive::kSmallMessage, 2);  // CM -> TM, TM -> CM
+  AcceptorState& st = states_[tid];
+  if (st.learned != 0 || st.promised > ballot) {
+    // A takeover moved past this ballot (or the outcome is already known):
+    // acknowledging a stale vote now could hand the original leader a
+    // quorum that contradicts the takeover's decision. Stay silent — the
+    // leader learns the truth through the phase-1 read path instead.
+    return;
+  }
+  auto it = st.accepted.find(participant);
+  bool duplicate =
+      it != st.accepted.end() && it->second.ballot == ballot && it->second.vote == vote;
+  if (!duplicate) {
+    st.accepted[participant] = InstanceValue{participant, ballot, vote};
+    // The acceptance is volatile: a crash here and this acceptor never
+    // accepted — takeover still reaches a correct decision from the rest.
+    FAULT_POINT(sub, "paxos.accept-log");
+    ForceLog(AppendPaxosRecord(RecordType::kPaxosAccept, tid, participant, ballot, vote));
+  }
+  // The acceptance is durable but unreported: the leader times out and the
+  // takeover path must find it here during phase 1.
+  FAULT_POINT(sub, "paxos.accept-send");
+  PaxosAccepted acc;
+  acc.tid = tid;
+  acc.participant = participant;
+  acc.acceptor = self();
+  acc.ballot = ballot;
+  acc.vote = vote;
+  acc.ok = true;
+  if (leader == self()) {
+    replies->Push(acc);
+    return;
+  }
+  tm_.cm_.SendDatagram(leader, "paxos-accepted", [replies, acc] { replies->Push(acc); });
+}
+
+PaxosPromise PaxosCommit::Promise(const TransactionId& tid, Ballot ballot) {
+  sim::Substrate& sub = tm_.node_.substrate();
+  sim::PhaseScope commit_phase(sub.metrics(), sim::Phase::kCommit);
+  sub.ChargeSystemMessage(sim::Primitive::kSmallMessage, 2);  // CM -> TM, TM -> CM
+  AcceptorState& st = states_[tid];
+  PaxosPromise p;
+  p.acceptor = self();
+  if (st.learned != 0) {
+    // Decided long ago: short-circuit with the outcome, no ballot movement.
+    p.ok = true;
+    p.promised = st.promised;
+    p.learned = st.learned;
+    return p;
+  }
+  if (ballot <= st.promised) {
+    p.ok = false;
+    p.promised = st.promised;
+    return p;
+  }
+  st.promised = ballot;
+  // The promise must survive this acceptor's crash, or a recovered acceptor
+  // could accept a lower ballot it already promised away.
+  ForceLog(AppendPaxosRecord(RecordType::kPaxosPromise, tid, kInvalidNode, ballot,
+                             PaxosVote::kNone));
+  p.ok = true;
+  p.promised = ballot;
+  for (const auto& [part, iv] : st.accepted) {
+    p.accepted.push_back(iv);
+  }
+  return p;
+}
+
+bool PaxosCommit::AcceptAll(const TransactionId& tid, Ballot ballot,
+                            const std::vector<InstanceValue>& values) {
+  sim::Substrate& sub = tm_.node_.substrate();
+  sim::PhaseScope commit_phase(sub.metrics(), sim::Phase::kCommit);
+  sub.ChargeSystemMessage(sim::Primitive::kSmallMessage, 2);  // CM -> TM, TM -> CM
+  AcceptorState& st = states_[tid];
+  if (st.learned != 0) {
+    return true;  // decided: any consistent leader proposes the same outcome
+  }
+  if (ballot < st.promised) {
+    return false;
+  }
+  st.promised = ballot;
+  FAULT_POINT(sub, "paxos.accept-log");
+  Lsn last = kNullLsn;
+  for (const InstanceValue& v : values) {
+    st.accepted[v.participant] = InstanceValue{v.participant, ballot, v.vote};
+    last = AppendPaxosRecord(RecordType::kPaxosAccept, tid, v.participant, ballot, v.vote);
+  }
+  if (last != kNullLsn) {
+    ForceLog(last);  // one combined force covers every instance's record
+  }
+  return true;
+}
+
+void PaxosCommit::Learn(const TransactionId& tid, int outcome) {
+  AcceptorState& st = states_[tid];
+  if (st.learned == outcome) {
+    return;  // duplicate learn datagram
+  }
+  st.learned = outcome;
+  // Unforced: losing a learn record only costs a takeover round later.
+  AppendPaxosRecord(RecordType::kPaxosLearn, tid, kInvalidNode, 0,
+                    outcome > 0 ? PaxosVote::kPrepared : PaxosVote::kAborted);
+  tm_.node_.substrate().ChargeSystemMessage(sim::Primitive::kSmallMessage, 1);
+}
+
+int PaxosCommit::LearnedOutcome(const TransactionId& tid) const {
+  auto it = states_.find(tid);
+  return it == states_.end() ? 0 : it->second.learned;
+}
+
+// --- recovery ----------------------------------------------------------------
+
+void PaxosCommit::ObserveRecord(const log::LogRecord& rec) {
+  AcceptorState& st = states_[rec.top];
+  if (st.first_lsn == kNullLsn && rec.lsn != kNullLsn) {
+    st.first_lsn = rec.lsn;
+  }
+  switch (rec.type) {
+    case RecordType::kPaxosPromise:
+      st.promised = std::max(st.promised, rec.paxos_ballot);
+      break;
+    case RecordType::kPaxosAccept: {
+      st.promised = std::max(st.promised, rec.paxos_ballot);
+      auto it = st.accepted.find(rec.paxos_participant);
+      if (it == st.accepted.end() || it->second.ballot <= rec.paxos_ballot) {
+        st.accepted[rec.paxos_participant] =
+            InstanceValue{rec.paxos_participant, rec.paxos_ballot,
+                          static_cast<PaxosVote>(rec.paxos_vote)};
+      }
+      break;
+    }
+    case RecordType::kPaxosLearn:
+      st.learned = rec.paxos_vote > 0 ? 1 : -1;
+      break;
+    default:
+      break;
+  }
+}
+
+std::vector<recovery::RecoveryManager::ActiveTxn> PaxosCommit::PinnedInstances() const {
+  std::vector<recovery::RecoveryManager::ActiveTxn> out;
+  for (const auto& [tid, st] : states_) {
+    if (st.learned != 0 || st.first_lsn == kNullLsn) {
+      continue;
+    }
+    recovery::RecoveryManager::ActiveTxn at;
+    at.owner = tid;
+    at.top = tid;
+    at.prepared = true;  // undecided acceptor state pins like an in-doubt txn
+    at.first_lsn = st.first_lsn;
+    out.push_back(at);
+  }
+  return out;
+}
+
+// --- TransactionManager: coordinator path ------------------------------------
+
+Status TransactionManager::CommitTopLevelPaxos(Txn& txn) {
+  assert(txn.born_here && "EndTransaction must run at the transaction's birth node");
+  sim::Substrate& sub = node_.substrate();
+  sim::Scheduler& sched = sub.scheduler();
+  sim::PhaseScope commit_phase(sub.metrics(), sim::Phase::kCommit);
+  sim::SpanGuard span(sub.tracer(), sim::Component::kTransactionManager, "paxos.commit",
+                      sub.tracer().enabled() ? ToString(txn.top) : std::string());
+
+  // Open subtransactions commit with their parent (Section 2.1.3).
+  for (const TransactionId& s : std::set<TransactionId>(txn.live_subtxns)) {
+    Txn* st = Find(s);
+    if (st != nullptr) {
+      CommitSubtransaction(*st);
+    }
+  }
+
+  sub.ChargeSystemMessage(sim::Primitive::kSmallMessage, 1);  // app -> TM: commit
+  txn.state = TxnState::kPreparing;
+
+  const auto& info = cm_.InfoFor(txn.top);
+  if (!info.children.empty()) {
+    // The CM hands the TM the complete site list (a pointer message).
+    sub.Charge(sim::Primitive::kPointerMessage, 1);
+  }
+
+  // The participant set is this node plus its direct children; each child
+  // prepares its own subtree with plain 2PC and votes on the subtree's
+  // behalf, so one Paxos instance per direct participant covers the tree.
+  std::vector<NodeId> participants(info.children.begin(), info.children.end());
+  participants.push_back(node_.id());
+  std::sort(participants.begin(), participants.end());
+  txn.siblings = participants;
+  txn.acceptors = paxos_->ChooseAcceptors(txn.top);
+
+  for (NodeId child : info.children) {
+    if (Peer(child) == nullptr) {
+      // A participant is already dead: abort now, no consensus needed.
+      AbortSubtree(txn, /*notify_children=*/true);
+      TransactionId tid = txn.tid;
+      ForgetTxn(tid);
+      return Status::kVoteNo;
+    }
+  }
+
+  FAULT_POINT(sub, "2pc.prepare.begin");
+
+  // Phase one downward: paxos-prepare datagrams carry the participant and
+  // acceptor sets, so any survivor can later run a takeover.
+  auto replies = std::make_shared<AcceptChannel>(sched);
+  bool first_send = true;
+  for (NodeId child : info.children) {
+    TransactionManager* child_tm = Peer(child);
+    if (!first_send) {
+      sched.Charge(sub.CostOf(sim::Primitive::kDatagram) / 2);
+    }
+    first_send = false;
+    TransactionId tid = txn.top;
+    NodeId self_id = node_.id();
+    std::vector<NodeId> parts = participants;
+    std::vector<NodeId> accs = txn.acceptors;
+    cm_.SendDatagram(child, "paxos-prepare", [child_tm, tid, self_id, parts, accs, replies] {
+      child_tm->HandlePaxosPrepare(tid, self_id, parts, accs, replies);
+    });
+  }
+
+  // Local prepare: same as the 2PC local half of PrepareSubtree.
+  bool local_updates = false;
+  for (CommitParticipant* s : txn.servers) {
+    sub.ChargeSystemMessage(sim::Primitive::kSmallMessage, 1);  // TM -> server: prepare
+    if (s->HasUpdates(txn.tid)) {
+      local_updates = true;
+      sub.ChargeSystemMessage(sim::Primitive::kLargeMessage, 1);
+    }
+    sub.ChargeSystemMessage(sim::Primitive::kSmallMessage, 1);  // server -> TM: vote
+  }
+  PaxosVote my_vote = PaxosVote::kReadOnly;
+  if (local_updates) {
+    sub.scheduler().Charge(sub.costs().participant_prepare_overhead_us);
+    FAULT_POINT(sub, "2pc.vote.before_record");
+    AppendTxnRecord(RecordType::kTxnPrepare, txn, /*force=*/true);
+    FAULT_POINT(sub, "2pc.vote.after_record");
+    if (Find(txn.top) == nullptr) {
+      return Status::kAborted;  // aborted and forgotten during the force
+    }
+    txn.state = TxnState::kPrepared;
+    logged_outcomes_[txn.top] = TxnOutcome::kPrepared;
+    my_vote = PaxosVote::kPrepared;
+  }
+  paxos_->CastVote(txn.top, my_vote, txn.acceptors, node_.id(), replies);
+
+  // Collect ballot-0 acceptances. An instance is decided at a quorum of
+  // acceptors; the F+1-th acceptance of the LAST instance is the commit
+  // point — it, not any coordinator record, makes the outcome durable.
+  const size_t quorum = PaxosCommit::Quorum(txn.acceptors);
+  std::map<NodeId, std::set<NodeId>> accepts;
+  std::map<NodeId, PaxosVote> decided;
+  SimTime vote_deadline = sched.Now() + vote_timeout_;
+  while (decided.size() < participants.size()) {
+    PaxosAccepted a;
+    SimTime remaining = std::max<SimTime>(vote_deadline - sched.Now(), 0);
+    if (!replies->PopWithTimeout(remaining, &a)) {
+      break;
+    }
+    sub.ChargeSystemMessage(sim::Primitive::kSmallMessage, 1);  // CM -> TM: 2b arrived
+    if (a.tid != txn.top || a.ballot != 0 || !a.ok || decided.contains(a.participant)) {
+      continue;
+    }
+    auto& who = accepts[a.participant];
+    who.insert(a.acceptor);
+    if (who.size() >= quorum) {
+      decided[a.participant] = a.vote;
+    }
+  }
+
+  int outcome = 0;
+  bool via_takeover = false;
+  if (decided.size() == participants.size()) {
+    outcome = 1;
+    for (const auto& [p, v] : decided) {
+      if (v == PaxosVote::kAborted) {
+        outcome = -1;
+      }
+    }
+  } else {
+    // Timed out short of a decision. Presumed abort is UNSOUND here: some
+    // instance may already have a ballot-0 quorum, making the transaction
+    // committed at the acceptors while this coordinator saw too few
+    // replies. Read the truth through the consensus path instead.
+    via_takeover = true;
+    outcome = paxos_->Resolve(txn.top, participants, txn.acceptors);
+    if (Find(txn.top) == nullptr) {
+      return outcome > 0 ? Status::kOk : Status::kAborted;  // verdict raced us
+    }
+    if (outcome == 0) {
+      // No acceptor quorum reachable: genuinely in doubt. Keep the locks —
+      // blocking here is the price of consistency; any survivor (or this
+      // node after recovery) resolves through the acceptors later.
+      return Status::kNodeDown;
+    }
+  }
+
+  if (outcome > 0) {
+    sub.scheduler().Charge(sub.costs().coordinator_overhead_us);
+    bool updates = local_updates;
+    if (!via_takeover) {
+      for (const auto& [p, v] : decided) {
+        if (p != node_.id() && v == PaxosVote::kPrepared) {
+          txn.update_children.insert(p);
+          updates = true;
+        }
+      }
+    } else {
+      updates = true;  // rare path: can't tell read-only apart, log the record
+    }
+    if (updates) {
+      sub.scheduler().Charge(sub.costs().coordinator_write_extra_us);
+      // Unforced on purpose: the commit point already passed at the
+      // acceptors, so this record is a lazy hint that spares a takeover
+      // after a coordinator crash — exactly the force 2PC cannot skip.
+      AppendTxnRecord(RecordType::kTxnCommit, txn, /*force=*/false);
+    }
+    txn.state = TxnState::kCommitted;
+    logged_outcomes_[txn.top] = TxnOutcome::kCommitted;
+    if (!via_takeover) {
+      // Commit stands at the acceptors but no learn datagram is out: a
+      // crash here must still commit everywhere via takeover.
+      FAULT_POINT(sub, "paxos.learn");
+      paxos_->BroadcastLearn(txn.top, 1, txn.acceptors);
+    }
+    CommitSubtree(txn, /*is_root=*/true);
+    sub.ChargeSystemMessage(sim::Primitive::kSmallMessage, 1);  // TM -> app: done
+    TransactionId tid = txn.tid;
+    ForgetTxn(tid);
+    return Status::kOk;
+  }
+
+  if (!via_takeover) {
+    FAULT_POINT(sub, "paxos.learn");
+    paxos_->BroadcastLearn(txn.top, -1, txn.acceptors);
+  }
+  AbortSubtree(txn, /*notify_children=*/true);
+  TransactionId tid = txn.tid;
+  ForgetTxn(tid);
+  return Status::kVoteNo;
+}
+
+// --- TransactionManager: participant side ------------------------------------
+
+void TransactionManager::HandlePaxosPrepare(const TransactionId& tid, NodeId leader,
+                                            const std::vector<NodeId>& participants,
+                                            const std::vector<NodeId>& acceptors,
+                                            AcceptChannelPtr replies) {
+  sim::Substrate& sub = node_.substrate();
+  sim::PhaseScope commit_phase(sub.metrics(), sim::Phase::kCommit);
+  sim::SpanGuard span(sub.tracer(), sim::Component::kTransactionManager,
+                      "paxos.handle-prepare",
+                      sub.tracer().enabled() ? ToString(tid) : std::string());
+  Txn* found = Find(tid);
+  if (found == nullptr) {
+    // No live entry: usually this node never saw an operation (read-only by
+    // vacuity), but the instance must still decide or the commit blocks.
+    // EXCEPT when this node already aborted and rolled the transaction back
+    // — the orphan sweep after the coordinator's crash can beat the
+    // coordinator's last prepare datagram here. The updates are undone, so
+    // a ReadOnly vote would let a takeover assemble a commit missing this
+    // node's writes; the instance must decide Aborted instead.
+    PaxosVote vacuous = OutcomeOf(tid) == TxnOutcome::kAborted ? PaxosVote::kAborted
+                                                               : PaxosVote::kReadOnly;
+    paxos_->CastVote(tid, vacuous, acceptors, leader, replies);
+    return;
+  }
+  Txn& txn = *found;
+  if (txn.state == TxnState::kAborted) {
+    paxos_->CastVote(tid, PaxosVote::kAborted, acceptors, leader, replies);
+    return;
+  }
+  // CM -> TM: prepare arrived; TM -> CM: vote handed back for the wire.
+  sub.ChargeSystemMessage(sim::Primitive::kSmallMessage, 2);
+  txn.parent_node = leader;
+  txn.siblings = participants;
+  txn.acceptors = acceptors;
+  txn.state = TxnState::kPreparing;
+
+  Vote v = PrepareSubtree(txn);
+  // Re-resolve after every blocking window (see HandlePrepare): an abort
+  // datagram may have rolled this subtree back while we waited.
+  if (Find(tid) == nullptr) {
+    paxos_->CastVote(tid, PaxosVote::kAborted, acceptors, leader, replies);
+    return;
+  }
+  if (v == Vote::kNo) {
+    AbortSubtree(txn, /*notify_children=*/true);
+    ForgetTxn(tid);
+    paxos_->CastVote(tid, PaxosVote::kAborted, acceptors, leader, replies);
+    return;
+  }
+  if (v == Vote::kReadOnly) {
+    // Read-only optimization survives Paxos Commit: release locks now; the
+    // vote still runs through consensus so the instance closes.
+    sub.scheduler().Charge(sub.costs().participant_read_overhead_us);
+    for (CommitParticipant* s : txn.servers) {
+      sub.ChargeSystemMessage(sim::Primitive::kSmallMessage, 1);  // TM -> server
+      s->OnCommit(tid);
+    }
+    ForgetTxn(tid);
+    paxos_->CastVote(tid, PaxosVote::kReadOnly, acceptors, leader, replies);
+    return;
+  }
+  sub.scheduler().Charge(sub.costs().participant_prepare_overhead_us);
+  FAULT_POINT(sub, "2pc.vote.before_record");
+  // The prepare record carries the acceptor set, so this participant can be
+  // resolved through the acceptors after ANY combination of crashes.
+  AppendTxnRecord(RecordType::kTxnPrepare, txn, /*force=*/true);
+  FAULT_POINT(sub, "2pc.vote.after_record");
+  if (Find(tid) == nullptr) {
+    return;  // aborted and forgotten during the prepare force
+  }
+  txn.state = TxnState::kPrepared;
+  logged_outcomes_[tid] = TxnOutcome::kPrepared;
+  logged_parent_node_[tid] = leader;
+  paxos_->CastVote(tid, PaxosVote::kPrepared, acceptors, leader, replies);
+}
+
+void TransactionManager::HandlePaxosVerdict(const TransactionId& tid, bool committed) {
+  sim::Substrate& sub = node_.substrate();
+  sim::PhaseScope commit_phase(sub.metrics(), sim::Phase::kCommit);
+  Txn* txn = Find(tid);
+  if (txn != nullptr && txn->state == TxnState::kPrepared) {
+    if (committed) {
+      HandleCommit(tid);
+    } else {
+      HandleAbortMsg(tid);
+    }
+    return;
+  }
+  if (in_doubt_.contains(tid)) {
+    ApplyRecoveredOutcome(tid, committed);
+  }
+}
+
+void TransactionManager::ResolvePaxosOrphansOf(NodeId dead) {
+  std::set<TransactionId> doomed;
+  for (const auto& [tid, txn] : txns_) {
+    if (txn.state == TxnState::kPrepared && !txn.acceptors.empty() &&
+        txn.parent_node == dead) {
+      doomed.insert(tid);
+    }
+  }
+  for (const TransactionId& tid : in_doubt_) {
+    auto it = logged_parent_node_.find(tid);
+    if (it != logged_parent_node_.end() && it->second == dead &&
+        logged_acceptors_.contains(tid)) {
+      doomed.insert(tid);
+    }
+  }
+  for (const TransactionId& tid : doomed) {
+    // ResolveInDoubt routes every acceptor-backed transaction through the
+    // consensus read path — this is where "coordinator death never blocks
+    // an in-doubt transaction" is made true.
+    ResolveInDoubt(tid);
+  }
+}
+
+}  // namespace tabs::txn

@@ -1,0 +1,195 @@
+// Paxos Commit (Gray & Lamport, "Consensus on Transaction Commit"): the
+// non-blocking commit mode behind WorldOptions::commit_mode = kPaxosCommit.
+//
+// Plain two-phase commit blocks: if the coordinator dies after collecting
+// votes but before any commit datagram lands, every prepared participant
+// holds its locks until the coordinator node recovers (the window the paper
+// concedes and the crash-point explorer demonstrates). Paxos Commit removes
+// the single point of knowledge by running one Paxos consensus instance per
+// participant vote, with a per-transaction set of 2F+1 acceptors chosen
+// deterministically from the cluster membership:
+//
+//  * Ballot 0 (the fast path): each participant prepares exactly as in 2PC,
+//    then sends its vote directly to every acceptor as a pre-assigned
+//    phase-2a message. An acceptor logs the acceptance (forced — its promise
+//    must survive its own crash) and replies to the leader. An instance is
+//    decided once F+1 acceptors accepted; the transaction commits iff every
+//    instance decided Prepared or ReadOnly.
+//  * Takeover (the non-blocking guarantee): any node that knows the
+//    participant and acceptor sets — they ride in every prepare record and
+//    prepare datagram — can drive all instances to a decision with a fresh
+//    ballot: phase 1a to the acceptors, adopt the highest accepted vote per
+//    instance (Aborted for instances no quorum member has seen), phase 2a,
+//    decided at F+1 acks. Tolerates F acceptor failures AND the death of
+//    coordinator and every participant: the decision lives at the acceptors.
+//
+// Acceptor state (promised ballot, accepted votes, learned outcome) is
+// logged through the node's common WAL and rebuilt by the analysis pass, so
+// acceptors crash-recover into the same instance. The commit point moves
+// from the coordinator's forced commit record to the F+1-th acceptance of
+// the last instance; the coordinator's own commit record is a lazy hint.
+
+#ifndef TABS_TXN_PAXOS_COMMIT_H_
+#define TABS_TXN_PAXOS_COMMIT_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "src/common/types.h"
+#include "src/log/log_record.h"
+#include "src/recovery/recovery_manager.h"
+#include "src/sim/scheduler.h"
+
+namespace tabs::txn {
+
+class TransactionManager;
+
+// Which protocol EndTransaction runs for a top-level commit.
+enum class CommitMode {
+  kTwoPhase,     // the paper's tree-structured 2PC (default)
+  kPaxosCommit,  // non-blocking: 2F+1 acceptors replicate the decision
+};
+
+using Ballot = std::int32_t;
+
+// Per-instance consensus values. A participant's instance decides its vote;
+// the transaction commits iff no instance decides kAborted.
+enum class PaxosVote : std::int8_t {
+  kNone = 0,
+  kPrepared = 1,
+  kReadOnly = 2,
+  kAborted = -1,
+};
+
+// One accepted (participant, ballot, vote) triple at an acceptor.
+struct InstanceValue {
+  NodeId participant = kInvalidNode;
+  Ballot ballot = 0;
+  PaxosVote vote = PaxosVote::kNone;
+};
+
+// Phase-2b reply: `acceptor` accepted `vote` for `participant`'s instance of
+// `tid` at `ballot` (ok), or rejected the ballot (takeover phase 2 only).
+struct PaxosAccepted {
+  TransactionId tid;
+  NodeId participant = kInvalidNode;
+  NodeId acceptor = kInvalidNode;
+  Ballot ballot = 0;
+  PaxosVote vote = PaxosVote::kNone;
+  bool ok = true;
+};
+using AcceptChannel = sim::Channel<PaxosAccepted>;
+using AcceptChannelPtr = std::shared_ptr<AcceptChannel>;
+
+// Phase-1b reply: promise (with everything this acceptor has accepted for
+// the transaction's instances) or rejection, plus any learned outcome.
+struct PaxosPromise {
+  NodeId acceptor = kInvalidNode;
+  bool ok = false;
+  Ballot promised = 0;
+  int learned = 0;  // +1 committed, -1 aborted, 0 unknown
+  std::vector<InstanceValue> accepted;
+};
+using PromiseChannel = sim::Channel<PaxosPromise>;
+
+// The per-node Paxos Commit engine: acceptor role for any transaction whose
+// acceptor set includes this node, plus the leader-side primitives the
+// TransactionManager's coordinator path and takeover path drive. Owned by
+// (and a friend of) the TransactionManager; peers are reached through the
+// TM's peer table with datagrams, exactly like the 2PC messages.
+class PaxosCommit {
+ public:
+  explicit PaxosCommit(TransactionManager& tm) : tm_(tm) {}
+
+  void SetF(int f) { f_ = f < 0 ? 0 : f; }
+  int f() const { return f_; }
+
+  // The 2F+1 acceptors for `tid`: a deterministic rotation of the sorted
+  // cluster membership keyed by the transaction counter, so concurrent
+  // transactions spread acceptor load. Clamped to the largest odd set the
+  // membership supports. Includes dead nodes on purpose: the set must be a
+  // pure function of (membership, tid) so every participant, standby leader
+  // and recovered node derives the same one.
+  std::vector<NodeId> ChooseAcceptors(const TransactionId& tid) const;
+  static size_t Quorum(const std::vector<NodeId>& acceptors) {
+    return acceptors.size() / 2 + 1;
+  }
+
+  // --- participant/leader side ----------------------------------------------
+  // Ballot-0 phase 2a: send `vote` for this node's instance of `tid` to every
+  // acceptor; each acceptance is reported to `leader` through `replies`.
+  void CastVote(const TransactionId& tid, PaxosVote vote,
+                const std::vector<NodeId>& acceptors, NodeId leader,
+                AcceptChannelPtr replies);
+
+  // Takeover: drive every instance of `tid` to a decision with a fresh
+  // ballot (phase 1, value selection, phase 2). Returns +1 commit, -1 abort,
+  // or 0 if no acceptor quorum is reachable right now (still in doubt).
+  // On a decision, learn datagrams go to the acceptors and verdict datagrams
+  // to the other participants, so every in-doubt peer unblocks too.
+  // Concurrent callers on one node are serialized per transaction (the
+  // second waits for the first's verdict); competing leaders on different
+  // nodes de-synchronize with a deterministic node-keyed retry backoff.
+  int Resolve(const TransactionId& tid, const std::vector<NodeId>& participants,
+              const std::vector<NodeId>& acceptors);
+
+  // Learn datagrams to every acceptor (the local one applies directly).
+  void BroadcastLearn(const TransactionId& tid, int outcome,
+                      const std::vector<NodeId>& acceptors);
+
+  // --- acceptor side (run on the acceptor's node via datagram handlers) -----
+  // Ballot-0 2a: log and acknowledge `participant`'s vote.
+  void AcceptVote(const TransactionId& tid, NodeId participant, Ballot ballot,
+                  PaxosVote vote, NodeId leader, AcceptChannelPtr replies);
+  // Phase 1a at `ballot`: promise (durably) or reject.
+  PaxosPromise Promise(const TransactionId& tid, Ballot ballot);
+  // Takeover phase 2a at `ballot`: accept values for every instance at once.
+  bool AcceptAll(const TransactionId& tid, Ballot ballot,
+                 const std::vector<InstanceValue>& values);
+  // The decided outcome (+1/-1) reached this acceptor.
+  void Learn(const TransactionId& tid, int outcome);
+  int LearnedOutcome(const TransactionId& tid) const;
+
+  // --- recovery --------------------------------------------------------------
+  // Analysis-pass replay of kPaxos* records: rebuilds promised ballots,
+  // accepted votes and learned outcomes.
+  void ObserveRecord(const log::LogRecord& rec);
+  // Undecided acceptor state pins the log (as synthetic prepared entries in
+  // the active-transaction table) so reclamation cannot truncate an accept
+  // record that a takeover may still need after this acceptor's next crash.
+  std::vector<recovery::RecoveryManager::ActiveTxn> PinnedInstances() const;
+
+ private:
+  struct AcceptorState {
+    Ballot promised = 0;
+    std::map<NodeId, InstanceValue> accepted;  // by participant
+    int learned = 0;
+    Lsn first_lsn = kNullLsn;
+  };
+
+  NodeId self() const;
+  Ballot NextBallot();
+  Lsn AppendPaxosRecord(log::RecordType type, const TransactionId& tid,
+                        NodeId participant, Ballot ballot, PaxosVote vote);
+  void ForceLog(Lsn lsn);
+  // The ballot-driving loop behind Resolve (which adds the per-transaction
+  // single-leader guard around it).
+  int RunTakeover(const TransactionId& tid, const std::vector<NodeId>& participants,
+                  const std::vector<NodeId>& acceptors);
+
+  TransactionManager& tm_;
+  int f_ = 1;
+  std::map<TransactionId, AcceptorState> states_;
+  int takeover_round_ = 0;
+  // Transactions with a takeover in flight on this node, and the local
+  // callers parked until that takeover returns its verdict.
+  std::set<TransactionId> resolving_;
+  std::map<TransactionId, std::vector<std::shared_ptr<sim::Channel<int>>>> resolve_waiters_;
+};
+
+}  // namespace tabs::txn
+
+#endif  // TABS_TXN_PAXOS_COMMIT_H_

@@ -13,9 +13,12 @@ using recovery::TxnOutcome;
 
 TransactionManager::TransactionManager(kernel::Node& node, recovery::RecoveryManager& rm,
                                        comm::CommManager& cm)
-    : node_(node), rm_(rm), cm_(cm) {
+    : node_(node), rm_(rm), cm_(cm), paxos_(std::make_unique<PaxosCommit>(*this)) {
   cm_.SetListener(this);
 }
+
+// Out of line so the unique_ptr<PaxosCommit> destructor sees a complete type.
+TransactionManager::~TransactionManager() = default;
 
 TransactionManager::Txn* TransactionManager::Find(const TransactionId& tid) {
   auto it = txns_.find(tid);
@@ -147,7 +150,8 @@ Status TransactionManager::End(const TransactionId& tid) {
     CommitSubtransaction(*txn);
     return Status::kOk;
   }
-  Status s = CommitTopLevel(*txn);
+  Status s = commit_mode_ == CommitMode::kPaxosCommit ? CommitTopLevelPaxos(*txn)
+                                                      : CommitTopLevel(*txn);
   MaybeCheckpoint();
   return s;
 }
@@ -210,6 +214,7 @@ void TransactionManager::AppendTxnRecord(RecordType type, const Txn& txn, bool f
   rec.top = txn.top;
   rec.parent_node = txn.parent_node;
   rec.siblings = txn.siblings;
+  rec.acceptors = txn.acceptors;
   const auto& info = cm_.InfoFor(txn.top);
   rec.children.assign(info.children.begin(), info.children.end());
   for (CommitParticipant* s : txn.servers) {
@@ -258,6 +263,14 @@ void TransactionManager::ObserveTxnRecord(const LogRecord& rec) {
       }
       logged_parent_node_[rec.top] = rec.parent_node;
       logged_siblings_[rec.top] = rec.siblings;
+      if (!rec.acceptors.empty()) {
+        logged_acceptors_[rec.top] = rec.acceptors;
+      }
+      break;
+    case RecordType::kPaxosPromise:
+    case RecordType::kPaxosAccept:
+    case RecordType::kPaxosLearn:
+      paxos_->ObserveRecord(rec);
       break;
     case RecordType::kTxnEnd:
       // Fully acknowledged; the outcome entry may be garbage-collected, but
@@ -411,12 +424,44 @@ Status TransactionManager::ResolveInDoubt(const TransactionId& tid) {
   };
 
   bool committed = false;
-  bool resolved = ask(parent, /*authoritative=*/true, &committed);
-  for (size_t i = 0; !resolved && i < siblings.size(); ++i) {
-    if (siblings[i] == node_.id()) {
-      continue;
+  bool resolved = false;
+  std::vector<NodeId> acceptors;
+  if (recovered) {
+    auto it = logged_acceptors_.find(tid);
+    if (it != logged_acceptors_.end()) {
+      acceptors = it->second;
     }
-    resolved = ask(siblings[i], /*authoritative=*/false, &committed);
+  } else {
+    acceptors = live->acceptors;
+  }
+  if (!acceptors.empty()) {
+    // Paxos Commit: the acceptors are authoritative, never the parent. In
+    // particular the parent's presumed abort does NOT apply — a recovered,
+    // locally-read-only coordinator has no commit record even for a
+    // transaction the acceptors decided to commit, so asking it would split
+    // the brain. The consensus read path is the only sound source.
+    int outcome = paxos_->Resolve(tid, siblings, acceptors);
+    if (outcome == 0) {
+      return Status::kNodeDown;  // no acceptor quorum; still in doubt
+    }
+    committed = outcome > 0;
+    resolved = true;
+    // Resolve blocks on acceptor round-trips: a takeover verdict datagram
+    // may have resolved this transaction while we waited.
+    if (!recovered && Find(tid) == nullptr) {
+      return committed ? Status::kOk : Status::kAborted;
+    }
+    if (recovered && !in_doubt_.contains(tid)) {
+      return committed ? Status::kOk : Status::kAborted;
+    }
+  } else {
+    resolved = ask(parent, /*authoritative=*/true, &committed);
+    for (size_t i = 0; !resolved && i < siblings.size(); ++i) {
+      if (siblings[i] == node_.id()) {
+        continue;
+      }
+      resolved = ask(siblings[i], /*authoritative=*/false, &committed);
+    }
   }
   if (!resolved) {
     return Status::kNodeDown;  // still in doubt; locks stay held
@@ -431,6 +476,11 @@ Status TransactionManager::ResolveInDoubt(const TransactionId& tid) {
     return Status::kAborted;
   }
 
+  ApplyRecoveredOutcome(tid, committed);
+  return committed ? Status::kOk : Status::kAborted;
+}
+
+void TransactionManager::ApplyRecoveredOutcome(const TransactionId& tid, bool committed) {
   in_doubt_.erase(tid);
   if (committed) {
     logged_outcomes_[tid] = TxnOutcome::kCommitted;
@@ -446,7 +496,7 @@ Status TransactionManager::ResolveInDoubt(const TransactionId& tid) {
         participant->OnCommit(tid);
       }
     }
-    return Status::kOk;
+    return;
   }
   logged_outcomes_[tid] = TxnOutcome::kAborted;
   rm_.UndoTransaction(tid, tid);
@@ -462,7 +512,6 @@ Status TransactionManager::ResolveInDoubt(const TransactionId& tid) {
   rm_.log().Append(std::move(rec));
   rm_.log().ForceAll();
   rm_.ForgetTransaction(tid);
-  return Status::kAborted;
 }
 
 int TransactionManager::ParticipantKnowledge(const TransactionId& tid) {
@@ -515,6 +564,11 @@ std::vector<recovery::RecoveryManager::ActiveTxn> TransactionManager::ActiveTran
     at.top = txn.top;
     at.prepared = txn.state == TxnState::kPrepared;
     at.first_lsn = rm_.FirstLsnOf(tid);
+    out.push_back(at);
+  }
+  // Undecided Paxos instances this node accepts for pin the log exactly like
+  // in-doubt transactions: a takeover may still need their accept records.
+  for (auto& at : paxos_->PinnedInstances()) {
     out.push_back(at);
   }
   return out;

@@ -27,6 +27,7 @@
 #include "src/common/result.h"
 #include "src/common/types.h"
 #include "src/recovery/recovery_manager.h"
+#include "src/txn/paxos_commit.h"
 
 namespace tabs::log {
 class GroupCommit;
@@ -66,8 +67,19 @@ class TransactionManager : public comm::TransactionTreeListener,
  public:
   TransactionManager(kernel::Node& node, recovery::RecoveryManager& rm,
                      comm::CommManager& cm);
+  ~TransactionManager();
 
   void SetPeers(const std::map<NodeId, TransactionManager*>* peers) { peers_ = peers; }
+
+  // Commit protocol selection (WorldOptions::commit_mode). kPaxosCommit
+  // tolerates `paxos_f` acceptor failures with 2F+1 acceptors per
+  // transaction; kTwoPhase is the paper-faithful default.
+  void SetCommitMode(CommitMode mode, int paxos_f) {
+    commit_mode_ = mode;
+    paxos_->SetF(paxos_f);
+  }
+  CommitMode commit_mode() const { return commit_mode_; }
+  PaxosCommit& paxos() { return *paxos_; }
 
   // --- application interface (Table 3-2) ------------------------------------
   // BeginTransaction: null parent creates a top-level transaction.
@@ -112,6 +124,22 @@ class TransactionManager : public comm::TransactionTreeListener,
   // `tid` — 1 committed, -1 aborted, 0 no knowledge (possibly in doubt too).
   int ParticipantKnowledge(const TransactionId& tid);
   void HandleAbortMsg(const TransactionId& tid);
+  // --- Paxos Commit participant side (kPaxosCommit mode only) -----------------
+  // The paxos-prepare datagram handler: prepare the local subtree as in 2PC,
+  // then cast the vote straight to every acceptor (ballot-0 phase 2a), with
+  // acceptances reported to `leader` through `replies`.
+  void HandlePaxosPrepare(const TransactionId& tid, NodeId leader,
+                          const std::vector<NodeId>& participants,
+                          const std::vector<NodeId>& acceptors, AcceptChannelPtr replies);
+  // A decided verdict arriving from a takeover leader: applies commit/abort
+  // to a live prepared transaction or a recovered in-doubt one.
+  void HandlePaxosVerdict(const TransactionId& tid, bool committed);
+  // Dead-coordinator takeover sweep (folded into the orphan-sweep machinery):
+  // every prepared transaction whose 2PC parent is `dead` and that has an
+  // acceptor set is driven to a decision through the acceptors — in-doubt
+  // transactions release their locks without coordinator recovery.
+  void ResolvePaxosOrphansOf(NodeId dead);
+
   // Subtransaction outcome propagation to remote participants: locks and
   // undo records of `child` merge into `parent` (commit) or unwind (abort).
   void HandleSubtxnCommit(const TransactionId& child, const TransactionId& parent,
@@ -179,6 +207,8 @@ class TransactionManager : public comm::TransactionTreeListener,
     std::set<TransactionId> live_subtxns;
     std::set<NodeId> update_children;  // children that voted yes (not read-only)
     std::vector<NodeId> siblings;      // fellow participants (from the prepare)
+    std::vector<NodeId> acceptors;     // Paxos Commit: the 2F+1 acceptor set
+                                       // (empty: plain 2PC governs this txn)
     bool born_here = true;
   };
 
@@ -193,6 +223,12 @@ class TransactionManager : public comm::TransactionTreeListener,
   void AbortSubtree(Txn& txn, bool notify_children);
   void CommitSubtransaction(Txn& txn);
   TransactionManager* Peer(NodeId node) const;
+
+  // Implemented in paxos_commit.cc.
+  Status CommitTopLevelPaxos(Txn& txn);
+  // Applies a verdict to a recovered in-doubt transaction: re-log the
+  // outcome, redo/undo through the Recovery Manager, release locks.
+  void ApplyRecoveredOutcome(const TransactionId& tid, bool committed);
 
   void AppendTxnRecord(log::RecordType type, const Txn& txn, bool force);
   void ForgetTxn(const TransactionId& tid);
@@ -216,6 +252,7 @@ class TransactionManager : public comm::TransactionTreeListener,
   std::map<TransactionId, recovery::TxnOutcome> logged_outcomes_;
   std::map<TransactionId, NodeId> logged_parent_node_;
   std::map<TransactionId, std::vector<NodeId>> logged_siblings_;
+  std::map<TransactionId, std::vector<NodeId>> logged_acceptors_;
   std::set<TransactionId> in_doubt_;
   std::map<std::string, CommitParticipant*> recovered_participants_;
 
@@ -228,6 +265,11 @@ class TransactionManager : public comm::TransactionTreeListener,
   // How long the coordinator waits for each vote or ack before treating the
   // child as failed (WorldOptions::vote_timeout_us; fault sweeps tighten it).
   SimTime vote_timeout_ = 10'000'000;  // 10 s virtual
+
+  CommitMode commit_mode_ = CommitMode::kTwoPhase;
+  std::unique_ptr<PaxosCommit> paxos_;
+
+  friend class PaxosCommit;
 };
 
 }  // namespace tabs::txn

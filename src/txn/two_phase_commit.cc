@@ -185,9 +185,11 @@ TransactionManager::Vote TransactionManager::HandlePrepare(const TransactionId& 
                       sub.tracer().enabled() ? ToString(tid) : std::string());
   Txn* found = Find(tid);
   if (found == nullptr) {
-    // We never saw an operation for this transaction (e.g. its work here
-    // aborted earlier): read-only by vacuity.
-    return Vote::kReadOnly;
+    // We never saw an operation for this transaction: read-only by vacuity.
+    // But a transaction this node aborted and rolled back (an orphan sweep
+    // racing the prepare datagram) must vote No — its updates are undone,
+    // so a yes-side vote could commit a transaction missing them.
+    return OutcomeOf(tid) == TxnOutcome::kAborted ? Vote::kNo : Vote::kReadOnly;
   }
   Txn& txn = *found;
   if (txn.state == TxnState::kAborted) {

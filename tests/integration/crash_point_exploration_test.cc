@@ -16,6 +16,13 @@
 // Everything is deterministic per seed: a failure prints — and writes to
 // $TABS_FAULT_REPRO_FILE — the {seed, fault-point, hit} tuple that replays
 // it exactly.
+//
+// The Paxos half re-runs the same exploration under commit_mode =
+// kPaxosCommit, restricted to the paxos.* windows (vote-send, accept-log,
+// accept-send, learn) plus the prepare-record windows they share with 2PC —
+// and adds the non-blocking assertion 2PC cannot make: the surviving nodes
+// drain every in-doubt transaction through the acceptors BEFORE the dead
+// node recovers.
 
 #include <gtest/gtest.h>
 
@@ -58,6 +65,13 @@ WorldOptions ExplorationOptions() {
   // in-flight transaction in virtual seconds, not tens of them.
   opt.group_commit_window_us = 50;
   opt.vote_timeout_us = 2'000'000;
+  return opt;
+}
+
+WorldOptions PaxosExplorationOptions() {
+  WorldOptions opt = ExplorationOptions();
+  opt.commit_mode = txn::CommitMode::kPaxosCommit;
+  opt.paxos_f = 1;  // 3 acceptors on a 3-node world: quorum survives any one crash
   return opt;
 }
 
@@ -383,6 +397,177 @@ INSTANTIATE_TEST_SUITE_P(Seeds, CrashPointExplorationTest,
                          [](const ::testing::TestParamInfo<unsigned>& info) {
                            return "seed" + std::to_string(info.param);
                          });
+
+// The non-blocking claim, asserted with the dead node still dead: every
+// surviving node drains its in-doubt list through the acceptor quorum. Under
+// 2PC this is impossible when the coordinator died holding the verdict; under
+// Paxos Commit one crash never removes the quorum (F = 1, 3 acceptors).
+void ResolveOnSurvivors(World& world, unsigned seed, const std::string& where) {
+  NodeId runner = world.NodeAlive(1) ? 1 : 2;  // at most one node is dead
+  world.RunApp(runner, [&world](Application&) {
+    // Two passes: the first can return "still in doubt" if it races a
+    // concurrent standby-leader sweep that has the per-transaction lead.
+    for (int pass = 0; pass < 2; ++pass) {
+      for (NodeId n = 1; n <= 3; ++n) {
+        if (!world.NodeAlive(n)) {
+          continue;
+        }
+        for (const TransactionId& tid : world.tm(n).InDoubt()) {
+          world.tm(n).ResolveInDoubt(tid);
+        }
+      }
+    }
+  });
+  for (NodeId n = 1; n <= 3; ++n) {
+    if (!world.NodeAlive(n)) {
+      continue;
+    }
+    EXPECT_TRUE(world.tm(n).InDoubt().empty())
+        << "survivor node " << n << " still blocked after crash at " << where
+        << " with the dead node not yet recovered (seed " << seed
+        << "): commit is not non-blocking";
+  }
+}
+
+class PaxosCrashPointExplorationTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(PaxosCrashPointExplorationTest, SurvivorsResolveEveryPaxosFaultPoint) {
+  const unsigned seed = GetParam();
+
+  // Pass 1: record which points the workload reaches under kPaxosCommit.
+  std::vector<sim::FaultInjector::PointHit> hits;
+  {
+    World world(3, PaxosExplorationOptions());
+    auto [b1, b2] = AddBanks(world);
+    world.faults().StartRecording();
+    Model m;
+    RunWorkload(world, seed, b1, b2, m);
+    EXPECT_FALSE(world.faults().crash_fired());
+    hits = world.faults().recorded_hits();
+    CheckInvariants(world, m, seed, "paxos-no-fault");
+    ASSERT_FALSE(::testing::Test::HasFailure()) << "fault-free run is already inconsistent";
+  }
+
+  // Crash plan: the paxos-specific windows plus the shared prepare-record
+  // windows. The generic surface (log, checkpoint, write-back, ...) is
+  // already explored by the 2PC suite above; re-crashing it here would only
+  // double the runtime.
+  std::map<std::string, int> counts;
+  for (const auto& h : hits) {
+    counts[h.point] = std::max(counts[h.point], h.hit);
+  }
+  std::vector<std::pair<std::string, int>> plan;
+  int paxos_points = 0;
+  for (const auto& [point, count] : counts) {
+    bool paxos = point.rfind("paxos.", 0) == 0;
+    paxos_points += paxos ? 1 : 0;
+    if (!paxos && point.rfind("2pc.vote.", 0) != 0) {
+      continue;
+    }
+    plan.emplace_back(point, 1);
+    if (count > 2) {
+      plan.emplace_back(point, count / 2 + 1);
+    }
+  }
+  ASSERT_GE(paxos_points, 4) << "paxos workload no longer reaches its fault surface";
+
+  // Pass 2: crash at each window, then demand resolution WITHOUT recovery.
+  for (const auto& [point, hit] : plan) {
+    World world(3, PaxosExplorationOptions());
+    auto [b1, b2] = AddBanks(world);
+    world.faults().ArmCrash(point, hit);
+    Model m;
+    RunWorkload(world, seed, b1, b2, m);
+    EXPECT_TRUE(world.faults().crash_fired())
+        << point << " hit " << hit << " never fired (seed " << seed
+        << "): determinism broken between passes";
+    world.faults().Disarm();
+    ResolveOnSurvivors(world, seed, point + "#" + std::to_string(hit));
+    Recover(world);
+    CheckInvariants(world, m, seed, point + "#" + std::to_string(hit));
+    if (::testing::Test::HasFailure()) {
+      WriteRepro(seed, point, hit);
+      break;  // one repro is enough; later runs would drown it
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PaxosCrashPointExplorationTest,
+                         ::testing::Values(1u, 2u, 3u, 4u),
+                         [](const ::testing::TestParamInfo<unsigned>& info) {
+                           return "seed" + std::to_string(info.param);
+                         });
+
+// The takeover window itself: the coordinator dies with the verdicts undelivered,
+// and the first standby leader is killed at the paxos.takeover fault point. Two
+// of three acceptors are now down, so the last survivor must NOT invent an
+// outcome — it stays safely in doubt — and one recovered acceptor (never the
+// coordinator) restores the quorum and releases the decision.
+TEST(PaxosTakeoverWindow, CrashMidTakeoverBlocksSafelyUntilQuorumReturns) {
+  World world(3, PaxosExplorationOptions());
+  auto [b1, b2] = AddBanks(world);
+
+  // Commit the seed transfer with every verdict datagram lost: the decision
+  // is durable at the acceptors, but participants 1 and 2 stay in doubt.
+  world.network().SetDatagramLossTagged(
+      [](NodeId from, NodeId, const std::string& what) {
+        return from == 3 && (what == "2pc-commit" || what == "paxos-learn");
+      });
+  Status outcome = Status::kInternal;
+  world.RunApp(3, [&](Application& app) {
+    outcome = app.Transaction([&](const server::Tx& tx) {
+      Status s = b1->Deposit(tx, 0, kBank1Seed);
+      if (s != Status::kOk) {
+        return s;
+      }
+      return b2->Deposit(tx, 0, kBank2Seed);
+    });
+  });
+  ASSERT_EQ(outcome, Status::kOk);
+  world.network().SetDatagramLossTagged({});
+  ASSERT_EQ(world.tm(1).InDoubt().size(), 1u);
+  ASSERT_EQ(world.tm(2).InDoubt().size(), 1u);
+
+  // Node 1's staggered standby sweep reaches paxos.takeover first and dies
+  // there; node 2's sweep then finds only one live acceptor (itself).
+  world.faults().ArmCrash("paxos.takeover", 1);
+  world.RunApp(2, [&world](Application&) { world.CrashNode(3); });
+  EXPECT_TRUE(world.faults().crash_fired());
+  world.faults().Disarm();
+  EXPECT_FALSE(world.NodeAlive(1));
+  EXPECT_EQ(world.tm(2).InDoubt().size(), 1u);  // blocked — but never wrong
+
+  // Recovering acceptor 1 restores the quorum; the survivor's takeover then
+  // learns the durable commit. The coordinator never comes back.
+  world.RunApp(2, [&world](Application&) {
+    world.RecoverNode(1);
+    for (const TransactionId& tid : world.tm(2).InDoubt()) {
+      EXPECT_EQ(world.tm(2).ResolveInDoubt(tid), Status::kOk);
+    }
+    for (const TransactionId& tid : world.tm(1).InDoubt()) {
+      world.tm(1).ResolveInDoubt(tid);
+    }
+  });
+  EXPECT_TRUE(world.tm(1).InDoubt().empty());
+  EXPECT_TRUE(world.tm(2).InDoubt().empty());
+
+  auto* r1 = world.Server<AccountServer>(1, "bank1");
+  auto* r2 = world.Server<AccountServer>(2, "bank2");
+  world.RunApp(2, [&](Application& app) {
+    app.Transaction([&](const server::Tx& tx) {
+      auto v1 = r1->ReadBalance(tx, 0);
+      auto v2 = r2->ReadBalance(tx, 0);
+      EXPECT_TRUE(v1.ok() && v2.ok());
+      if (v1.ok()) {
+        EXPECT_EQ(v1.value(), kBank1Seed);
+      }
+      if (v2.ok()) {
+        EXPECT_EQ(v2.value(), kBank2Seed);
+      }
+      return Status::kOk;
+    });
+  });
+}
 
 }  // namespace
 }  // namespace tabs

@@ -317,6 +317,57 @@ TEST(RunTransactionalFaultTest, RetryExhaustionIsDeterministic) {
   EXPECT_EQ(first, second);
 }
 
+// Same scenario as RunRetriesUnderVoteLoss, with the caller's retry policy.
+std::vector<SimTime> RunRetriesWithPolicy(const Application::RetryPolicy& policy) {
+  WorldOptions opt;
+  opt.vote_timeout_us = 50'000;
+  World world(2, opt);
+  auto* bank = world.AddServerOf<AccountServer>(2, "bank", 7);
+  world.network().SetDatagramLoss(
+      [](NodeId from, NodeId to) { return from == 2 && to == 1; });
+  std::vector<SimTime> attempt_starts;
+  world.RunApp(1, [&](Application& app) {
+    auto result = app.RunTransactional(
+        [&](const server::Tx& tx) {
+          attempt_starts.push_back(world.scheduler().Now());
+          return bank->Deposit(tx, 0, 5);
+        },
+        policy);
+    EXPECT_EQ(result.status, Status::kVoteNo);
+  });
+  return attempt_starts;
+}
+
+TEST(RunTransactionalFaultTest, BackoffJitterIsSeededAndDeterministic) {
+  // The jittered schedule is a pure function of the world seed and the
+  // policy's jitter_seed: identical universes replay identical waits.
+  Application::RetryPolicy jittered;  // default policy: jitter enabled
+  std::vector<SimTime> first = RunRetriesWithPolicy(jittered);
+  std::vector<SimTime> second = RunRetriesWithPolicy(jittered);
+  ASSERT_EQ(static_cast<int>(first.size()), jittered.max_attempts);
+  EXPECT_EQ(first, second);
+
+  // A different jitter stream de-synchronizes the waits — this is the whole
+  // point: two applications that aborted each other must not retry in
+  // lockstep and re-collide on the same locks.
+  Application::RetryPolicy reseeded = jittered;
+  reseeded.jitter_seed = 0xfeedULL;
+  std::vector<SimTime> reseeded_starts = RunRetriesWithPolicy(reseeded);
+  ASSERT_EQ(first.size(), reseeded_starts.size());
+  EXPECT_NE(first, reseeded_starts);
+
+  // Jitter only shaves time off each wait: every jittered gap is bounded by
+  // the un-jittered exponential gap, so retry latency never regresses.
+  Application::RetryPolicy plain = jittered;
+  plain.jitter = 0.0;
+  std::vector<SimTime> exact = RunRetriesWithPolicy(plain);
+  ASSERT_EQ(first.size(), exact.size());
+  for (size_t i = 1; i < first.size(); ++i) {
+    EXPECT_LE(first[i] - first[i - 1], exact[i] - exact[i - 1]);
+    EXPECT_LT(first[i - 1], first[i]);  // still strictly forward in time
+  }
+}
+
 TEST(RunTransactionalFaultTest, NodeDownShortCircuitsRetry) {
   World world(2);
   auto* bank = world.AddServerOf<AccountServer>(2, "bank", 2);
