@@ -29,13 +29,20 @@ Status LockManager::Lock(const TransactionId& tid, const ObjectId& oid, LockMode
   if (timeout == kUseDefault) {
     timeout = default_timeout_;
   }
+  if (requester_veto_ && requester_veto_(tid)) {
+    return Status::kAborted;  // the requester is mid-abort: refuse new locks
+  }
   LockHead& head = heads_[oid];
-  if (CanGrant(head, tid, mode)) {
+  if (CanGrant(head, tid, mode) && !(grant_veto_ && grant_veto_(oid))) {
     head.granted[tid].insert(mode);
+    if (grant_sink_) {
+      grant_sink_(tid, oid);
+    }
     return Status::kOk;
   }
   auto waiter = std::make_shared<Waiter>();
   waiter->tid = tid;
+  waiter->oid = oid;
   waiter->mode = mode;
   head.waiters.push_back(waiter);
 
@@ -47,6 +54,12 @@ Status LockManager::Lock(const TransactionId& tid, const ObjectId& oid, LockMode
   granted_flag = held != head2.granted.end() && held->second.contains(mode);
 
   if (granted_flag) {
+    if (requester_veto_ && requester_veto_(tid)) {
+      // Granted while a cascade abort consumed this transaction (the grant
+      // sweep ran before this task resumed). The abort's ReleaseAll cleans
+      // the grant up; proceeding would write after our own undo.
+      return Status::kAborted;
+    }
     return Status::kOk;  // granted, possibly racing a timeout
   }
   // Timed out or cancelled: withdraw the request.
@@ -65,13 +78,16 @@ Status LockManager::Lock(const TransactionId& tid, const ObjectId& oid, LockMode
 bool LockManager::ConditionalLock(const TransactionId& tid, const ObjectId& oid,
                                   LockMode mode) {
   LockHead& head = heads_[oid];
-  if (!CanGrant(head, tid, mode)) {
+  if (!CanGrant(head, tid, mode) || (grant_veto_ && grant_veto_(oid))) {
     if (head.granted.empty() && head.waiters.empty()) {
       heads_.erase(oid);
     }
     return false;
   }
   head.granted[tid].insert(mode);
+  if (grant_sink_) {
+    grant_sink_(tid, oid);
+  }
   return true;
 }
 
@@ -94,12 +110,41 @@ void LockManager::GrantEligibleWaiters(LockHead& head) {
   // conflicts. This avoids starving writers behind a stream of readers.
   while (!head.waiters.empty()) {
     auto& w = head.waiters.front();
+    if (grant_sink_ && w->cancelled) {
+      // Queue mode: a waiter cancelled by a cascade abort must not be
+      // granted before its task resumes — drop the request; the sleeping
+      // task re-checks `cancelled` on wake and fails kAborted.
+      head.waiters.erase(head.waiters.begin());
+      continue;
+    }
     if (!CanGrant(head, w->tid, w->mode)) {
       break;
     }
+    if (grant_veto_ && grant_veto_(w->oid)) {
+      break;  // a predecessor is mid-abort: stay parked until it settles
+    }
     head.granted[w->tid].insert(w->mode);
+    if (grant_sink_) {
+      grant_sink_(w->tid, w->oid);
+    }
     sched_.NotifyOne(w->queue);
     head.waiters.erase(head.waiters.begin());
+  }
+}
+
+void LockManager::GrantAllEligible() {
+  // Same deterministic walk as ReleaseAll. Used after an abort settles: the
+  // grant veto parked requests as waiters; with the veto lifted they become
+  // eligible again.
+  for (const ObjectId& oid : SortedOids()) {
+    auto it = heads_.find(oid);
+    if (it == heads_.end()) {
+      continue;
+    }
+    GrantEligibleWaiters(it->second);
+    if (it->second.granted.empty() && it->second.waiters.empty()) {
+      heads_.erase(it);
+    }
   }
 }
 

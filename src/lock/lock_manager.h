@@ -16,6 +16,7 @@
 #ifndef TABS_LOCK_LOCK_MANAGER_H_
 #define TABS_LOCK_LOCK_MANAGER_H_
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <set>
@@ -77,9 +78,35 @@ class LockManager {
   // failure; used by the deadlock detector to sacrifice a victim.
   void CancelWaits(const TransactionId& tid);
 
+  // Queue-oriented execution hooks (src/txn/op_queue.h). The grant sink is
+  // invoked on every successful grant — including conversions and waiter
+  // wake-ups — so the operation queue can record a commit dependency on any
+  // early-releaser whose lock covered `oid`. The grant veto is consulted
+  // before any grant; while it returns true for an object (a predecessor is
+  // mid-abort), requests on that object park as waiters instead of being
+  // granted into the abort's undo window. Both default to absent, which
+  // keeps every existing code path byte-identical.
+  using GrantSink = std::function<void(const TransactionId&, const ObjectId&)>;
+  using GrantVeto = std::function<bool(const ObjectId&)>;
+  void SetGrantSink(GrantSink sink) { grant_sink_ = std::move(sink); }
+  void SetGrantVeto(GrantVeto veto) { grant_veto_ = std::move(veto); }
+
+  // Consulted with the *requesting* transaction on lock entry and again when
+  // a sleeping waiter is woken with its lock granted. Returns true while the
+  // requester itself is being (cascade-)aborted: the request fails kAborted
+  // instead of handing a zombie task a lock it would use to write after its
+  // own undo already ran. Queue mode only; absent otherwise.
+  using RequesterVeto = std::function<bool(const TransactionId&)>;
+  void SetRequesterVeto(RequesterVeto veto) { requester_veto_ = std::move(veto); }
+
+  // Re-runs the FIFO grant sweep on every object. Called after an abort
+  // settles (veto lifted) to grant waiters that were parked by the veto.
+  void GrantAllEligible();
+
  private:
   struct Waiter {
     TransactionId tid;
+    ObjectId oid;
     LockMode mode;
     bool cancelled = false;
     sim::WaitQueue queue;  // exactly one task waits here
@@ -104,6 +131,9 @@ class LockManager {
   CompatibilityMatrix matrix_;
   SimTime default_timeout_;
   std::unordered_map<ObjectId, LockHead> heads_;
+  GrantSink grant_sink_;
+  GrantVeto grant_veto_;
+  RequesterVeto requester_veto_;
 };
 
 }  // namespace tabs::lock

@@ -20,6 +20,21 @@ DataServer::DataServer(const ServerContext& ctx, Options options)
     it->second(args, lsn);
   };
   ctx_.rm->RegisterOperationHooks(name_, hooks);
+  if (ctx_.tm != nullptr && ctx_.tm->queue_mode()) {
+    // Queue-oriented execution: every grant reports to the op queue (so a
+    // successor touching an early-released object picks up a commit
+    // dependency), grants on objects whose releaser is mid-abort are vetoed,
+    // and requests from a transaction that is itself being cascade-aborted
+    // fail instead of handing a zombie task a lock.
+    txn::TransactionManager* tm = ctx_.tm;
+    locks_.SetGrantSink([tm](const TransactionId& tid, const ObjectId& oid) {
+      tm->op_queue().NoteAccess(tm->TopOf(tid), oid);
+    });
+    locks_.SetGrantVeto(
+        [tm](const ObjectId& oid) { return tm->op_queue().GrantVetoed(oid); });
+    locks_.SetRequesterVeto(
+        [tm](const TransactionId& tid) { return tm->RefusesOps(tid); });
+  }
 }
 
 void DataServer::Join(const Tx& tx) {
@@ -164,6 +179,26 @@ void DataServer::OnSubtxnCommit(const TransactionId& child, const TransactionId&
     updates_.insert(parent);
   }
   marked_.erase(child);
+}
+
+void DataServer::OnEarlyRelease(const TransactionId& tid, bool taint) {
+  if (taint) {
+    // In-doubt release: register the released objects as tainted BEFORE any
+    // successor can be granted one, so the grant sink sees the tail.
+    ctx_.tm->op_queue().NoteEarlyRelease(ctx_.tm->TopOf(tid), locks_.LocksHeldBy(tid));
+  }
+  // Locks drop now; updates_/staged_ stay — the outcome (OnCommit/OnAbort)
+  // still needs them for HasUpdates and cleanup.
+  locks_.ReleaseAll(tid);
+}
+
+void DataServer::CancelLockWaits(const TransactionId& tid) {
+  locks_.CancelWaits(tid);
+}
+
+void DataServer::OnAbortSettled(const TransactionId& tid) {
+  (void)tid;
+  locks_.GrantAllEligible();
 }
 
 void DataServer::RelockForRecovery(const TransactionId& tid, const log::LogRecord& rec) {

@@ -90,6 +90,9 @@ class DataServer : public txn::CommitParticipant {
       sim::SpanGuard span(substrate().tracer(), sim::Component::kDataServer, "server.call",
                           substrate().tracer().enabled() ? what : std::string());
       substrate().Charge(sim::Primitive::kDataServerCall);
+      if (ctx_.tm->RefusesOps(tx.tid)) {
+        return Result<R>(Status::kAborted);  // zombie op: cascade consumed tx
+      }
       Join(tx);
       return op();
     }
@@ -104,6 +107,9 @@ class DataServer : public txn::CommitParticipant {
         tx.top, *ctx_.cm, std::move(what), [self, local_tx, op = std::move(op)] {
           sim::SpanGuard span(self->substrate().tracer(), sim::Component::kDataServer,
                               "server.call");
+          if (self->ctx_.tm->RefusesOps(local_tx.tid)) {
+            return Result<R>(Status::kAborted);
+          }
           self->Join(local_tx);
           return op();
         });
@@ -136,6 +142,9 @@ class DataServer : public txn::CommitParticipant {
         tx.top, *ctx_.cm, std::move(what), [self, local_tx, op = std::move(op)] {
           sim::SpanGuard span(self->substrate().tracer(), sim::Component::kDataServer,
                               "server.call");
+          if (self->ctx_.tm->RefusesOps(local_tx.tid)) {
+            return Result<R>(Status::kAborted);
+          }
           self->Join(local_tx);
           return op();
         });
@@ -210,6 +219,9 @@ class DataServer : public txn::CommitParticipant {
         wire_ops.push_back([self, local_tx, op = std::move(op)] {
           sim::SpanGuard span(self->substrate().tracer(), sim::Component::kDataServer,
                               "server.call");
+          if (self->ctx_.tm->RefusesOps(local_tx.tid)) {
+            return Result<R>(Status::kAborted);
+          }
           self->Join(local_tx);
           return op();
         });
@@ -284,6 +296,11 @@ class DataServer : public txn::CommitParticipant {
   void OnAbort(const TransactionId& tid) override;
   void OnSubtxnCommit(const TransactionId& child, const TransactionId& parent) override;
   void RelockForRecovery(const TransactionId& tid, const log::LogRecord& rec) override;
+  // Queue-oriented execution (only reached when the mode is on; see the
+  // base-class declarations in transaction_manager.h).
+  void OnEarlyRelease(const TransactionId& tid, bool taint) override;
+  void CancelLockWaits(const TransactionId& tid) override;
+  void OnAbortSettled(const TransactionId& tid) override;
 
  protected:
   void Join(const Tx& tx);

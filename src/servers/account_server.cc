@@ -1,6 +1,9 @@
 #include "src/servers/account_server.h"
 
 #include <cstring>
+#include <set>
+
+#include "src/sim/fault_injector.h"
 
 namespace tabs::servers {
 
@@ -110,7 +113,28 @@ Status AccountServer::Withdraw(const server::Tx& tx, std::uint32_t account,
     std::int64_t guaranteed = CurrentBalance(account) - pending_decrement_[account] -
                               pending_increment_[account];
     if (guaranteed < amount) {
-      return Status::kConflict;  // might overdraw; reject rather than wait
+      if (!ctx_.tm->queue_mode()) {
+        return Status::kConflict;  // might overdraw; reject rather than wait
+      }
+      // Queue mode: park until escrowed funds free up (a concurrent
+      // withdrawal aborts or a deposit commits), bounded by the lock
+      // timeout. The kDecrement lock is already held and stays held — it is
+      // compatible with every other update, so deposits flow underneath.
+      sim::Scheduler& sched = substrate().scheduler();
+      SimTime deadline = sched.Now() + options_.lock_timeout;
+      FAULT_POINT(substrate(), "escrow.wait");
+      while (guaranteed < amount) {
+        SimTime remaining = deadline - sched.Now();
+        if (remaining <= 0) {
+          return Status::kConflict;  // funds never appeared
+        }
+        sched.Wait(escrow_waiters_[account], remaining);
+        if (ctx_.tm->RefusesOps(tx.tid)) {
+          return Status::kAborted;  // cascade-aborted while parked
+        }
+        guaranteed = CurrentBalance(account) - pending_decrement_[account] -
+                     pending_increment_[account];
+      }
     }
     pending_decrement_[account] += amount;
     txn_decrements_[tx.tid][account] += amount;
@@ -134,10 +158,12 @@ Result<std::int64_t> AccountServer::ReadBalance(const server::Tx& tx, std::uint3
 }
 
 void AccountServer::SettleEscrow(const TransactionId& tid) {
+  std::set<std::uint32_t> touched;
   auto dec = txn_decrements_.find(tid);
   if (dec != txn_decrements_.end()) {
     for (auto& [account, amount] : dec->second) {
       pending_decrement_[account] -= amount;
+      touched.insert(account);
     }
     txn_decrements_.erase(dec);
   }
@@ -145,8 +171,33 @@ void AccountServer::SettleEscrow(const TransactionId& tid) {
   if (inc != txn_increments_.end()) {
     for (auto& [account, amount] : inc->second) {
       pending_increment_[account] -= amount;
+      touched.insert(account);
     }
     txn_increments_.erase(inc);
+  }
+  if (escrow_waiters_.empty()) {
+    return;  // mode off, or nothing parked
+  }
+  // Settling may have freed escrowed funds: wake parked withdrawals on the
+  // touched accounts (they re-test and re-park if still short). std::set
+  // iteration keeps the wake order deterministic.
+  for (std::uint32_t account : touched) {
+    auto it = escrow_waiters_.find(account);
+    if (it != escrow_waiters_.end() && !it->second.empty()) {
+      substrate().scheduler().NotifyAll(it->second);
+    }
+  }
+}
+
+void AccountServer::CancelLockWaits(const TransactionId& tid) {
+  DataServer::CancelLockWaits(tid);
+  // The victim may be parked in the escrow wait rather than a lock wait:
+  // wake everything; innocents re-test and re-park, the victim unwinds
+  // through RefusesOps.
+  for (auto& [account, q] : escrow_waiters_) {
+    if (!q.empty()) {
+      substrate().scheduler().NotifyAll(q);
+    }
   }
 }
 

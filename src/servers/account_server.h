@@ -69,6 +69,9 @@ class AccountServer : public server::DataServer {
   void OnCommit(const TransactionId& tid) override;
   void OnAbort(const TransactionId& tid) override;
   void OnSubtxnCommit(const TransactionId& child, const TransactionId& parent) override;
+  // Queue mode: a cascade-abort victim may be parked in the escrow wait
+  // rather than a lock wait; wake every escrow waiter so it unwinds.
+  void CancelLockWaits(const TransactionId& tid) override;
 
  private:
   ObjectId BalanceOid(std::uint32_t account) const {
@@ -94,6 +97,11 @@ class AccountServer : public server::DataServer {
   PerAccount pending_increment_;
   std::map<TransactionId, PerAccount> txn_decrements_;
   std::map<TransactionId, PerAccount> txn_increments_;
+  // Queue mode only: withdrawals that failed the escrow test park here (per
+  // account) instead of returning kConflict; SettleEscrow wakes them when a
+  // transaction's outcome may have freed funds. Always empty when the mode
+  // is off — mode-off admission stays a pure reject.
+  std::map<std::uint32_t, sim::WaitQueue> escrow_waiters_;
 };
 
 }  // namespace tabs::servers

@@ -67,6 +67,9 @@ void World::BuildRuntime(NodeId id) {
   rt.tm->SetCheckpointInterval(options_.checkpoint_interval);
   rt.tm->SetVoteTimeout(options_.vote_timeout_us);
   rt.tm->SetCommitMode(options_.commit_mode, options_.paxos_f);
+  // Before any server is installed: servers wire their lock managers to the
+  // op queue at construction iff the mode is already on.
+  rt.tm->SetQueueMode(options_.queue_execution);
   if (options_.log_space_budget > 0) {
     txn::TransactionManager* tm = rt.tm.get();
     rt.rm->SetLogSpaceBudget(options_.log_space_budget,

@@ -84,9 +84,19 @@ struct WorldOptions {
   // Commit protocol. kPaxosCommit replicates every commit decision across
   // 2F+1 acceptors so a coordinator crash never blocks an in-doubt
   // transaction; the kTwoPhase default is paper-faithful and leaves every
-  // schedule byte-identical to the seed.
-  txn::CommitMode commit_mode = txn::CommitMode::kTwoPhase;
+  // schedule byte-identical to the seed. The default follows the
+  // TABS_COMMIT_MODE environment variable ("paxos" selects kPaxosCommit) so
+  // CI can run the whole suite under either protocol; absent the variable it
+  // is exactly kTwoPhase as before.
+  txn::CommitMode commit_mode = txn::DefaultCommitMode();
   int paxos_f = 1;  // acceptor failures tolerated under kPaxosCommit
+  // Queue-oriented execution for hot objects (src/txn/op_queue.h): update
+  // locks release as soon as the commit/prepare record is *appended* —
+  // before it is forced — so hot-object successors pipeline into the
+  // group-commit window; commit dependencies make an abort cascade to the
+  // queued successors only, never to a durable transaction. Off (the
+  // default) keeps every schedule byte-identical to the seed.
+  bool queue_execution = false;
 };
 
 class World {

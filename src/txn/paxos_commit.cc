@@ -11,6 +11,8 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdlib>
+#include <cstring>
 #include <memory>
 #include <set>
 
@@ -33,6 +35,14 @@ constexpr Ballot kBallotStride = 1024;
 // and the node id, so no two nodes ever share a retry schedule.
 constexpr SimTime kTakeoverBackoffUs = 50'000;
 }  // namespace
+
+CommitMode DefaultCommitMode() {
+  const char* mode = std::getenv("TABS_COMMIT_MODE");
+  if (mode != nullptr && std::strcmp(mode, "paxos") == 0) {
+    return CommitMode::kPaxosCommit;
+  }
+  return CommitMode::kTwoPhase;
+}
 
 // --- PaxosCommit helpers -----------------------------------------------------
 
@@ -601,6 +611,25 @@ Status TransactionManager::CommitTopLevelPaxos(Txn& txn) {
     });
   }
 
+  if (op_queue_.enabled()) {
+    // A dependent may not vote before its predecessors decide: the local
+    // prepare record below would otherwise make a dirty read durable. The
+    // children prepare in parallel while we wait; re-resolve afterwards — a
+    // predecessor's abort may have cascaded to this transaction while we
+    // slept.
+    const TransactionId self = txn.tid;
+    Status ws = op_queue_.AwaitPredecessors(txn.top, vote_timeout_);
+    Txn* again = Find(self);
+    if (again == nullptr || again->state == TxnState::kAborted || AbortInProgress(*again)) {
+      return Status::kAborted;
+    }
+    if (ws != Status::kOk) {
+      AbortSubtree(txn, /*notify_children=*/true);
+      ForgetTxn(self);
+      return Status::kVoteNo;
+    }
+  }
+
   // Local prepare: same as the 2PC local half of PrepareSubtree.
   bool local_updates = false;
   for (CommitParticipant* s : txn.servers) {
@@ -615,10 +644,21 @@ Status TransactionManager::CommitTopLevelPaxos(Txn& txn) {
   if (local_updates) {
     sub.scheduler().Charge(sub.costs().participant_prepare_overhead_us);
     FAULT_POINT(sub, "2pc.vote.before_record");
-    AppendTxnRecord(RecordType::kTxnPrepare, txn, /*force=*/true);
+    if (op_queue_.enabled()) {
+      // In-doubt early release: the Paxos outcome is undecided until a
+      // quorum accepts each instance, so the released objects are tainted
+      // exactly like a 2PC participant's prepare.
+      Lsn lsn = AppendTxnRecord(RecordType::kTxnPrepare, txn, /*force=*/false);
+      FAULT_POINT(sub, "queue.prepare.early-release");
+      EarlyRelease(txn, /*taint=*/true);
+      ForceLsn(lsn);
+    } else {
+      AppendTxnRecord(RecordType::kTxnPrepare, txn, /*force=*/true);
+    }
     FAULT_POINT(sub, "2pc.vote.after_record");
-    if (Find(txn.top) == nullptr) {
-      return Status::kAborted;  // aborted and forgotten during the force
+    Txn* after_force = Find(txn.top);
+    if (after_force == nullptr || AbortInProgress(*after_force)) {
+      return Status::kAborted;  // aborted (or being aborted) during the force
     }
     txn.state = TxnState::kPrepared;
     logged_outcomes_[txn.top] = TxnOutcome::kPrepared;
@@ -705,6 +745,10 @@ Status TransactionManager::CommitTopLevelPaxos(Txn& txn) {
       FAULT_POINT(sub, "paxos.learn");
       paxos_->BroadcastLearn(txn.top, 1, txn.acceptors);
     }
+    if (op_queue_.enabled()) {
+      // Decided: clear the local prepare's taints, discharge dependents.
+      op_queue_.NoteCommitted(txn.top);
+    }
     CommitSubtree(txn, /*is_root=*/true);
     sub.ChargeSystemMessage(sim::Primitive::kSmallMessage, 1);  // TM -> app: done
     TransactionId tid = txn.tid;
@@ -772,6 +816,23 @@ void TransactionManager::HandlePaxosPrepare(const TransactionId& tid, NodeId lea
     paxos_->CastVote(tid, PaxosVote::kAborted, acceptors, leader, replies);
     return;
   }
+  if (op_queue_.enabled()) {
+    // Even a read-only vote must wait: the subtree may have read a
+    // predecessor's early-released (still undecided) state, and voting it
+    // through would let the leader commit a dirty read.
+    Status ws = op_queue_.AwaitPredecessors(tid, vote_timeout_);
+    Txn* again = Find(tid);
+    if (again == nullptr || again->state == TxnState::kAborted || AbortInProgress(*again)) {
+      paxos_->CastVote(tid, PaxosVote::kAborted, acceptors, leader, replies);
+      return;
+    }
+    if (ws != Status::kOk) {
+      AbortSubtree(txn, /*notify_children=*/true);
+      ForgetTxn(tid);
+      paxos_->CastVote(tid, PaxosVote::kAborted, acceptors, leader, replies);
+      return;
+    }
+  }
   if (v == Vote::kReadOnly) {
     // Read-only optimization survives Paxos Commit: release locks now; the
     // vote still runs through consensus so the instance closes.
@@ -788,10 +849,19 @@ void TransactionManager::HandlePaxosPrepare(const TransactionId& tid, NodeId lea
   FAULT_POINT(sub, "2pc.vote.before_record");
   // The prepare record carries the acceptor set, so this participant can be
   // resolved through the acceptors after ANY combination of crashes.
-  AppendTxnRecord(RecordType::kTxnPrepare, txn, /*force=*/true);
+  if (op_queue_.enabled()) {
+    // In-doubt early release, same taint regime as the 2PC participant.
+    Lsn lsn = AppendTxnRecord(RecordType::kTxnPrepare, txn, /*force=*/false);
+    FAULT_POINT(sub, "queue.prepare.early-release");
+    EarlyRelease(txn, /*taint=*/true);
+    ForceLsn(lsn);
+  } else {
+    AppendTxnRecord(RecordType::kTxnPrepare, txn, /*force=*/true);
+  }
   FAULT_POINT(sub, "2pc.vote.after_record");
-  if (Find(tid) == nullptr) {
-    return;  // aborted and forgotten during the prepare force
+  Txn* after_force = Find(tid);
+  if (after_force == nullptr || AbortInProgress(*after_force)) {
+    return;  // aborted (or being aborted) during the prepare force
   }
   txn.state = TxnState::kPrepared;
   logged_outcomes_[tid] = TxnOutcome::kPrepared;

@@ -53,6 +53,13 @@ enum class CommitMode {
   kPaxosCommit,  // non-blocking: 2F+1 acceptors replicate the decision
 };
 
+// The process-wide default commit mode: kTwoPhase unless the environment
+// variable TABS_COMMIT_MODE says "paxos". WorldOptions::commit_mode defaults
+// to this, which is how CI runs the whole test suite under either protocol
+// without per-test plumbing; tests that exercise protocol-specific behaviour
+// pin the mode explicitly.
+CommitMode DefaultCommitMode();
+
 using Ballot = std::int32_t;
 
 // Per-instance consensus values. A participant's instance decides its vote;

@@ -146,6 +146,12 @@ Status TransactionManager::End(const TransactionId& tid) {
   if (txn == nullptr || txn->state == TxnState::kAborted) {
     return Status::kAborted;
   }
+  if (AbortInProgress(*txn)) {
+    // An abort is consuming this transaction right now (e.g. a cascade abort
+    // while this task ran the body to completion). The abort's driver owns
+    // the entry; just report the outcome.
+    return Status::kAborted;
+  }
   if (!txn->parent.IsNull()) {
     CommitSubtransaction(*txn);
     return Status::kOk;
@@ -174,30 +180,42 @@ void TransactionManager::Abort(const TransactionId& tid) {
   if (txn == nullptr) {
     return;
   }
-  // Abort live subtransactions first (deepest effects unwind first).
-  for (const TransactionId& sub : std::set<TransactionId>(txn->live_subtxns)) {
-    Abort(sub);
+  if (AbortInProgress(*txn)) {
+    return;  // another task owns this abort; double-undo would corrupt
   }
-  if (txn->parent.IsNull()) {
-    AbortSubtree(*txn, /*notify_children=*/true);
+  AbortImpl(*txn);
+}
+
+void TransactionManager::AbortImpl(Txn& txn) {
+  txn.abort_started = true;
+  const TransactionId tid = txn.tid;
+  // Abort live subtransactions first (deepest effects unwind first).
+  for (const TransactionId& sub : std::set<TransactionId>(txn.live_subtxns)) {
+    Txn* st = Find(sub);
+    if (st != nullptr && !st->abort_started) {
+      AbortImpl(*st);
+    }
+  }
+  if (txn.parent.IsNull()) {
+    AbortSubtree(txn, /*notify_children=*/true);
   } else {
     // Independent subtransaction abort: unwind only the subtransaction's own
     // effects — here and at remote participants — leaving the parent intact.
-    rm_.UndoTransaction(tid, txn->top);
-    for (CommitParticipant* s : txn->servers) {
+    rm_.UndoTransaction(tid, txn.top);
+    for (CommitParticipant* s : txn.servers) {
       s->OnAbort(tid);
     }
-    for (NodeId child : cm_.InfoFor(txn->top).children) {
+    for (NodeId child : cm_.InfoFor(txn.top).children) {
       TransactionManager* child_tm = Peer(child);
       if (child_tm == nullptr) {
         continue;
       }
-      TransactionId top = txn->top;
+      TransactionId top = txn.top;
       cm_.SendDatagram(child, "subtxn-abort",
                        [child_tm, tid, top] { child_tm->HandleSubtxnAbort(tid, top); });
     }
-    txn->state = TxnState::kAborted;
-    Txn* p = Find(txn->parent);
+    txn.state = TxnState::kAborted;
+    Txn* p = Find(txn.parent);
     if (p != nullptr) {
       p->live_subtxns.erase(tid);
     }
@@ -207,7 +225,15 @@ void TransactionManager::Abort(const TransactionId& tid) {
   ForgetTxn(tid);
 }
 
-void TransactionManager::AppendTxnRecord(RecordType type, const Txn& txn, bool force) {
+bool TransactionManager::AbortInProgress(const Txn& txn) const {
+  if (txn.abort_started) {
+    return true;
+  }
+  const Txn* top = Find(txn.top);
+  return top != nullptr && top != &txn && top->abort_started;
+}
+
+Lsn TransactionManager::AppendTxnRecord(RecordType type, const Txn& txn, bool force) {
   LogRecord rec;
   rec.type = type;
   rec.owner = txn.tid;
@@ -222,23 +248,66 @@ void TransactionManager::AppendTxnRecord(RecordType type, const Txn& txn, bool f
   }
   Lsn lsn = rm_.log().Append(std::move(rec));
   if (force) {
-    // TM -> RM force request and completion (two small messages), then the
-    // stable write itself (charged by the log manager).
-    node_.substrate().ChargeSystemMessage(sim::Primitive::kSmallMessage, 2);
-    if (group_commit_ != nullptr) {
-      // Group commit: block until a shared force covers this record. With
-      // the daemon disabled (window 0) this degenerates to ForceAll and the
-      // paper-faithful per-transaction force is preserved. Either way this
-      // call does not return until the record is stable, so every state
-      // transition that follows it (kPrepared, kCommitted, logged_outcomes_)
-      // happens only after durability — which is exactly the crash
-      // guarantee: a node killed mid-batch unwinds here via TaskKilled
-      // before anything claims the outcome.
-      group_commit_->WaitStable(lsn);
-    } else {
-      rm_.log().ForceAll();
-    }
+    ForceLsn(lsn);
   }
+  return lsn;
+}
+
+void TransactionManager::ForceLsn(Lsn lsn) {
+  // TM -> RM force request and completion (two small messages), then the
+  // stable write itself (charged by the log manager).
+  node_.substrate().ChargeSystemMessage(sim::Primitive::kSmallMessage, 2);
+  if (group_commit_ != nullptr) {
+    // Group commit: block until a shared force covers this record. With
+    // the daemon disabled (window 0) this degenerates to ForceAll and the
+    // paper-faithful per-transaction force is preserved. Either way this
+    // call does not return until the record is stable, so every state
+    // transition that follows it (kPrepared, kCommitted, logged_outcomes_)
+    // happens only after durability — which is exactly the crash
+    // guarantee: a node killed mid-batch unwinds here via TaskKilled
+    // before anything claims the outcome.
+    group_commit_->WaitStable(lsn);
+  } else {
+    rm_.log().ForceAll();
+  }
+}
+
+void TransactionManager::EarlyRelease(Txn& txn, bool taint) {
+  for (CommitParticipant* s : txn.servers) {
+    s->OnEarlyRelease(txn.tid, taint);
+  }
+}
+
+bool TransactionManager::RefusesOps(const TransactionId& tid) const {
+  if (!op_queue_.enabled()) {
+    return false;
+  }
+  const Txn* txn = Find(tid);
+  if (txn == nullptr) {
+    // A transaction the application still drives but the TM no longer knows
+    // was consumed by a cascade (its abort is already logged). Refuse; the
+    // application's End/Abort will observe kAborted.
+    return true;
+  }
+  return txn->state == TxnState::kAborted || AbortInProgress(*txn);
+}
+
+void TransactionManager::CascadeAbort(const TransactionId& tid) {
+  Txn* txn = Find(tid);
+  if (txn == nullptr || txn->state == TxnState::kAborted || AbortInProgress(*txn)) {
+    return;
+  }
+  // A dependent with an undischarged commit dependency cannot have appended
+  // its own prepare/commit record (AwaitPredecessors runs first), so the
+  // cascade can never reach a decided — let alone durable — transaction.
+  assert(txn->state != TxnState::kCommitted && txn->state != TxnState::kPrepared &&
+         "cascade abort reached a decided transaction");
+  // Wake any lock or escrow wait the victim's task is parked in: it unwinds
+  // with kAborted instead of being granted a lock under a dead transaction.
+  for (CommitParticipant* s : txn->servers) {
+    s->CancelLockWaits(tid);
+  }
+  AbortImpl(*txn);
 }
 
 void TransactionManager::ForgetTxn(const TransactionId& tid) {

@@ -27,6 +27,7 @@
 #include "src/common/result.h"
 #include "src/common/types.h"
 #include "src/recovery/recovery_manager.h"
+#include "src/txn/op_queue.h"
 #include "src/txn/paxos_commit.h"
 
 namespace tabs::log {
@@ -52,6 +53,22 @@ class CommitParticipant {
   // transaction's update (TABS nodes "restrict access to some data until
   // other nodes recover").
   virtual void RelockForRecovery(const TransactionId& tid, const log::LogRecord& rec) = 0;
+
+  // --- queue-oriented execution hooks (src/txn/op_queue.h) -------------------
+  // All three default to no-ops so servers that keep strict two-phase locking
+  // are unaffected; DataServer overrides them when the mode is on.
+  // Release `tid`'s locks now, before its outcome record is durable. A true
+  // `taint` means the outcome is still undecided (prepare-time release): the
+  // released objects must be registered with the op queue first so successors
+  // pick up a commit dependency.
+  virtual void OnEarlyRelease(const TransactionId& tid, bool taint) {}
+  // A cascade abort is consuming `tid`: wake any lock/escrow wait it is
+  // parked in with a cancellation, so its task unwinds instead of being
+  // granted a lock under a dead transaction.
+  virtual void CancelLockWaits(const TransactionId& tid) {}
+  // An abort fully settled (undo complete, grant veto lifted): re-run the
+  // grant sweep for waiters the veto parked.
+  virtual void OnAbortSettled(const TransactionId& tid) {}
 };
 
 enum class TxnState {
@@ -80,6 +97,23 @@ class TransactionManager : public comm::TransactionTreeListener,
   }
   CommitMode commit_mode() const { return commit_mode_; }
   PaxosCommit& paxos() { return *paxos_; }
+
+  // Queue-oriented execution (WorldOptions::queue_execution): update locks
+  // release as soon as the commit/prepare record is appended — before it is
+  // forced — with commit dependencies tracked through the per-node OpQueue.
+  // Default off; every paper-faithful schedule is byte-identical.
+  void SetQueueMode(bool on) {
+    op_queue_.Enable(on);
+    op_queue_.Attach(&node_.substrate().scheduler());
+  }
+  bool queue_mode() const { return op_queue_.enabled(); }
+  OpQueue& op_queue() { return op_queue_; }
+  // Queue mode: true when new operations on behalf of `tid` must be refused
+  // because a cascade abort consumed (or is consuming) the transaction. Data
+  // servers consult this before dispatching an operation so a zombie task —
+  // one whose transaction was cascade-aborted while it ran — cannot log new
+  // records under the dead id.
+  bool RefusesOps(const TransactionId& tid) const;
 
   // --- application interface (Table 3-2) ------------------------------------
   // BeginTransaction: null parent creates a top-level transaction.
@@ -210,11 +244,19 @@ class TransactionManager : public comm::TransactionTreeListener,
     std::vector<NodeId> acceptors;     // Paxos Commit: the 2F+1 acceptor set
                                        // (empty: plain 2PC governs this txn)
     bool born_here = true;
+    // Exactly one task may drive this transaction's abort. Whoever sets the
+    // flag owns the whole path through AbortSubtree and ForgetTxn; every
+    // other abort/commit attempt that observes it backs off — re-entering
+    // mid-undo would apply the undo chain twice and then dangle the Txn&.
+    bool abort_started = false;
   };
 
   Txn* Find(const TransactionId& tid);
   const Txn* Find(const TransactionId& tid) const;
   Txn& GetOrCreateRemote(const TransactionId& tid, NodeId parent_node);
+  // The unguarded abort path: sets abort_started and unwinds. Abort() and
+  // CascadeAbort() are the guarded entry points.
+  void AbortImpl(Txn& txn);
 
   // Implemented in two_phase_commit.cc.
   Status CommitTopLevel(Txn& txn);
@@ -230,7 +272,17 @@ class TransactionManager : public comm::TransactionTreeListener,
   // outcome, redo/undo through the Recovery Manager, release locks.
   void ApplyRecoveredOutcome(const TransactionId& tid, bool committed);
 
-  void AppendTxnRecord(log::RecordType type, const Txn& txn, bool force);
+  // Appends the record and returns its LSN; with `force`, also blocks until
+  // it is stable (ForceLsn). Queue mode splits the two so locks can release
+  // between append and force.
+  Lsn AppendTxnRecord(log::RecordType type, const Txn& txn, bool force);
+  void ForceLsn(Lsn lsn);
+  // Queue mode: drop txn's locks through every joined server (OnEarlyRelease).
+  void EarlyRelease(Txn& txn, bool taint);
+  // Queue mode: abort a queued successor of an aborting early-releaser. The
+  // victim's entry is consumed here; its own task observes the abort through
+  // the RefusesOps / cascading-set guards.
+  void CascadeAbort(const TransactionId& tid);
   void ForgetTxn(const TransactionId& tid);
   void MaybeCheckpoint();
 
@@ -268,6 +320,13 @@ class TransactionManager : public comm::TransactionTreeListener,
 
   CommitMode commit_mode_ = CommitMode::kTwoPhase;
   std::unique_ptr<PaxosCommit> paxos_;
+
+  // True when an abort of `txn` — or of the top-level transaction it belongs
+  // to — is already in flight on some other task.
+  bool AbortInProgress(const Txn& txn) const;
+
+  // Queue-oriented execution state (volatile; empty when the mode is off).
+  OpQueue op_queue_;
 
   friend class PaxosCommit;
 };

@@ -66,6 +66,25 @@ Status TransactionManager::CommitTopLevel(Txn& txn) {
     return Status::kVoteNo;
   }
 
+  if (op_queue_.enabled()) {
+    // A dependent may not decide before its predecessors: wait out every
+    // commit dependency picked up from early-released locks, then re-resolve
+    // — a predecessor's abort may have cascaded to this transaction while we
+    // slept (the entry is then owned by the cascade, or already gone; `txn`
+    // must not be touched until the re-resolve proves it alive).
+    const TransactionId self = txn.tid;
+    Status ws = op_queue_.AwaitPredecessors(txn.top, vote_timeout_);
+    Txn* again = Find(self);
+    if (again == nullptr || again->state == TxnState::kAborted || AbortInProgress(*again)) {
+      return Status::kAborted;
+    }
+    if (ws != Status::kOk) {
+      AbortSubtree(txn, /*notify_children=*/true);
+      ForgetTxn(self);
+      return Status::kVoteNo;
+    }
+  }
+
   // TABS process CPU time for local transaction management (Section 5.2).
   sub.scheduler().Charge(sub.costs().coordinator_overhead_us);
   bool updates = vote == Vote::kYes;
@@ -74,8 +93,19 @@ Status TransactionManager::CommitTopLevel(Txn& txn) {
     // Every participant is prepared but the verdict is not yet durable: a
     // crash here must resolve to abort (presumed abort).
     FAULT_POINT(sub, "2pc.commit.before_record");
-    // The commit point: the commit record reaches stable storage.
-    AppendTxnRecord(RecordType::kTxnCommit, txn, /*force=*/true);
+    if (op_queue_.enabled()) {
+      // Queue mode: the outcome is decided the moment the commit record is
+      // appended — the WAL forces in LSN order, so any successor's durable
+      // record implies ours. Locks release before the force (no taint, no
+      // dependency) and successors pipeline into the group-commit window.
+      Lsn lsn = AppendTxnRecord(RecordType::kTxnCommit, txn, /*force=*/false);
+      FAULT_POINT(sub, "queue.commit.early-release");
+      EarlyRelease(txn, /*taint=*/false);
+      ForceLsn(lsn);
+    } else {
+      // The commit point: the commit record reaches stable storage.
+      AppendTxnRecord(RecordType::kTxnCommit, txn, /*force=*/true);
+    }
     // The verdict is durable but no participant knows it: a crash here must
     // resolve to commit via the in-doubt query.
     FAULT_POINT(sub, "2pc.commit.after_record");
@@ -215,6 +245,21 @@ TransactionManager::Vote TransactionManager::HandlePrepare(const TransactionId& 
     ForgetTxn(tid);
     return Vote::kNo;
   }
+  if (op_queue_.enabled()) {
+    // Even a read-only vote must wait: the subtree may have read a
+    // predecessor's early-released (still undecided) state, and voting it
+    // through would let the coordinator commit a dirty read.
+    Status ws = op_queue_.AwaitPredecessors(tid, vote_timeout_);
+    Txn* again = Find(tid);
+    if (again == nullptr || again->state == TxnState::kAborted || AbortInProgress(*again)) {
+      return Vote::kNo;
+    }
+    if (ws != Status::kOk) {
+      AbortSubtree(txn, /*notify_children=*/true);
+      ForgetTxn(tid);
+      return Vote::kNo;
+    }
+  }
   if (v == Vote::kReadOnly) {
     // Read-only optimization: release locks now and drop out of phase two.
     sub.scheduler().Charge(sub.costs().participant_read_overhead_us);
@@ -230,12 +275,23 @@ TransactionManager::Vote TransactionManager::HandlePrepare(const TransactionId& 
   // The subtree voted yes but the prepare record is still volatile: a crash
   // here means this participant never prepared, and presumed abort applies.
   FAULT_POINT(sub, "2pc.vote.before_record");
-  AppendTxnRecord(RecordType::kTxnPrepare, txn, /*force=*/true);
+  if (op_queue_.enabled()) {
+    // In-doubt early release: the outcome is undecided until the verdict, so
+    // the released objects are tainted and any successor granted a lock on
+    // them becomes commit-dependent on this transaction.
+    Lsn lsn = AppendTxnRecord(RecordType::kTxnPrepare, txn, /*force=*/false);
+    FAULT_POINT(sub, "queue.prepare.early-release");
+    EarlyRelease(txn, /*taint=*/true);
+    ForceLsn(lsn);
+  } else {
+    AppendTxnRecord(RecordType::kTxnPrepare, txn, /*force=*/true);
+  }
   // Prepared and in doubt: a crash here must leave the updates locked until
   // the coordinator's verdict is learned.
   FAULT_POINT(sub, "2pc.vote.after_record");
-  if (Find(tid) == nullptr) {
-    return Vote::kNo;  // aborted and forgotten during the prepare force
+  Txn* after_force = Find(tid);
+  if (after_force == nullptr || AbortInProgress(*after_force)) {
+    return Vote::kNo;  // aborted (or being aborted) during the prepare force
   }
   txn.state = TxnState::kPrepared;
   logged_outcomes_[tid] = TxnOutcome::kPrepared;
@@ -320,6 +376,10 @@ void TransactionManager::HandleCommit(const TransactionId& tid) {
   txn->state = TxnState::kCommitted;
   logged_outcomes_[tid] = TxnOutcome::kCommitted;
   in_doubt_.erase(tid);
+  if (op_queue_.enabled()) {
+    // Decided: clear this transaction's taints and discharge its dependents.
+    op_queue_.NoteCommitted(txn->top);
+  }
   CommitSubtree(*txn, /*is_root=*/false);
   FAULT_POINT(sub, "2pc.participant.after_commit");
   ForgetTxn(tid);
@@ -329,6 +389,18 @@ void TransactionManager::AbortSubtree(Txn& txn, bool notify_children) {
   sim::Substrate& sub = node_.substrate();
   sim::SpanGuard span(sub.tracer(), sim::Component::kTransactionManager, "2pc.abort",
                       sub.tracer().enabled() ? ToString(txn.top) : std::string());
+  txn.abort_started = true;  // this task owns the abort through ForgetTxn
+  if (op_queue_.enabled()) {
+    // Arm the grant veto first: no lock on this transaction's tainted
+    // objects may be granted into the undo window below. Then cascade to
+    // the queued successors — their undo must run BEFORE ours, because
+    // their before-images are our after-images.
+    op_queue_.BeginAbort(txn.top);
+    FAULT_POINT(sub, "queue.cascade");
+    for (const TransactionId& d : op_queue_.TakeDependents(txn.top)) {
+      CascadeAbort(d);
+    }
+  }
   if (notify_children) {
     const auto& info = cm_.InfoFor(txn.top);
     for (NodeId child : info.children) {
@@ -354,12 +426,20 @@ void TransactionManager::AbortSubtree(Txn& txn, bool notify_children) {
   FAULT_POINT(sub, "2pc.abort.after_record");
   txn.state = TxnState::kAborted;
   logged_outcomes_[txn.top] = TxnOutcome::kAborted;
+  if (op_queue_.enabled()) {
+    // Undo complete: lift the veto, wake anything parked on this
+    // transaction, and re-run the grant sweep for waiters the veto held.
+    op_queue_.FinishAbort(txn.top);
+    for (CommitParticipant* s : txn.servers) {
+      s->OnAbortSettled(txn.tid);
+    }
+  }
 }
 
 void TransactionManager::HandleAbortMsg(const TransactionId& tid) {
   Txn* txn = Find(tid);
-  if (txn == nullptr) {
-    return;
+  if (txn == nullptr || AbortInProgress(*txn)) {
+    return;  // unknown, or another task already owns this abort
   }
   AbortSubtree(*txn, /*notify_children=*/true);
   in_doubt_.erase(tid);

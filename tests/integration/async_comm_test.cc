@@ -226,6 +226,7 @@ Status EndStatusWithVoteTimeout(int children, SimTime vote_timeout_us,
                                 SimTime* commit_elapsed = nullptr) {
   WorldOptions opt;
   opt.vote_timeout_us = vote_timeout_us;
+  opt.commit_mode = txn::CommitMode::kTwoPhase;  // 2PC vote collection under test
   World world(1 + children, opt);
   std::vector<ArrayServer*> arrays;
   for (int n = 0; n < children; ++n) {
@@ -328,6 +329,7 @@ void RunPipelinedWorkload(World& world, ArrayServer* remote, CellModel& committe
 TEST(AsyncCommTest, CrashPointExplorationWithWindowOpen) {
   WorldOptions opt = PipelineOptions(/*window=*/3, /*batch=*/2);
   opt.vote_timeout_us = 2'000'000;
+  opt.commit_mode = txn::CommitMode::kTwoPhase;  // plan stability across passes
 
   // Pass 1: record the reachable fault surface, fault-free.
   std::vector<sim::FaultInjector::PointHit> hits;

@@ -14,9 +14,17 @@ namespace {
 
 using servers::ArrayServer;
 
+// The 2PC in-doubt window is the subject under test (Paxos Commit has no
+// cooperative-termination protocol to exercise), so the mode is pinned.
+WorldOptions TwoPhaseOptions() {
+  WorldOptions opt;
+  opt.commit_mode = txn::CommitMode::kTwoPhase;
+  return opt;
+}
+
 class CooperativeTerminationTest : public ::testing::Test {
  protected:
-  CooperativeTerminationTest() : world_(3) {
+  CooperativeTerminationTest() : world_(3, TwoPhaseOptions()) {
     a1_ = world_.AddServerOf<ArrayServer>(1, "a1", 8u);
     a2_ = world_.AddServerOf<ArrayServer>(2, "a2", 8u);
     a3_ = world_.AddServerOf<ArrayServer>(3, "a3", 8u);

@@ -15,7 +15,7 @@ using servers::ArrayServer;
 
 class CrashTest : public ::testing::Test {
  protected:
-  CrashTest() : world_(3) {
+  explicit CrashTest(const WorldOptions& opt = WorldOptions()) : world_(3, opt) {
     a1_ = world_.AddServerOf<ArrayServer>(1, "array1", 64u);
     a2_ = world_.AddServerOf<ArrayServer>(2, "array2", 64u);
   }
@@ -29,6 +29,17 @@ class CrashTest : public ::testing::Test {
   World world_;
   ArrayServer* a1_;
   ArrayServer* a2_;
+};
+
+// Presumed abort is 2PC's in-doubt rule; under Paxos Commit the same crash
+// resolves through the acceptors (and may commit), so the protocol is pinned.
+class PresumedAbortCrashTest : public CrashTest {
+ protected:
+  PresumedAbortCrashTest() : CrashTest([] {
+    WorldOptions opt;
+    opt.commit_mode = txn::CommitMode::kTwoPhase;
+    return opt;
+  }()) {}
 };
 
 TEST_F(CrashTest, CommittedLocalDataSurvivesCrash) {
@@ -152,7 +163,7 @@ TEST_F(CrashTest, LostCommitDatagramLeavesParticipantInDoubtThenResolvesCommit) 
   });
 }
 
-TEST_F(CrashTest, CoordinatorCrashAfterPrepareResolvesAbortByPresumption) {
+TEST_F(PresumedAbortCrashTest, CoordinatorCrashAfterPrepareResolvesAbortByPresumption) {
   // The participant prepares; the coordinator crashes before writing its
   // commit record. After both recover, the participant asks and learns the
   // transaction aborted (presumed abort for unknown outcomes).

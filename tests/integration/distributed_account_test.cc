@@ -14,7 +14,8 @@ using servers::AccountServer;
 
 class DistributedAccountTest : public ::testing::Test {
  protected:
-  DistributedAccountTest() : world_(2) {
+  explicit DistributedAccountTest(const WorldOptions& opt = WorldOptions())
+      : world_(2, opt) {
     local_ = world_.AddServerOf<AccountServer>(1, "local-acct", 8u);
     remote_ = world_.AddServerOf<AccountServer>(2, "remote-acct", 8u);
   }
@@ -26,6 +27,13 @@ class DistributedAccountTest : public ::testing::Test {
   World world_;
   AccountServer* local_;
   AccountServer* remote_;
+
+ public:
+  static WorldOptions TwoPhase() {
+    WorldOptions opt;
+    opt.commit_mode = txn::CommitMode::kTwoPhase;
+    return opt;
+  }
 };
 
 TEST_F(DistributedAccountTest, CrossNodeTransferCommits) {
@@ -66,7 +74,15 @@ TEST_F(DistributedAccountTest, AbortUndoesLogicallyOnBothNodes) {
   });
 }
 
-TEST_F(DistributedAccountTest, ParticipantCrashInDoubtResolvesWithOperationLog) {
+// The in-doubt window and its ResolveInDoubt outcome asserted here are
+// 2PC's; the commit-mode CI matrix would otherwise resolve the crash through
+// the acceptors with a different verdict.
+class TwoPhaseAccountTest : public DistributedAccountTest {
+ protected:
+  TwoPhaseAccountTest() : DistributedAccountTest(TwoPhase()) {}
+};
+
+TEST_F(TwoPhaseAccountTest, ParticipantCrashInDoubtResolvesWithOperationLog) {
   // Lose the commit datagram so the remote account server's node recovers an
   // in-doubt operation-logged transaction, then resolve via the coordinator.
   int count = 0;

@@ -278,6 +278,7 @@ TEST(NetworkFaultTest, SessionLossSurfacesAsNodeDown) {
 std::vector<SimTime> RunRetriesUnderVoteLoss(unsigned accounts_seed) {
   WorldOptions opt;
   opt.vote_timeout_us = 50'000;  // tight: each lost vote costs 50 virtual ms
+  opt.commit_mode = txn::CommitMode::kTwoPhase;  // retry cadence is 2PC's
   World world(2, opt);
   auto* bank = world.AddServerOf<AccountServer>(2, "bank", accounts_seed + 1);
   world.network().SetDatagramLoss(
@@ -321,6 +322,7 @@ TEST(RunTransactionalFaultTest, RetryExhaustionIsDeterministic) {
 std::vector<SimTime> RunRetriesWithPolicy(const Application::RetryPolicy& policy) {
   WorldOptions opt;
   opt.vote_timeout_us = 50'000;
+  opt.commit_mode = txn::CommitMode::kTwoPhase;  // retry cadence is 2PC's
   World world(2, opt);
   auto* bank = world.AddServerOf<AccountServer>(2, "bank", 7);
   world.network().SetDatagramLoss(

@@ -25,7 +25,9 @@ WorldOptions GroupCommitOptions(SimTime window_us, int max_batch = 32) {
 }
 
 TEST(GroupCommitTest, WindowZeroForcesPerTransaction) {
-  World world(1);  // default options: daemon disabled
+  WorldOptions opt;
+  opt.commit_mode = txn::CommitMode::kTwoPhase;  // force counts are 2PC's
+  World world(1, opt);  // default window: daemon disabled
   ArrayServer* a = world.AddServerOf<ArrayServer>(1, "array", 64u);
   world.metrics().Reset();
   int result = world.RunApp(1, [&](Application& app) {
@@ -142,7 +144,9 @@ TEST(GroupCommitTest, CommitReportedBeforeCrashSurvivesRecovery) {
   // Positive control for CrashMidBatchAbortsUnforcedTail: with a short
   // window the batch flushes, End() returns kOk, and the value must then
   // survive the crash.
-  World world(2, GroupCommitOptions(1'000));
+  WorldOptions opt = GroupCommitOptions(1'000);
+  opt.commit_mode = txn::CommitMode::kTwoPhase;  // recovery shape is 2PC's
+  World world(2, opt);
   ArrayServer* a = world.AddServerOf<ArrayServer>(1, "array", 64u);
   bool commit_returned = false;
   world.SpawnApp(1, "committer", [&](Application& app) {
@@ -175,7 +179,9 @@ TEST(GroupCommitTest, CheckpointForceAbsorbsPendingBatch) {
   // A checkpoint's ForceAll advances the durable frontier past a pending
   // batch's records: the blocked committer wakes immediately (its force
   // absorbed) instead of waiting out the window.
-  World world(1, GroupCommitOptions(20'000'000));
+  WorldOptions opt = GroupCommitOptions(20'000'000);
+  opt.commit_mode = txn::CommitMode::kTwoPhase;  // force counts are 2PC's
+  World world(1, opt);
   ArrayServer* a = world.AddServerOf<ArrayServer>(1, "array", 64u);
   world.metrics().Reset();
   SimTime commit_time = 0;

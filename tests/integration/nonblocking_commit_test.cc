@@ -117,7 +117,9 @@ void CommitWithVerdictsLost(WorldT& world, ArrayServer* a1, ArrayServer* a2,
 }
 
 TEST(NonBlockingCommitTest, TwoPhaseBlocksUntilCoordinatorRecovery) {
-  World world(3);  // paper-faithful 2PC
+  WorldOptions opt;
+  opt.commit_mode = txn::CommitMode::kTwoPhase;  // the 2PC control leg
+  World world(3, opt);
   auto* a1 = world.AddServerOf<ArrayServer>(1, "a1", 4u);
   auto* a2 = world.AddServerOf<ArrayServer>(2, "a2", 4u);
   auto* a3 = world.AddServerOf<ArrayServer>(3, "a3", 4u);
@@ -228,7 +230,9 @@ TEST(PaxosVoteTimeoutTest, TwoPhaseControlPresumesAbortOnTheSameLoss) {
   // The control: plain 2PC under the equivalent loss (every vote datagram
   // back to the coordinator) presumes abort, as it must — its verdict lives
   // nowhere else. This is the asymmetry the flip-point test above pins.
-  World world(3);
+  WorldOptions opt;
+  opt.commit_mode = txn::CommitMode::kTwoPhase;  // the 2PC control leg
+  World world(3, opt);
   auto* a1 = world.AddServerOf<ArrayServer>(1, "a1", 4u);
   auto* a2 = world.AddServerOf<ArrayServer>(2, "a2", 4u);
   auto* a3 = world.AddServerOf<ArrayServer>(3, "a3", 4u);

@@ -223,7 +223,9 @@ TEST(PageCleanerTest, ReclaimToIsIncrementalAndFuzzy) {
   // retain the newest log bytes: only the old dirt (the pages pinning the
   // log tail) is flushed; the checkpoint is fuzzy — the youngest page stays
   // dirty in volatile storage, its committed value still only in the log.
-  World world(1);
+  WorldOptions opt;
+  opt.commit_mode = txn::CommitMode::kTwoPhase;  // exact LSN math is 2PC's
+  World world(1, opt);
   auto* arr = world.AddServerOf<ArrayServer>(1, "arr", 1024u);  // 8 pages
   world.RunApp(1, [&](Application& app) {
     for (std::uint32_t p = 0; p < 8; ++p) {

@@ -15,16 +15,29 @@ using servers::ArrayServer;
 
 class TransactionTest : public ::testing::Test {
  protected:
-  TransactionTest() : world_(3) {
+  explicit TransactionTest(const WorldOptions& opt = WorldOptions()) : world_(3, opt) {
     a1_ = world_.AddServerOf<ArrayServer>(1, "array1", 128u);
     a2_ = world_.AddServerOf<ArrayServer>(2, "array2", 128u);
     a3_ = world_.AddServerOf<ArrayServer>(3, "array3", 128u);
+  }
+
+  static WorldOptions TwoPhase() {
+    WorldOptions opt;
+    opt.commit_mode = txn::CommitMode::kTwoPhase;
+    return opt;
   }
 
   World world_;
   ArrayServer* a1_;
   ArrayServer* a2_;
   ArrayServer* a3_;
+};
+
+// The wire-shape goldens below count 2PC commit datagrams exactly; the
+// protocol is pinned so the commit-mode CI matrix cannot shift them.
+class TwoPhaseWireTest : public TransactionTest {
+ protected:
+  TwoPhaseWireTest() : TransactionTest(TwoPhase()) {}
 };
 
 TEST_F(TransactionTest, LocalReadWriteCommit) {
@@ -123,7 +136,7 @@ TEST_F(TransactionTest, DistributedAbortUndoesRemoteWrites) {
   });
 }
 
-TEST_F(TransactionTest, RemoteReadOnlyUsesReadOnlyVote) {
+TEST_F(TwoPhaseWireTest, RemoteReadOnlyUsesReadOnlyVote) {
   world_.RunApp(1, [&](Application& app) {
     world_.metrics().Reset();
     app.Transaction([&](const server::Tx& tx) {
@@ -136,7 +149,7 @@ TEST_F(TransactionTest, RemoteReadOnlyUsesReadOnlyVote) {
   });
 }
 
-TEST_F(TransactionTest, DistributedWriteUsesFullTwoPhase) {
+TEST_F(TwoPhaseWireTest, DistributedWriteUsesFullTwoPhase) {
   world_.RunApp(1, [&](Application& app) {
     world_.metrics().Reset();
     app.Transaction([&](const server::Tx& tx) {

@@ -27,7 +27,9 @@ struct Decomposition {
 };
 
 Decomposition RunDebitCredit(int nodes) {
-  World world(nodes);
+  WorldOptions opt;
+  opt.commit_mode = txn::CommitMode::kTwoPhase;  // the goldens decompose 2PC
+  World world(nodes, opt);
   AccountServer* debit = world.AddServerOf<AccountServer>(1, "accounts-1", 4u);
   AccountServer* credit =
       nodes >= 2 ? world.AddServerOf<AccountServer>(2, "accounts-2", 4u) : debit;

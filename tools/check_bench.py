@@ -10,6 +10,8 @@ caused it).
 
 Usage:
     tools/check_bench.py BASELINE CURRENT [--allow GLOB]... [--tolerance GLOB=REL]...
+                         [--summary FILE]
+    tools/check_bench.py --self-test
 
   BASELINE   committed baseline JSON (bench/baselines/smoke/...)
   CURRENT    freshly produced BENCH_*.json
@@ -20,6 +22,15 @@ Usage:
              --tolerance 'rows/*/wall_ms=9.0'. For wall-clock metrics the
              simulator cannot pin down: generous enough to absorb machine
              variance, tight enough to catch order-of-magnitude regressions.
+  --summary  append a compact markdown before/after table to FILE (use
+             $GITHUB_STEP_SUMMARY in CI; silently skipped if empty).
+  --self-test  run the built-in unit checks (CI runs this before trusting
+             the gate) and exit.
+
+Schema check: a value path present on one side and absent on the other is a
+*structural* failure — a renamed row, a dropped field, a bench that silently
+stopped emitting a metric. It fails even if an --allow or --tolerance glob
+matches, so a masking pattern can never hide a disappearing metric.
 
 The top-level "meta" object (generation provenance written by the refresh
 script) is always ignored. Exit status: 0 clean, 1 on any difference.
@@ -64,37 +75,28 @@ def name_rows(doc):
 def load(path):
     with open(path) as f:
         doc = json.load(f)
+    return flatten_doc(doc)
+
+
+def flatten_doc(doc):
     if isinstance(doc, dict):
+        doc = dict(doc)
         doc.pop("meta", None)
     return dict(flatten(name_rows(doc)))
 
 
-def main():
-    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    ap.add_argument("baseline")
-    ap.add_argument("current")
-    ap.add_argument("--allow", action="append", default=[],
-                    help="fnmatch pattern of paths to ignore (repeatable)")
-    ap.add_argument("--tolerance", action="append", default=[], metavar="GLOB=REL",
-                    help="paths matching GLOB compare with relative tolerance "
-                         "REL instead of exactly (repeatable)")
-    args = ap.parse_args()
+def compare(base, cur, allow=(), tolerances=()):
+    """Compare two flattened docs.
 
-    base = load(args.baseline)
-    cur = load(args.current)
+    Returns (schema_rows, value_rows): schema_rows are paths missing on one
+    side (never maskable); value_rows are (path, baseline, current)
+    mismatches after --allow/--tolerance filtering.
+    """
 
     def allowed(path):
-        return any(fnmatch.fnmatch(path, pat) for pat in args.allow)
-
-    tolerances = []
-    for spec in args.tolerance:
-        glob, _, rel = spec.rpartition("=")
-        if not glob:
-            ap.error(f"--tolerance needs GLOB=REL, got {spec!r}")
-        tolerances.append((glob, float(rel)))
+        return any(fnmatch.fnmatch(path, pat) for pat in allow)
 
     def tolerance_for(path):
-        """Largest matching relative tolerance, or None for exact paths."""
         matched = [rel for glob, rel in tolerances if fnmatch.fnmatch(path, glob)]
         return max(matched) if matched else None
 
@@ -103,26 +105,193 @@ def main():
             return b == c
         return abs(c - b) <= rel * abs(b)
 
-    rows = []
+    schema_rows = []
+    value_rows = []
     for path in sorted(base.keys() | cur.keys()):
+        in_base = path in base
+        in_cur = path in cur
+        if not (in_base and in_cur):
+            # Structural difference: unmaskable by design. A baseline key the
+            # bench stopped emitting (or a new key with no baseline) must
+            # surface even when a broad --allow/--tolerance glob matches it.
+            schema_rows.append(
+                (path, base.get(path, "<missing>"), cur.get(path, "<missing>"))
+            )
+            continue
         if allowed(path):
             continue
-        b = base.get(path, "<missing>")
-        c = cur.get(path, "<missing>")
+        b, c = base[path], cur[path]
         rel = tolerance_for(path)
         ok = within(b, c, rel) if rel is not None else b == c
         if not ok:
-            rows.append((path, b, c))
+            value_rows.append((path, b, c))
+    return schema_rows, value_rows
 
-    if not rows:
+
+def write_summary(path, baseline, current, compared, schema_rows, value_rows):
+    """Append a compact markdown before/after table for $GITHUB_STEP_SUMMARY."""
+    rows = schema_rows + value_rows
+    with open(path, "a") as f:
+        if not rows:
+            f.write(f"- ✅ `{current}` matches `{baseline}` "
+                    f"({compared} values)\n")
+            return
+        f.write(f"### ❌ `{current}` vs `{baseline}` "
+                f"({len(schema_rows)} schema / {len(value_rows)} value "
+                f"difference(s))\n\n")
+        f.write("| path | baseline | current |\n|---|---|---|\n")
+        for p, b, c in rows[:50]:
+            f.write(f"| `{p}` | {b} | {c} |\n")
+        if len(rows) > 50:
+            f.write(f"| … {len(rows) - 50} more | | |\n")
+        f.write("\n")
+
+
+def self_test():
+    """Unit checks for the gate itself: the comparison and schema logic."""
+    failures = []
+
+    def check(name, cond):
+        if not cond:
+            failures.append(name)
+
+    base = flatten_doc({
+        "bench": "t",
+        "rows": [{"name": "a", "x": 1, "wall_ms": 10.0},
+                 {"name": "b", "x": 2, "wall_ms": 20.0}],
+    })
+    same = flatten_doc({
+        "bench": "t",
+        "rows": [{"name": "a", "x": 1, "wall_ms": 10.0},
+                 {"name": "b", "x": 2, "wall_ms": 20.0}],
+    })
+    s, v = compare(base, same)
+    check("identical docs compare clean", not s and not v)
+
+    # Row re-keying by name: reordering rows is not a difference.
+    reordered = flatten_doc({
+        "bench": "t",
+        "rows": [{"name": "b", "x": 2, "wall_ms": 20.0},
+                 {"name": "a", "x": 1, "wall_ms": 10.0}],
+    })
+    s, v = compare(base, reordered)
+    check("row order is irrelevant", not s and not v)
+
+    # Exact comparison catches a drifted value.
+    drift = flatten_doc({
+        "bench": "t",
+        "rows": [{"name": "a", "x": 1, "wall_ms": 10.0},
+                 {"name": "b", "x": 3, "wall_ms": 20.0}],
+    })
+    s, v = compare(base, drift)
+    check("value drift is caught", not s and v == [("rows/b/x", 2, 3)])
+
+    # Tolerance admits noise within the band, rejects outside it.
+    noisy = flatten_doc({
+        "bench": "t",
+        "rows": [{"name": "a", "x": 1, "wall_ms": 15.0},
+                 {"name": "b", "x": 2, "wall_ms": 200.0}],
+    })
+    tol = [("rows/*/wall_ms", 0.9)]
+    s, v = compare(base, noisy, tolerances=tol)
+    check("tolerance admits in-band noise, rejects 10x",
+          not s and v == [("rows/b/wall_ms", 20.0, 200.0)])
+
+    # --allow masks a value difference...
+    s, v = compare(base, drift, allow=["rows/*/x"])
+    check("allow masks a value difference", not s and not v)
+
+    # ...but can never mask a schema difference (missing key), either way.
+    missing_in_cur = flatten_doc({
+        "bench": "t",
+        "rows": [{"name": "a", "x": 1, "wall_ms": 10.0},
+                 {"name": "b", "wall_ms": 20.0}],
+    })
+    s, v = compare(base, missing_in_cur, allow=["*"], tolerances=[("*", 99.0)])
+    check("missing current key is unmaskable",
+          s == [("rows/b/x", 2, "<missing>")] and not v)
+    s, v = compare(missing_in_cur, base, allow=["*"], tolerances=[("*", 99.0)])
+    check("missing baseline key is unmaskable",
+          s == [("rows/b/x", "<missing>", 2)] and not v)
+
+    # A renamed row is two schema failures (old name gone, new name fresh).
+    renamed = flatten_doc({
+        "bench": "t",
+        "rows": [{"name": "a", "x": 1, "wall_ms": 10.0},
+                 {"name": "b2", "x": 2, "wall_ms": 20.0}],
+    })
+    s, v = compare(base, renamed, allow=["*"])
+    check("renamed row surfaces as schema difference",
+          any(p.startswith("rows/b/") for p, _, _ in s)
+          and any(p.startswith("rows/b2/") for p, _, _ in s))
+
+    # "meta" is provenance, not data.
+    with_meta = flatten_doc({
+        "bench": "t", "meta": {"commit": "deadbeef"},
+        "rows": [{"name": "a", "x": 1, "wall_ms": 10.0},
+                 {"name": "b", "x": 2, "wall_ms": 20.0}],
+    })
+    s, v = compare(base, with_meta)
+    check("top-level meta is ignored", not s and not v)
+
+    if failures:
+        for name in failures:
+            print(f"SELF-TEST FAIL: {name}")
+        return 1
+    print("self-test OK (9 checks)")
+    return 0
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("baseline", nargs="?")
+    ap.add_argument("current", nargs="?")
+    ap.add_argument("--allow", action="append", default=[],
+                    help="fnmatch pattern of paths to ignore (repeatable)")
+    ap.add_argument("--tolerance", action="append", default=[], metavar="GLOB=REL",
+                    help="paths matching GLOB compare with relative tolerance "
+                         "REL instead of exactly (repeatable)")
+    ap.add_argument("--summary", default="",
+                    help="append a markdown before/after table to this file")
+    ap.add_argument("--self-test", action="store_true",
+                    help="run the gate's own unit checks and exit")
+    args = ap.parse_args()
+
+    if args.self_test:
+        return self_test()
+    if args.baseline is None or args.current is None:
+        ap.error("BASELINE and CURRENT are required (or use --self-test)")
+
+    base = load(args.baseline)
+    cur = load(args.current)
+
+    tolerances = []
+    for spec in args.tolerance:
+        glob, _, rel = spec.rpartition("=")
+        if not glob:
+            ap.error(f"--tolerance needs GLOB=REL, got {spec!r}")
+        tolerances.append((glob, float(rel)))
+
+    schema_rows, value_rows = compare(base, cur, args.allow, tolerances)
+
+    if args.summary:
+        write_summary(args.summary, args.baseline, args.current, len(cur),
+                      schema_rows, value_rows)
+
+    if not schema_rows and not value_rows:
         print(f"OK: {args.current} matches {args.baseline} "
               f"({len(cur)} values compared)")
         return 0
 
+    rows = schema_rows + value_rows
     width = max(len(p) for p, _, _ in rows)
     width = min(width, 72)
     print(f"BENCH REGRESSION: {args.current} differs from {args.baseline} "
-          f"in {len(rows)} value(s):\n")
+          f"in {len(rows)} value(s)"
+          + (f" ({len(schema_rows)} structural — a key present on only one "
+             f"side; --allow/--tolerance never mask these)"
+             if schema_rows else "")
+          + ":\n")
     print(f"  {'path':<{width}}  {'baseline':>14}  {'current':>14}")
     for path, b, c in rows:
         print(f"  {path:<{width}}  {b!s:>14}  {c!s:>14}")

@@ -16,9 +16,10 @@ set -euo pipefail
 repo="$(cd "$(dirname "$0")/.." && pwd)"
 build="${1:-$repo/build-baselines}"
 benches=(throughput checkpoint_ablation table5_4_benchmarks pipeline_ablation commit_ablation
-         scaleout simspeed)
+         scaleout simspeed queue_ablation)
 artifacts=(BENCH_throughput.json BENCH_checkpoint.json BENCH_table5_4.json BENCH_pipeline.json
-           BENCH_commit_ablation.json BENCH_scaleout.json BENCH_simspeed.json)
+           BENCH_commit_ablation.json BENCH_scaleout.json BENCH_simspeed.json
+           BENCH_queue_ablation.json)
 
 cmake -B "$build" -S "$repo" >/dev/null
 cmake --build "$build" -j "$(nproc)" --target "${benches[@]}"
